@@ -1,0 +1,81 @@
+//! Regenerates the paper's Fig. 1 / Fig. 2 story on the running example and
+//! benchmarks each piece:
+//!
+//! * Fig. 1a + 1b — the network and schedule exist as a fixture; the
+//!   verification task proves the schedule infeasible on pure TTDs.
+//! * Fig. 1a's VSS enrichment — layout generation produces the minimal
+//!   virtual-border repair (5 sections, as the paper reports).
+//! * Fig. 2a + 2b — schedule optimisation produces a richer layout and an
+//!   improved schedule with strictly earlier arrivals.
+//!
+//! The decoded "figures" (layouts and arrival tables) are printed once
+//! before measurement so a bench run doubles as figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etcs_core::{generate, optimize, verify, DesignOutcome, EncoderConfig, Instance};
+use etcs_network::{fixtures, VssLayout};
+
+fn config() -> EncoderConfig {
+    EncoderConfig::default()
+}
+
+fn print_story() {
+    let scenario = fixtures::running_example();
+    let inst = Instance::new(&scenario).expect("valid");
+    println!("── Fig. 1: schedule on pure TTD ──");
+    let (v, _) = verify(&scenario, &VssLayout::pure_ttd(), &config()).expect("ok");
+    println!(
+        "verification: {}",
+        if v.is_feasible() { "feasible" } else { "infeasible (paper: deadlock)" }
+    );
+
+    println!("── Fig. 1a enriched: generated VSS layout ──");
+    let (g, _) = generate(&scenario, &config()).expect("ok");
+    if let DesignOutcome::Solved { plan, costs } = &g {
+        println!(
+            "{} border(s), {} sections, arrivals: {:?}",
+            costs[0],
+            plan.section_count(&inst),
+            plan.arrival_steps(&inst)
+        );
+    }
+
+    println!("── Fig. 2: optimised layout and schedule ──");
+    let (o, _) = optimize(&scenario, &config()).expect("ok");
+    if let DesignOutcome::Solved { plan, costs } = &o {
+        let open = Instance::new(&scenario.without_arrivals()).expect("valid");
+        println!(
+            "{} steps, {} border(s), {} sections, arrivals: {:?}",
+            costs[0],
+            costs[1],
+            plan.section_count(&open),
+            plan.arrival_steps(&open)
+        );
+    }
+}
+
+fn fig1_fig2(c: &mut Criterion) {
+    print_story();
+    let scenario = fixtures::running_example();
+    let inst = Instance::new(&scenario).expect("valid");
+
+    let mut group = c.benchmark_group("fig1_fig2");
+    group.sample_size(20);
+    group.bench_function("fig1_verification_pure_ttd", |b| {
+        b.iter(|| verify(&scenario, &VssLayout::pure_ttd(), &config()).expect("ok"))
+    });
+    group.bench_function("fig1_verification_full_vss", |b| {
+        let full = VssLayout::full(&inst.net);
+        b.iter(|| verify(&scenario, &full, &config()).expect("ok"))
+    });
+    group.bench_function("fig1a_generation", |b| {
+        b.iter(|| generate(&scenario, &config()).expect("ok"))
+    });
+    group.bench_function("fig2_optimization", |b| {
+        b.iter(|| optimize(&scenario, &config()).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1_fig2);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Scaling study (beyond the paper's four fixed case studies): how the
+//! three design tasks scale with network length, traffic density and the
+//! discretisation resolutions, on synthesised single-track lines.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etcs_core::{generate, optimize, verify, EncoderConfig};
+use etcs_network::generator::{single_track_line, LineConfig};
+use etcs_network::{Meters, Seconds, VssLayout};
+
+fn config() -> EncoderConfig {
+    EncoderConfig::default()
+}
+
+fn base() -> LineConfig {
+    LineConfig {
+        stations: 4,
+        loop_every: 2,
+        link_m: 1000,
+        trains_per_direction: 1,
+        headway: Seconds::from_minutes(2),
+        r_s: Meters(500),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(12),
+        seed: 7,
+        ..LineConfig::default()
+    }
+}
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+
+    // Network length: more stations at constant traffic.
+    for stations in [3usize, 5, 7, 9] {
+        let scenario = single_track_line(&LineConfig {
+            stations,
+            horizon: Seconds::from_minutes(8 + 4 * stations as u64),
+            ..base()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stations/verify", stations),
+            &scenario,
+            |b, s| {
+                b.iter(|| verify(s, &VssLayout::pure_ttd(), &config()).expect("well-formed"))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stations/optimize", stations),
+            &scenario,
+            |b, s| b.iter(|| optimize(s, &config()).expect("well-formed")),
+        );
+    }
+
+    // Traffic density: more trains on a fixed line.
+    for trains in [1usize, 2, 3] {
+        let scenario = single_track_line(&LineConfig {
+            trains_per_direction: trains,
+            stations: 5,
+            horizon: Seconds::from_minutes(25),
+            ..base()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("trains/generate", trains * 2),
+            &scenario,
+            |b, s| b.iter(|| generate(s, &config()).expect("well-formed")),
+        );
+    }
+
+    // Spatial resolution: finer grids on a fixed line.
+    for rs_m in [1000u64, 500, 250] {
+        let scenario = single_track_line(&LineConfig {
+            r_s: Meters(rs_m),
+            stations: 4,
+            ..base()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("resolution/optimize", rs_m),
+            &scenario,
+            |b, s| b.iter(|| optimize(s, &config()).expect("well-formed")),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks regenerating the paper's Table I: every case study
+//! × every design task. The companion binary (`cargo run -p etcs-bench
+//! --bin table1`) prints the table itself; this bench measures the
+//! runtimes under Criterion's statistics.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etcs_core::{generate, optimize, verify, EncoderConfig};
+use etcs_network::{fixtures, Scenario, VssLayout};
+
+fn config() -> EncoderConfig {
+    EncoderConfig::default()
+}
+
+fn bench_scenario(c: &mut Criterion, scenario: &Scenario, slow: bool) {
+    let mut group = c.benchmark_group(format!("table1/{}", scenario.name));
+    group.sample_size(10);
+    if slow {
+        group.measurement_time(Duration::from_secs(40));
+        group.warm_up_time(Duration::from_secs(1));
+    }
+    group.bench_function("verification", |b| {
+        b.iter(|| {
+            let (outcome, _) =
+                verify(scenario, &VssLayout::pure_ttd(), &config()).expect("well-formed");
+            assert!(!outcome.is_feasible());
+        })
+    });
+    group.bench_function("generation", |b| {
+        b.iter(|| {
+            let (outcome, _) = generate(scenario, &config()).expect("well-formed");
+            assert!(outcome.plan().is_some());
+        })
+    });
+    group.bench_function("optimization", |b| {
+        b.iter(|| {
+            let (outcome, _) = optimize(scenario, &config()).expect("well-formed");
+            assert!(outcome.plan().is_some());
+        })
+    });
+    group.finish();
+}
+
+fn table1(c: &mut Criterion) {
+    bench_scenario(c, &fixtures::running_example(), false);
+    bench_scenario(c, &fixtures::simple_layout(), true);
+    bench_scenario(c, &fixtures::complex_layout(), true);
+    bench_scenario(c, &fixtures::nordlandsbanen(), true);
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table I.
+//!
+//! Usage: `table1 [running|simple|complex|nordlandsbanen|all]…`
+//! (default: all).
+
+use etcs_bench::{render_table, run_scenario};
+use etcs_core::EncoderConfig;
+use etcs_network::fixtures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let config = EncoderConfig::default();
+    for scenario in fixtures::all() {
+        let key = match scenario.name.as_str() {
+            "Running Example" => "running",
+            "Simple Layout" => "simple",
+            "Complex Layout" => "complex",
+            "Nordlandsbanen" => "nordlandsbanen",
+            other => other,
+        };
+        if !wanted.contains(&"all") && !wanted.contains(&key) {
+            continue;
+        }
+        let rows = run_scenario(&scenario, &config);
+        println!("{}", render_table(&scenario, &rows));
+    }
+}

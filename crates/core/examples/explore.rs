@@ -1,0 +1,110 @@
+//! Developer tool: run one design task on one bundled case study and dump
+//! the full solution (layout, arrivals, per-step positions).
+//!
+//! Usage: `cargo run --release -p etcs-core --example explore -- \
+//!     [running|simple|complex|nordlandsbanen] [verify|verifyfull|generate|optimize]`
+
+use etcs_core::{generate, optimize, verify, DesignOutcome, EncoderConfig, Instance};
+use etcs_network::{fixtures, Scenario, VssLayout};
+use std::time::Instant;
+
+fn scenario_by_name(name: &str) -> Scenario {
+    match name {
+        "running" => fixtures::running_example(),
+        "simple" => fixtures::simple_layout(),
+        "complex" => fixtures::complex_layout(),
+        "nordlandsbanen" => fixtures::nordlandsbanen(),
+        other => panic!("unknown scenario `{other}`"),
+    }
+}
+
+fn dump_plan(inst: &Instance, plan: &etcs_core::SolvedPlan) {
+    println!("arrivals: {:?}", plan.arrival_steps(inst));
+    println!("sections: {}", plan.section_count(inst));
+    println!("layout:   {}", plan.layout);
+    for (p, spec) in plan.plans.iter().zip(&inst.trains) {
+        println!("  {} (dep t{}):", p.name, spec.dep_step);
+        for (t, pos) in p.positions.iter().enumerate() {
+            if !pos.is_empty() {
+                let names: Vec<&str> = pos.iter().map(|&e| inst.net.edge_name(e)).collect();
+                println!("    t{t:<3} {}", names.join(" + "));
+            }
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "running".into());
+    let task = std::env::args().nth(2).unwrap_or_else(|| "optimize".into());
+    let scenario = scenario_by_name(&which);
+    let inst = Instance::new(&scenario).expect("bundled scenarios are valid");
+    println!(
+        "{}: {} segments, t_max {}, {} trains",
+        scenario.name,
+        inst.net.num_edges(),
+        inst.t_max,
+        inst.trains.len()
+    );
+    let cfg = EncoderConfig::default();
+    let t0 = Instant::now();
+    match task.as_str() {
+        "verify" | "verifyfull" => {
+            let layout = if task == "verify" {
+                VssLayout::pure_ttd()
+            } else {
+                VssLayout::full(&inst.net)
+            };
+            let (o, r) = verify(&scenario, &layout, &cfg).expect("well-formed");
+            println!(
+                "verify({}): feasible={} vars={} clauses={} time={:.3}s",
+                if task == "verify" { "pure TTD" } else { "full VSS" },
+                o.is_feasible(),
+                r.stats.solver_vars,
+                r.stats.clauses,
+                r.runtime.as_secs_f64()
+            );
+            if let Some(plan) = o.plan() {
+                dump_plan(&inst, plan);
+            }
+        }
+        "generate" => {
+            let (o, r) = generate(&scenario, &cfg).expect("well-formed");
+            match o {
+                DesignOutcome::Solved { plan, costs } => {
+                    println!(
+                        "generate: {} border(s), {} solver calls, {:.3}s",
+                        costs[0],
+                        r.solver_calls,
+                        r.runtime.as_secs_f64()
+                    );
+                    dump_plan(&inst, &plan);
+                }
+                DesignOutcome::Infeasible => {
+                    println!("generate: INFEASIBLE ({:.3}s)", r.runtime.as_secs_f64())
+                }
+            }
+        }
+        "optimize" => {
+            let open = scenario.without_arrivals();
+            let oinst = Instance::new(&open).expect("valid");
+            let (o, r) = optimize(&scenario, &cfg).expect("well-formed");
+            match o {
+                DesignOutcome::Solved { plan, costs } => {
+                    println!(
+                        "optimize: {} steps, {} border(s), {} solver calls, {:.3}s",
+                        costs[0],
+                        costs[1],
+                        r.solver_calls,
+                        r.runtime.as_secs_f64()
+                    );
+                    dump_plan(&oinst, &plan);
+                }
+                DesignOutcome::Infeasible => {
+                    println!("optimize: INFEASIBLE ({:.3}s)", r.runtime.as_secs_f64())
+                }
+            }
+        }
+        other => panic!("unknown task `{other}`"),
+    }
+    println!("total {:.3}s", t0.elapsed().as_secs_f64());
+}

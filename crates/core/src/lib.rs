@@ -1,0 +1,49 @@
+//! # etcs-core — the paper's primary contribution
+//!
+//! Automatic design and verification for ETCS Level 3 (Wille, Peham,
+//! Przigoda & Przigoda, DATE 2021): a SAT encoding of railway scenarios
+//! over virtual subsections, and the three design tasks built on it:
+//!
+//! * [`verify`] — does a schedule work on a given TTD/VSS layout?
+//! * [`generate`] — find a minimal set of VSS borders making it work.
+//! * [`optimize`] — find layout *and* movements minimising completion time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use etcs_core::{verify, generate, EncoderConfig};
+//! use etcs_network::{fixtures, VssLayout};
+//!
+//! let scenario = fixtures::running_example();
+//! let config = EncoderConfig::default();
+//!
+//! // Pure-TTD operation deadlocks (the paper's Example 2) …
+//! let (outcome, _) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
+//! assert!(!outcome.is_feasible());
+//!
+//! // … but a few virtual borders fix it.
+//! let (designed, _) = generate(&scenario, &config)?;
+//! assert!(designed.plan().is_some());
+//! # Ok::<(), etcs_network::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod decode;
+mod diagnose;
+mod encoder;
+mod explorer;
+mod instance;
+mod objectives;
+mod tasks;
+mod tradeoff;
+
+pub use decode::{SolvedPlan, TrainPlan};
+pub use diagnose::{diagnose, Diagnosis};
+pub use explorer::LayoutExplorer;
+pub use objectives::optimize_arrivals;
+pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};
+pub use encoder::{encode, Encoding, EncoderConfig, EncodingStats, TaskKind, VarMap};
+pub use instance::{ExitPolicy, Instance, TrainSpec};
+pub use tasks::{generate, optimize, verify, DesignOutcome, TaskReport, VerifyOutcome};

@@ -1,0 +1,344 @@
+//! The three design tasks of Section II-B / III-C:
+//! [`verify`], [`generate`] and [`optimize`].
+
+use std::time::{Duration, Instant};
+
+use etcs_sat::{maxsat, SatResult, Strategy};
+use etcs_network::{NetworkError, Scenario, VssLayout};
+
+use crate::decode::SolvedPlan;
+use crate::encoder::{encode, EncoderConfig, EncodingStats, TaskKind};
+use crate::instance::Instance;
+
+/// Shared outcome data of every task.
+#[derive(Debug)]
+pub struct TaskReport {
+    /// Encoding size statistics (the paper's "Var." column and friends).
+    pub stats: EncodingStats,
+    /// Wall-clock time spent encoding and solving.
+    pub runtime: Duration,
+    /// Total solver invocations (1 for verification; the optimisation loop
+    /// makes several).
+    pub solver_calls: usize,
+}
+
+/// Result of [`verify`].
+#[derive(Debug)]
+pub enum VerifyOutcome {
+    /// The schedule works on the given layout; here is a witness plan.
+    Feasible(SolvedPlan),
+    /// The schedule cannot be executed on the given layout.
+    Infeasible,
+}
+
+impl VerifyOutcome {
+    /// `true` for [`VerifyOutcome::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, VerifyOutcome::Feasible(_))
+    }
+
+    /// The witness plan if feasible.
+    pub fn plan(&self) -> Option<&SolvedPlan> {
+        match self {
+            VerifyOutcome::Feasible(p) => Some(p),
+            VerifyOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// Result of [`generate`] / [`optimize`].
+#[derive(Debug)]
+pub enum DesignOutcome {
+    /// A layout (and plan) was found; for generation the layout has a
+    /// provably minimal number of VSS borders, for optimisation the plan
+    /// has provably minimal completion time (then minimal borders).
+    Solved {
+        /// Decoded layout and train movements.
+        plan: SolvedPlan,
+        /// Proven optimal objective costs, in lexicographic order.
+        costs: Vec<u64>,
+    },
+    /// No VSS layout makes the schedule work within the horizon.
+    Infeasible,
+}
+
+impl DesignOutcome {
+    /// The solved plan, if any.
+    pub fn plan(&self) -> Option<&SolvedPlan> {
+        match self {
+            DesignOutcome::Solved { plan, .. } => Some(plan),
+            DesignOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// Task 1 — *Verification of train schedules on ETCS Level 3 layouts*:
+/// does `scenario`'s schedule (with its arrival deadlines) work on the
+/// given TTD/VSS `layout`?
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_core::{verify, EncoderConfig};
+/// use etcs_network::{fixtures, VssLayout};
+///
+/// let scenario = fixtures::running_example();
+/// // The paper's headline: pure TTD operation cannot realise Fig. 1b.
+/// let (outcome, _report) =
+///     verify(&scenario, &VssLayout::pure_ttd(), &EncoderConfig::default())?;
+/// assert!(!outcome.is_feasible());
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+pub fn verify(
+    scenario: &Scenario,
+    layout: &VssLayout,
+    config: &EncoderConfig,
+) -> Result<(VerifyOutcome, TaskReport), NetworkError> {
+    let start = Instant::now();
+    let inst = Instance::new(scenario)?;
+    let mut enc = encode(&inst, config, &TaskKind::Verify(layout.clone()));
+    let stats = enc.stats;
+    let outcome = match enc.solver.solve() {
+        SatResult::Sat(model) => {
+            let mut plan = SolvedPlan::decode(&inst, &enc.vars, &model);
+            // The verification layout is an input, not a solver choice.
+            plan.layout = layout.clone();
+            VerifyOutcome::Feasible(plan)
+        }
+        SatResult::Unsat { .. } => VerifyOutcome::Infeasible,
+        SatResult::Unknown => unreachable!("no conflict budget configured"),
+    };
+    Ok((
+        outcome,
+        TaskReport {
+            stats,
+            runtime: start.elapsed(),
+            solver_calls: 1,
+        },
+    ))
+}
+
+/// Task 2 — *Generation of VSS layouts*: find virtual borders that make the
+/// schedule (with its deadlines) executable, minimising the number of
+/// borders (`min Σ border_v`).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn generate(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    let start = Instant::now();
+    let inst = Instance::new(scenario)?;
+    let mut enc = encode(&inst, config, &TaskKind::Generate);
+    let stats = enc.stats;
+    let objective = enc.border_objective.clone();
+    let (outcome, calls) =
+        match maxsat::minimize(&mut enc.solver, &objective, &[], Strategy::LinearSatUnsat) {
+            maxsat::OptimizeOutcome::Optimal(r) => (
+                DesignOutcome::Solved {
+                    plan: SolvedPlan::decode(&inst, &enc.vars, &r.model),
+                    costs: vec![r.cost],
+                },
+                r.solver_calls,
+            ),
+            maxsat::OptimizeOutcome::Unsat => (DesignOutcome::Infeasible, 1),
+            maxsat::OptimizeOutcome::Unknown { .. } => {
+                unreachable!("no conflict budget configured")
+            }
+        };
+    Ok((
+        outcome,
+        TaskReport {
+            stats,
+            runtime: start.elapsed(),
+            solver_calls: calls,
+        },
+    ))
+}
+
+/// Task 3 — *Schedule optimisation using the potential of VSS*: drop the
+/// arrival deadlines, choose a VSS layout and train movements minimising
+/// the number of time steps until all trains are done
+/// (`min Σ_t ¬done^t`), then the number of borders.
+///
+/// The returned primary cost is the optimal completion time in steps
+/// (including the constant offset for the steps before the last departure).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    let start = Instant::now();
+    let open = scenario.without_arrivals();
+    let mut inst = Instance::new(&open)?;
+    let mut calls = 0usize;
+
+    // Stage 1 — shrinking-horizon search for the smallest common arrival
+    // deadline D. A deadline tightens every train's time–space cone, so
+    // each probe is a small instance; this dominates the monolithic
+    // `Σ_t ¬done^t` cardinality objective by orders of magnitude (the
+    // `ablation` bench quantifies this).
+    let lower = inst
+        .trains
+        .iter()
+        .map(|tr| inst.earliest_arrival(tr).unwrap_or(inst.t_max - 1))
+        .max()
+        .unwrap_or(0);
+    let probe = |inst: &mut Instance, d: usize| -> (bool, EncodingStats) {
+        inst.set_uniform_deadline(d);
+        let mut enc = encode(inst, config, &TaskKind::Generate);
+        let sat = matches!(enc.solver.solve(), SatResult::Sat(_));
+        (sat, enc.stats)
+    };
+
+    // Walk up from the lower bound: every probe keeps the cones tight (a
+    // loose deadline is what makes the instance hard), and the first SAT
+    // answer is the optimum.
+    let max_deadline = inst.t_max - 1;
+    let mut best_deadline = None;
+    let mut last_stats = EncodingStats::default();
+    for d in lower.min(max_deadline)..=max_deadline {
+        calls += 1;
+        let (sat, stats) = probe(&mut inst, d);
+        last_stats = stats;
+        if sat {
+            best_deadline = Some(d);
+            break;
+        }
+    }
+    let Some(best_deadline) = best_deadline else {
+        return Ok((
+            DesignOutcome::Infeasible,
+            TaskReport {
+                stats: last_stats,
+                runtime: start.elapsed(),
+                solver_calls: calls,
+            },
+        ));
+    };
+
+    // Stage 2 — minimise borders at the optimal completion.
+    inst.set_uniform_deadline(best_deadline);
+    let mut enc = encode(&inst, config, &TaskKind::Generate);
+    let stats = enc.stats;
+    let border_obj = enc.border_objective.clone();
+    let (plan, border_cost) =
+        match maxsat::minimize(&mut enc.solver, &border_obj, &[], Strategy::LinearSatUnsat) {
+            maxsat::OptimizeOutcome::Optimal(r) => {
+                calls += r.solver_calls;
+                (SolvedPlan::decode(&inst, &enc.vars, &r.model), r.cost)
+            }
+            maxsat::OptimizeOutcome::Unsat => {
+                unreachable!("the probed deadline was satisfiable")
+            }
+            maxsat::OptimizeOutcome::Unknown { .. } => {
+                unreachable!("no conflict budget configured")
+            }
+        };
+
+    // Completion in steps: the last arrival step plus one.
+    let outcome = DesignOutcome::Solved {
+        plan,
+        costs: vec![best_deadline as u64 + 1, border_cost],
+    };
+    Ok((
+        outcome,
+        TaskReport {
+            stats,
+            runtime: start.elapsed(),
+            solver_calls: calls,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_network::fixtures;
+
+    #[test]
+    fn running_example_verification_is_unsat_on_pure_ttd() {
+        let scenario = fixtures::running_example();
+        let (outcome, report) =
+            verify(&scenario, &VssLayout::pure_ttd(), &EncoderConfig::default())
+                .expect("well-formed");
+        assert!(!outcome.is_feasible(), "paper: pure TTD deadlocks");
+        assert!(report.stats.clauses > 0);
+    }
+
+    #[test]
+    fn running_example_generation_finds_a_layout() {
+        let scenario = fixtures::running_example();
+        let (outcome, _) =
+            generate(&scenario, &EncoderConfig::default()).expect("well-formed");
+        match outcome {
+            DesignOutcome::Solved { plan, costs } => {
+                assert!(costs[0] >= 1, "at least one virtual border is needed");
+                let inst = Instance::new(&scenario).expect("valid");
+                let sections = plan.section_count(&inst);
+                assert!(sections > 4, "more sections than pure TTD");
+            }
+            DesignOutcome::Infeasible => panic!("paper: generation succeeds"),
+        }
+    }
+
+    #[test]
+    fn generated_layout_verifies() {
+        let scenario = fixtures::running_example();
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let plan = outcome.plan().expect("feasible");
+        let (check, _) =
+            verify(&scenario, &plan.layout, &EncoderConfig::default()).expect("well-formed");
+        assert!(
+            check.is_feasible(),
+            "the generated layout must pass verification"
+        );
+    }
+
+    #[test]
+    fn running_example_optimization_beats_generation() {
+        let scenario = fixtures::running_example();
+        let (gen_outcome, _) =
+            generate(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let (opt_outcome, _) =
+            optimize(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let inst = Instance::new(&scenario).expect("valid");
+        let gen_steps = gen_outcome
+            .plan()
+            .expect("feasible")
+            .completion_steps(&inst);
+        match opt_outcome {
+            DesignOutcome::Solved { costs, plan } => {
+                let opt_steps = costs[0] as usize;
+                assert!(
+                    opt_steps <= gen_steps,
+                    "optimisation ({opt_steps}) must not be worse than generation ({gen_steps})"
+                );
+                assert!(plan.section_count(&inst) >= 4);
+            }
+            DesignOutcome::Infeasible => panic!("paper: optimisation succeeds"),
+        }
+    }
+
+    #[test]
+    fn full_vss_layout_makes_running_example_feasible() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let full = VssLayout::full(&inst.net);
+        let (outcome, _) =
+            verify(&scenario, &full, &EncoderConfig::default()).expect("well-formed");
+        assert!(
+            outcome.is_feasible(),
+            "the finest layout subsumes the generated one"
+        );
+    }
+}

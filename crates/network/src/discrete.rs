@@ -1,0 +1,706 @@
+//! Discretisation of a [`RailwayNetwork`] into the segment graph `G = (V, E)`
+//! of Section III-A of the paper.
+//!
+//! Every track is cut into segments of (at most) the spatial resolution
+//! `r_s`; segment endpoints become nodes, which are the *potential VSS
+//! borders*. The struct also provides the combinatorial queries the SAT
+//! encoding needs: `chains(l)`, `reachable(e, v)`, `between(e, f)` and
+//! `paths(e, f, v)`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::error::NetworkError;
+use crate::topology::{id_type, RailwayNetwork, StationId, TrackId, TtdId};
+use crate::units::Meters;
+
+id_type!(
+    /// A node of the discretised segment graph (a potential VSS border).
+    NodeId
+);
+id_type!(
+    /// An edge of the discretised segment graph (one track segment).
+    EdgeId
+);
+
+/// Classification of a segment-graph node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Degree-1 node at the edge of the modelled network (trains enter and
+    /// leave here).
+    Boundary,
+    /// Node where two TTD sections meet; by definition always a VSS border
+    /// (TTD borders carry physical axle counters).
+    TtdBorder,
+    /// Interior node — a *candidate* VSS border the design tasks may or may
+    /// not activate.
+    Interior,
+}
+
+/// One segment of the discretised network.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Owning TTD section.
+    pub ttd: TtdId,
+    /// Originating track.
+    pub track: TrackId,
+    /// Position of this segment within its track (0-based from the track's
+    /// `from` end).
+    pub offset: u32,
+}
+
+/// The discretised segment graph with the query operations the encoder
+/// needs.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::{NetworkBuilder, DiscreteNet, Meters};
+/// let mut b = NetworkBuilder::new();
+/// let a = b.node();
+/// let c = b.node();
+/// let t = b.track(a, c, Meters::from_km(1.5), "main");
+/// b.ttd("TTD1", [t]);
+/// let net = b.build()?;
+/// let disc = DiscreteNet::new(&net, Meters::from_km(0.5))?;
+/// assert_eq!(disc.num_edges(), 3);
+/// assert_eq!(disc.num_nodes(), 4);
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiscreteNet {
+    r_s: Meters,
+    kinds: Vec<NodeKind>,
+    segments: Vec<Segment>,
+    /// Incident edges per node.
+    node_edges: Vec<Vec<EdgeId>>,
+    /// Edges per TTD.
+    ttd_edges: Vec<Vec<EdgeId>>,
+    /// Edges per station.
+    station_edges: Vec<Vec<EdgeId>>,
+    /// Adjacent edges per edge (line-graph neighbourhood).
+    edge_neighbors: Vec<Vec<EdgeId>>,
+    /// Names for diagnostics: `track[i]`.
+    edge_names: Vec<String>,
+}
+
+impl DiscreteNet {
+    /// Discretises `net` with spatial resolution `r_s`.
+    ///
+    /// A track of length `l` becomes `ceil(l / r_s)` segments (at least 1);
+    /// the paper assumes track lengths are multiples of `r_s`, which all
+    /// bundled case studies satisfy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::BadResolution`] for a zero resolution and
+    /// [`NetworkError::CyclicTtd`] / [`NetworkError::DisconnectedTtd`] when
+    /// a TTD's segments do not form a tree (the paper's `between(e, f)`
+    /// needs a unique connecting chain).
+    pub fn new(net: &RailwayNetwork, r_s: Meters) -> Result<Self, NetworkError> {
+        if r_s == Meters::ZERO {
+            return Err(NetworkError::BadResolution {
+                reason: "spatial resolution must be positive".into(),
+            });
+        }
+        let mut kinds: Vec<NodeKind> = vec![NodeKind::Interior; net.num_nodes()];
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut edge_names: Vec<String> = Vec::new();
+        let mut num_nodes = net.num_nodes();
+
+        for (ti, track) in net.tracks().iter().enumerate() {
+            let track_id = TrackId::from_index(ti);
+            let count = track.length.div_ceil(r_s).max(1) as usize;
+            let mut prev = NodeId(track.from.0);
+            for i in 0..count {
+                let next = if i + 1 == count {
+                    NodeId(track.to.0)
+                } else {
+                    let n = NodeId::from_index(num_nodes);
+                    num_nodes += 1;
+                    kinds.push(NodeKind::Interior);
+                    n
+                };
+                segments.push(Segment {
+                    a: prev,
+                    b: next,
+                    ttd: net.ttd_of(track_id),
+                    track: track_id,
+                    offset: i as u32,
+                });
+                edge_names.push(format!("{}[{}]", track.name, i));
+                prev = next;
+            }
+        }
+
+        // Node adjacency and kinds.
+        let mut node_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); num_nodes];
+        for (ei, s) in segments.iter().enumerate() {
+            node_edges[s.a.index()].push(EdgeId::from_index(ei));
+            node_edges[s.b.index()].push(EdgeId::from_index(ei));
+        }
+        for (ni, incident) in node_edges.iter().enumerate() {
+            let mut ttds: Vec<TtdId> = incident.iter().map(|e| segments[e.index()].ttd).collect();
+            ttds.sort_unstable();
+            ttds.dedup();
+            kinds[ni] = if ttds.len() >= 2 {
+                NodeKind::TtdBorder
+            } else if incident.len() == 1 {
+                NodeKind::Boundary
+            } else {
+                NodeKind::Interior
+            };
+        }
+
+        // Per-TTD and per-station edge sets.
+        let mut ttd_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); net.ttds().len()];
+        for (ei, s) in segments.iter().enumerate() {
+            ttd_edges[s.ttd.index()].push(EdgeId::from_index(ei));
+        }
+        let mut station_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); net.stations().len()];
+        for (si, station) in net.stations().iter().enumerate() {
+            for (ei, s) in segments.iter().enumerate() {
+                if station.tracks.contains(&s.track) {
+                    station_edges[si].push(EdgeId::from_index(ei));
+                }
+            }
+        }
+
+        // Line-graph adjacency.
+        let mut edge_neighbors: Vec<Vec<EdgeId>> = vec![Vec::new(); segments.len()];
+        for (ni, incident) in node_edges.iter().enumerate() {
+            let _ = ni;
+            for (i, &e) in incident.iter().enumerate() {
+                for &f in incident.iter().skip(i + 1) {
+                    edge_neighbors[e.index()].push(f);
+                    edge_neighbors[f.index()].push(e);
+                }
+            }
+        }
+        for n in &mut edge_neighbors {
+            n.sort_unstable();
+            n.dedup();
+        }
+
+        let disc = DiscreteNet {
+            r_s,
+            kinds,
+            segments,
+            node_edges,
+            ttd_edges,
+            station_edges,
+            edge_neighbors,
+            edge_names,
+        };
+        disc.validate_ttd_shapes(net)?;
+        Ok(disc)
+    }
+
+    /// Each TTD's segment subgraph must be a connected tree for the paper's
+    /// `between(e, f)` chain to be unique.
+    fn validate_ttd_shapes(&self, net: &RailwayNetwork) -> Result<(), NetworkError> {
+        for (ti, edges) in self.ttd_edges.iter().enumerate() {
+            if edges.is_empty() {
+                continue;
+            }
+            let name = || net.ttds()[ti].name.clone();
+            // Count distinct nodes in the TTD subgraph.
+            let mut nodes: Vec<NodeId> = edges
+                .iter()
+                .flat_map(|&e| {
+                    let s = &self.segments[e.index()];
+                    [s.a, s.b]
+                })
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            if edges.len() + 1 < nodes.len() {
+                return Err(NetworkError::DisconnectedTtd { ttd: name() });
+            }
+            if edges.len() + 1 > nodes.len() {
+                return Err(NetworkError::CyclicTtd { ttd: name() });
+            }
+            // |E| = |V| - 1: connected iff acyclic; do a BFS to distinguish.
+            let reach = self.bfs_edges(edges[0], |e| self.segments[e.index()].ttd.index() == ti);
+            if reach.iter().filter(|d| d.is_some()).count() != edges.len() {
+                return Err(NetworkError::DisconnectedTtd { ttd: name() });
+            }
+        }
+        Ok(())
+    }
+
+    /// The spatial resolution this graph was built with.
+    pub fn resolution(&self) -> Meters {
+        self.r_s
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of edges (segments) `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// All segments, indexable by [`EdgeId`].
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The segment behind an edge id.
+    pub fn segment(&self, e: EdgeId) -> &Segment {
+        &self.segments[e.index()]
+    }
+
+    /// Kind of a node.
+    pub fn node_kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// All nodes that are candidate VSS borders (interior nodes).
+    pub fn border_candidates(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeKind::Interior)
+    }
+
+    /// All nodes that are *forced* VSS borders (TTD borders).
+    pub fn forced_borders(&self) -> Vec<NodeId> {
+        self.nodes_of_kind(NodeKind::TtdBorder)
+    }
+
+    fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == kind)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Edges incident to a node.
+    pub fn edges_at(&self, n: NodeId) -> &[EdgeId] {
+        &self.node_edges[n.index()]
+    }
+
+    /// Edges adjacent to an edge (sharing a node).
+    pub fn neighbors(&self, e: EdgeId) -> &[EdgeId] {
+        &self.edge_neighbors[e.index()]
+    }
+
+    /// Edges of a TTD section.
+    pub fn ttd_edges(&self, t: TtdId) -> &[EdgeId] {
+        &self.ttd_edges[t.index()]
+    }
+
+    /// Edges of a station.
+    pub fn station_edges(&self, s: StationId) -> &[EdgeId] {
+        &self.station_edges[s.index()]
+    }
+
+    /// The node shared by two adjacent edges, if any.
+    pub fn shared_node(&self, e: EdgeId, f: EdgeId) -> Option<NodeId> {
+        let se = self.segment(e);
+        let sf = self.segment(f);
+        [se.a, se.b]
+            .into_iter()
+            .find(|n| *n == sf.a || *n == sf.b)
+    }
+
+    /// Diagnostic name of an edge (`track[i]`).
+    pub fn edge_name(&self, e: EdgeId) -> &str {
+        &self.edge_names[e.index()]
+    }
+
+    /// BFS distances (in line-graph hops) from `from` over edges accepted by
+    /// `filter`; `None` marks unreachable edges.
+    pub fn bfs_edges(&self, from: EdgeId, filter: impl Fn(EdgeId) -> bool) -> Vec<Option<u32>> {
+        let mut dist: Vec<Option<u32>> = vec![None; self.segments.len()];
+        if !filter(from) {
+            return dist;
+        }
+        dist[from.index()] = Some(0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(e) = queue.pop_front() {
+            let d = dist[e.index()].expect("queued edges have distances");
+            for &f in &self.edge_neighbors[e.index()] {
+                if dist[f.index()].is_none() && filter(f) {
+                    dist[f.index()] = Some(d + 1);
+                    queue.push_back(f);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Unrestricted BFS distances from `from` (see [`DiscreteNet::bfs_edges`]).
+    pub fn edge_distances(&self, from: EdgeId) -> Vec<Option<u32>> {
+        self.bfs_edges(from, |_| true)
+    }
+
+    /// `reachable(e, v)` of the paper: all edges within `v` hops of `e`,
+    /// including `e` itself.
+    pub fn reachable(&self, e: EdgeId, v: u32) -> Vec<EdgeId> {
+        self.edge_distances(e)
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d, Some(x) if *x <= v))
+            .map(|(i, _)| EdgeId::from_index(i))
+            .collect()
+    }
+
+    /// `chains(l)` of the paper: all simple paths of exactly `l` edges, in a
+    /// canonical orientation (each chain is reported once, not once per
+    /// direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`; a train always occupies at least one segment.
+    pub fn chains(&self, l: usize) -> Vec<Vec<EdgeId>> {
+        assert!(l >= 1, "chains of zero length are meaningless");
+        let mut out: Vec<Vec<EdgeId>> = Vec::new();
+        for start in 0..self.segments.len() {
+            let start = EdgeId::from_index(start);
+            let s = self.segment(start);
+            // Grow from `start` in both directions; a chain is a simple path
+            // in nodes as well as edges (a train is a linear object and
+            // cannot wrap around a loop of parallel tracks).
+            let mut stack: Vec<(Vec<EdgeId>, Vec<NodeId>, NodeId)> = vec![
+                (vec![start], vec![s.a, s.b], s.b),
+                (vec![start], vec![s.a, s.b], s.a),
+            ];
+            while let Some((chain, visited, frontier)) = stack.pop() {
+                if chain.len() == l {
+                    // Keep only the canonical traversal direction.
+                    if chain.first() <= chain.last() {
+                        out.push(chain);
+                    }
+                    continue;
+                }
+                for &next in self.edges_at(frontier) {
+                    if chain.contains(&next) {
+                        continue;
+                    }
+                    let sn = self.segment(next);
+                    let far = if sn.a == frontier { sn.b } else { sn.a };
+                    if visited.contains(&far) {
+                        continue;
+                    }
+                    let mut grown = chain.clone();
+                    grown.push(next);
+                    let mut vis = visited.clone();
+                    vis.push(far);
+                    stack.push((grown, vis, far));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// `between(e, f)` of the paper: the nodes crossed by the unique chain
+    /// connecting `e` and `f` inside their common TTD. Returns `None` when
+    /// the edges are in different TTDs (they are separated by a TTD border
+    /// anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e == f` (no chain connects an edge to itself) — callers
+    /// handle same-edge conflicts separately.
+    pub fn between(&self, e: EdgeId, f: EdgeId) -> Option<Vec<NodeId>> {
+        assert_ne!(e, f, "between(e, e) is undefined");
+        let ttd = self.segment(e).ttd;
+        if self.segment(f).ttd != ttd {
+            return None;
+        }
+        // BFS within the TTD from e to f, tracking parents. The TTD is a
+        // tree (validated at construction) so the path is unique.
+        let mut parent: Vec<Option<EdgeId>> = vec![None; self.segments.len()];
+        let mut seen = vec![false; self.segments.len()];
+        seen[e.index()] = true;
+        let mut queue = VecDeque::from([e]);
+        while let Some(g) = queue.pop_front() {
+            if g == f {
+                break;
+            }
+            for &h in &self.edge_neighbors[g.index()] {
+                if !seen[h.index()] && self.segment(h).ttd == ttd {
+                    seen[h.index()] = true;
+                    parent[h.index()] = Some(g);
+                    queue.push_back(h);
+                }
+            }
+        }
+        if !seen[f.index()] {
+            // Disconnected TTD is rejected at construction; defensive.
+            return Some(Vec::new());
+        }
+        // Walk back from f to e collecting shared nodes.
+        let mut nodes = Vec::new();
+        let mut cur = f;
+        while let Some(p) = parent[cur.index()] {
+            let shared = self
+                .shared_node(cur, p)
+                .expect("BFS parents are adjacent");
+            nodes.push(shared);
+            cur = p;
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+
+    /// `paths(e, f, v)` of the paper: every edge that lies on some
+    /// `≤ v`-hop route from `e` to `f` — i.e. all `g` with
+    /// `d(e, g) + d(g, f) ≤ v`. Includes `e` and `f` themselves.
+    pub fn path_edges(&self, e: EdgeId, f: EdgeId, v: u32) -> Vec<EdgeId> {
+        let de = self.edge_distances(e);
+        let df = self.edge_distances(f);
+        (0..self.segments.len())
+            .filter(|&g| match (de[g], df[g]) {
+                (Some(a), Some(b)) => a + b <= v,
+                _ => false,
+            })
+            .map(EdgeId::from_index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NetworkBuilder;
+
+    fn km(x: f64) -> Meters {
+        Meters::from_km(x)
+    }
+
+    /// A — 3 segments — P, branch P — 2 segments — C, P — 2 segments — B.
+    fn branched() -> (RailwayNetwork, DiscreteNet) {
+        let mut b = NetworkBuilder::new();
+        let a = b.node();
+        let p = b.node();
+        let c = b.node();
+        let bb = b.node();
+        let t1 = b.track(a, p, km(1.5), "ap");
+        let t2 = b.track(p, c, km(1.0), "pc");
+        let t3 = b.track(p, bb, km(1.0), "pb");
+        b.ttd("TTD1", [t1]);
+        b.ttd("TTD2", [t2]);
+        b.ttd("TTD3", [t3]);
+        b.station("A", [t1], true);
+        let net = b.build().expect("valid");
+        let disc = DiscreteNet::new(&net, km(0.5)).expect("discretises");
+        (net, disc)
+    }
+
+    #[test]
+    fn segment_counts() {
+        let (_, d) = branched();
+        assert_eq!(d.num_edges(), 3 + 2 + 2);
+        // 4 topo nodes + 2 + 1 + 1 interior division points
+        assert_eq!(d.num_nodes(), 8);
+    }
+
+    #[test]
+    fn node_kinds_classified() {
+        let (_, d) = branched();
+        let kinds: Vec<NodeKind> = (0..d.num_nodes())
+            .map(|i| d.node_kind(NodeId::from_index(i)))
+            .collect();
+        // Topology nodes 0..4: A boundary, P ttd border, C boundary, B boundary.
+        assert_eq!(kinds[0], NodeKind::Boundary);
+        assert_eq!(kinds[1], NodeKind::TtdBorder);
+        assert_eq!(kinds[2], NodeKind::Boundary);
+        assert_eq!(kinds[3], NodeKind::Boundary);
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == NodeKind::Interior).count(),
+            4
+        );
+        assert_eq!(d.forced_borders(), vec![NodeId(1)]);
+        assert_eq!(d.border_candidates().len(), 4);
+    }
+
+    #[test]
+    fn short_track_still_gets_one_segment() {
+        let mut b = NetworkBuilder::new();
+        let a = b.node();
+        let c = b.node();
+        let t = b.track(a, c, Meters(100), "stub");
+        b.ttd("TTD1", [t]);
+        let net = b.build().expect("valid");
+        let d = DiscreteNet::new(&net, km(0.5)).expect("discretises");
+        assert_eq!(d.num_edges(), 1);
+    }
+
+    #[test]
+    fn zero_resolution_rejected() {
+        let (net, _) = branched();
+        assert!(matches!(
+            DiscreteNet::new(&net, Meters::ZERO),
+            Err(NetworkError::BadResolution { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_ttd_rejected() {
+        let mut b = NetworkBuilder::new();
+        let a = b.node();
+        let c = b.node();
+        let t1 = b.track(a, c, km(0.5), "t1");
+        let t2 = b.track(a, c, km(0.5), "t2");
+        b.ttd("TTD1", [t1, t2]);
+        let net = b.build().expect("valid");
+        assert!(matches!(
+            DiscreteNet::new(&net, km(0.5)),
+            Err(NetworkError::CyclicTtd { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_tracks_in_separate_ttds_accepted() {
+        let mut b = NetworkBuilder::new();
+        let a = b.node();
+        let c = b.node();
+        let t1 = b.track(a, c, km(0.5), "t1");
+        let t2 = b.track(a, c, km(0.5), "t2");
+        b.ttd("TTD1", [t1]);
+        b.ttd("TTD2", [t2]);
+        let net = b.build().expect("valid");
+        let d = DiscreteNet::new(&net, km(0.5)).expect("two separate loops");
+        // Both endpoints join two TTDs.
+        assert_eq!(d.forced_borders().len(), 2);
+    }
+
+    #[test]
+    fn reachable_includes_self_and_respects_radius() {
+        let (_, d) = branched();
+        let e0 = EdgeId(0); // first segment from A
+        let r0 = d.reachable(e0, 0);
+        assert_eq!(r0, vec![e0]);
+        let r1 = d.reachable(e0, 1);
+        assert_eq!(r1.len(), 2);
+        let rall = d.reachable(e0, 10);
+        assert_eq!(rall.len(), d.num_edges());
+    }
+
+    #[test]
+    fn reachable_branches_at_points() {
+        let (_, d) = branched();
+        // Edge 2 is the last ap segment, adjacent to P: one hop reaches both
+        // branch edges (3: first pc, 5: first pb) and edge 1.
+        let r = d.reachable(EdgeId(2), 1);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn chains_of_length_one_are_edges() {
+        let (_, d) = branched();
+        assert_eq!(d.chains(1).len(), d.num_edges());
+    }
+
+    #[test]
+    fn chains_of_length_two_cover_adjacencies_once() {
+        let (_, d) = branched();
+        let chains = d.chains(2);
+        // ap: (0,1),(1,2); pc: (3,4); pb: (5,6); across P: (2,3),(2,5),(3,5)
+        assert_eq!(chains.len(), 7);
+        for c in &chains {
+            assert_eq!(c.len(), 2);
+            assert!(d.shared_node(c[0], c[1]).is_some());
+        }
+        // No duplicates in either orientation.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &chains {
+            let mut key = c.clone();
+            key.sort();
+            assert!(seen.insert(key), "chain listed twice: {c:?}");
+        }
+    }
+
+    #[test]
+    fn chains_do_not_revisit_edges() {
+        let (_, d) = branched();
+        for l in 1..=4 {
+            for c in d.chains(l) {
+                let mut u = c.clone();
+                u.sort();
+                u.dedup();
+                assert_eq!(u.len(), c.len(), "chain revisits an edge: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn between_same_ttd_path() {
+        let (_, d) = branched();
+        // Edges 0 and 2 in TTD1: path crosses the two interior nodes.
+        let nodes = d.between(EdgeId(0), EdgeId(2)).expect("same ttd");
+        assert_eq!(nodes.len(), 2);
+        for n in nodes {
+            assert_eq!(d.node_kind(n), NodeKind::Interior);
+        }
+        // Adjacent edges share exactly one crossing node.
+        let nodes = d.between(EdgeId(0), EdgeId(1)).expect("same ttd");
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn between_cross_ttd_is_none() {
+        let (_, d) = branched();
+        assert_eq!(d.between(EdgeId(0), EdgeId(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "between(e, e)")]
+    fn between_same_edge_panics() {
+        let (_, d) = branched();
+        d.between(EdgeId(0), EdgeId(0));
+    }
+
+    #[test]
+    fn path_edges_contains_endpoints_and_midpoints() {
+        let (_, d) = branched();
+        // From edge 0 to edge 2 with speed 2: exactly the ap track.
+        let p = d.path_edges(EdgeId(0), EdgeId(2), 2);
+        assert_eq!(p, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        // With a bigger budget, detours through the branch appear.
+        let p = d.path_edges(EdgeId(0), EdgeId(2), 4);
+        assert!(p.len() > 3);
+    }
+
+    #[test]
+    fn path_edges_unreachable_budget_is_empty() {
+        let (_, d) = branched();
+        assert!(d.path_edges(EdgeId(0), EdgeId(2), 1).is_empty());
+    }
+
+    #[test]
+    fn station_and_ttd_edges() {
+        let (net, d) = branched();
+        let s = net.station_by_name("A").expect("exists");
+        assert_eq!(d.station_edges(s).len(), 3);
+        assert_eq!(d.ttd_edges(TtdId(0)).len(), 3);
+        assert_eq!(d.ttd_edges(TtdId(1)).len(), 2);
+    }
+
+    #[test]
+    fn edge_names_are_descriptive() {
+        let (_, d) = branched();
+        assert_eq!(d.edge_name(EdgeId(0)), "ap[0]");
+        assert_eq!(d.edge_name(EdgeId(4)), "pc[1]");
+    }
+
+    #[test]
+    fn bfs_respects_filter() {
+        let (_, d) = branched();
+        // Restrict to TTD1: branch edges unreachable.
+        let dist = d.bfs_edges(EdgeId(0), |e| d.segment(e).ttd == TtdId(0));
+        assert_eq!(dist[2], Some(2));
+        assert_eq!(dist[3], None);
+    }
+}

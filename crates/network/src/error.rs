@@ -1,0 +1,110 @@
+//! Error types for network construction and discretisation.
+
+use std::fmt;
+
+/// Error raised while building or discretising a railway network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A track references a node that was never declared.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// A track has zero length.
+    EmptyTrack {
+        /// The offending track name.
+        track: String,
+    },
+    /// A track is assigned to no TTD or to more than one TTD.
+    TtdCoverage {
+        /// The offending track name.
+        track: String,
+        /// Number of TTDs claiming the track.
+        count: usize,
+    },
+    /// A station references a track that was never declared.
+    UnknownTrack {
+        /// The offending track index.
+        track: usize,
+    },
+    /// The network graph is not connected.
+    Disconnected,
+    /// Two entities share a name that must be unique.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// The spatial resolution is zero or larger than every track.
+    BadResolution {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A TTD's segment subgraph contains a cycle, so "the chain between two
+    /// occupied segments" (the paper's `between(e, f)`) is not unique.
+    CyclicTtd {
+        /// The offending TTD name.
+        ttd: String,
+    },
+    /// A TTD's tracks do not form one contiguous piece of the network.
+    DisconnectedTtd {
+        /// The offending TTD name.
+        ttd: String,
+    },
+    /// A schedule entry references an unknown station or train.
+    UnknownReference {
+        /// Human-readable description of the dangling reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            NetworkError::EmptyTrack { track } => write!(f, "track `{track}` has zero length"),
+            NetworkError::TtdCoverage { track, count } => write!(
+                f,
+                "track `{track}` is covered by {count} TTDs (every track needs exactly one)"
+            ),
+            NetworkError::UnknownTrack { track } => write!(f, "unknown track index {track}"),
+            NetworkError::Disconnected => write!(f, "network graph is not connected"),
+            NetworkError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            NetworkError::BadResolution { reason } => {
+                write!(f, "invalid spatial resolution: {reason}")
+            }
+            NetworkError::CyclicTtd { ttd } => write!(
+                f,
+                "TTD `{ttd}` contains a cycle; VSS border placement between trains is ambiguous"
+            ),
+            NetworkError::DisconnectedTtd { ttd } => {
+                write!(f, "TTD `{ttd}` is not contiguous")
+            }
+            NetworkError::UnknownReference { what } => write!(f, "unknown reference: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(format!("{}", NetworkError::Disconnected).contains("not connected"));
+        assert!(format!(
+            "{}",
+            NetworkError::TtdCoverage {
+                track: "t1".into(),
+                count: 0
+            }
+        )
+        .contains("t1"));
+        assert!(format!(
+            "{}",
+            NetworkError::CyclicTtd { ttd: "TTD3".into() }
+        )
+        .contains("TTD3"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The "Complex Layout" case study (Fig. 4b): six stations connected in a
+//! branched topology — a west–east main line A–B–C–D with a northern branch
+//! to E at B and a southern branch to F at C. B and C are two-track
+//! crossing loops; A, D, E, F are boundary stations.
+//!
+//! Three eastbound trains (two from A, one from E) meet three westbound
+//! trains (two to A, one to F) on the shared B–C corridor. Under pure TTD
+//! operation each 2 km loop track holds a single train, so the convoys
+//! cannot clear each other in time; VSS borders subdivide the loops and
+//! the corridor.
+
+use crate::schedule::{Schedule, TrainRun};
+use crate::scenario::Scenario;
+use crate::topology::NetworkBuilder;
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// Builds the complex-layout scenario
+/// (`r_s = 1 km`, `r_t = 3 min`, 60-minute horizon).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::fixtures::complex_layout;
+/// let s = complex_layout();
+/// assert_eq!(s.network.stations().len(), 6);
+/// assert_eq!(s.schedule.len(), 6);
+/// ```
+pub fn complex_layout() -> Scenario {
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+
+    // Boundary ends (A and D are two-track terminus stations).
+    let a_end = b.node();
+    let a_end2 = b.node();
+    let d_end = b.node();
+    let d_end2 = b.node();
+    let e_end = b.node();
+    let f_end = b.node();
+    // Main-line junctions and link midpoints.
+    let pa = b.node(); // east end of station A track
+    let m_ab = b.node(); // A-B midpoint (TTD border)
+    let pb_w = b.node(); // west point of loop B
+    let pb_e = b.node(); // east point of loop B
+    let m_bc1 = b.node(); // B-C at one third
+    let m_bc2 = b.node(); // B-C at two thirds
+    let pc_w = b.node(); // west point of loop C
+    let pc_e = b.node(); // east point of loop C
+    let m_cd = b.node(); // C-D midpoint
+    let pd = b.node(); // west end of station D track
+    let pe = b.node(); // south end of station E track
+    let m_be = b.node(); // B-E midpoint
+    let pf = b.node(); // north end of station F track
+    let m_cf = b.node(); // C-F midpoint
+
+    // Station tracks.
+    let st_a_tr = b.track(a_end, pa, km(1.0), "A-1");
+    let st_a_tr2 = b.track(a_end2, pa, km(1.0), "A-2");
+    let st_d_tr = b.track(pd, d_end, km(1.0), "D-1");
+    let st_d_tr2 = b.track(pd, d_end2, km(1.0), "D-2");
+    let st_e_tr = b.track(pe, e_end, km(1.0), "E");
+    let st_f_tr = b.track(pf, f_end, km(1.0), "F");
+    let st_b_a = b.track(pb_w, pb_e, km(3.0), "B-loop-a");
+    let st_b_b = b.track(pb_w, pb_e, km(3.0), "B-loop-b");
+    let st_c_a = b.track(pc_w, pc_e, km(3.0), "C-loop-a");
+    let st_c_b = b.track(pc_w, pc_e, km(3.0), "C-loop-b");
+
+    // Links, pre-split at TTD borders.
+    let l_ab1 = b.track(pa, m_ab, km(3.0), "A-B.1");
+    let l_ab2 = b.track(m_ab, pb_w, km(3.0), "A-B.2");
+    let l_bc1 = b.track(pb_e, m_bc1, km(4.0), "B-C.1");
+    let l_bc2 = b.track(m_bc1, m_bc2, km(4.0), "B-C.2");
+    let l_bc3 = b.track(m_bc2, pc_w, km(4.0), "B-C.3");
+    let l_cd1 = b.track(pc_e, m_cd, km(3.0), "C-D.1");
+    let l_cd2 = b.track(m_cd, pd, km(3.0), "C-D.2");
+    let l_be1 = b.track(pb_e, m_be, km(2.0), "B-E.1");
+    let l_be2 = b.track(m_be, pe, km(3.0), "B-E.2");
+    let l_cf1 = b.track(pc_w, m_cf, km(2.0), "C-F.1");
+    let l_cf2 = b.track(m_cf, pf, km(3.0), "C-F.2");
+
+    for (name, track) in [
+        ("TTD-Aa", st_a_tr),
+        ("TTD-Ab", st_a_tr2),
+        ("TTD-Da", st_d_tr),
+        ("TTD-Db", st_d_tr2),
+        ("TTD-E", st_e_tr),
+        ("TTD-F", st_f_tr),
+        ("TTD-Ba", st_b_a),
+        ("TTD-Bb", st_b_b),
+        ("TTD-Ca", st_c_a),
+        ("TTD-Cb", st_c_b),
+    ] {
+        b.ttd(name, [track]);
+    }
+    // Long single-track links are each one coarse TTD — the very situation
+    // ETCS Level 3 is meant to improve.
+    b.ttd("TTD-AB", [l_ab1, l_ab2]);
+    b.ttd("TTD-BC", [l_bc1, l_bc2, l_bc3]);
+    b.ttd("TTD-CD", [l_cd1, l_cd2]);
+    b.ttd("TTD-BE", [l_be1, l_be2]);
+    b.ttd("TTD-CF", [l_cf1, l_cf2]);
+
+    let st_a = b.station("A", [st_a_tr, st_a_tr2], true);
+    let _st_b = b.station("B", [st_b_a, st_b_b], false);
+    let _st_c = b.station("C", [st_c_a, st_c_b], false);
+    let st_d = b.station("D", [st_d_tr, st_d_tr2], true);
+    let _st_e = b.station("E", [st_e_tr], true);
+    let st_f = b.station("F", [st_f_tr], true);
+
+    let network = b.build().expect("complex layout topology is valid");
+
+    let min = Seconds::from_minutes;
+    // 80 km/h regionals advance 4 segments per 3-minute step.
+    let regional = |name: &str| Train::new(name, Meters(250), KmPerHour(80));
+
+    let schedule = Schedule::new(vec![
+        TrainRun::new(regional("East 1"), st_a, st_d, min(0), Some(min(54))),
+        TrainRun::new(regional("West 1"), st_d, st_a, min(0), Some(min(54))),
+        TrainRun::new(regional("East 2"), st_a, st_d, min(3), Some(min(54))),
+        TrainRun::new(regional("West 2"), st_d, st_a, min(3), Some(min(54))),
+        TrainRun::new(regional("East 3"), st_a, st_d, min(6), Some(min(54))),
+        TrainRun::new(regional("West 3"), st_d, st_f, min(6), Some(min(54))),
+    ]);
+
+    Scenario {
+        name: "Complex Layout".into(),
+        network,
+        schedule,
+        r_s: km(1.0),
+        r_t: Seconds::from_minutes(3),
+        horizon: Seconds::from_minutes(60),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::VssLayout;
+
+    #[test]
+    fn shape_matches_fig_4b() {
+        let s = complex_layout();
+        assert_eq!(s.network.stations().len(), 6);
+        assert_eq!(s.network.ttds().len(), 15);
+        s.validate().expect("schedule is valid");
+    }
+
+    #[test]
+    fn discretises() {
+        let s = complex_layout();
+        let d = s.discretise().expect("discretises");
+        // 6 boundary tracks (1 km) + 4 loop tracks (3 km) + 34 km of links.
+        assert_eq!(d.num_edges(), 6 + 12 + 34);
+        assert_eq!(VssLayout::pure_ttd().section_count(&d), 15);
+    }
+
+    #[test]
+    fn branch_routes_share_the_corridor() {
+        let s = complex_layout();
+        let d = s.discretise().expect("discretises");
+        let e = s.network.station_by_name("E").expect("exists");
+        let f = s.network.station_by_name("F").expect("exists");
+        let from = d.station_edges(e)[0];
+        let to = d.station_edges(f)[0];
+        assert!(d.edge_distances(from)[to.index()].is_some());
+    }
+
+    #[test]
+    fn horizon_and_steps() {
+        let s = complex_layout();
+        assert_eq!(s.t_max(), 21);
+    }
+}

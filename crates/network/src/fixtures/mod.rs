@@ -1,0 +1,46 @@
+//! The paper's four case-study scenarios (Section IV, Fig. 1 and Fig. 4).
+//!
+//! The paper publishes drawings, TTD counts, train tables and headline
+//! numbers but not exact geometries; these fixtures reconstruct networks
+//! consistent with everything the paper states (see DESIGN.md §5). All
+//! fixtures are deterministic — [`nordlandsbanen`] synthesises its
+//! inter-station distances from a fixed seed.
+
+mod complex_layout;
+mod nordlandsbanen;
+mod running_example;
+mod simple_layout;
+
+pub use complex_layout::complex_layout;
+pub use nordlandsbanen::{nordlandsbanen, NORDLANDSBANEN_STATIONS};
+pub use running_example::running_example;
+pub use simple_layout::simple_layout;
+
+/// All four case studies in Table I order.
+pub fn all() -> Vec<crate::Scenario> {
+    vec![
+        running_example(),
+        simple_layout(),
+        complex_layout(),
+        nordlandsbanen(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_returns_table_one_order() {
+        let names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Running Example",
+                "Simple Layout",
+                "Complex Layout",
+                "Nordlandsbanen"
+            ]
+        );
+    }
+}

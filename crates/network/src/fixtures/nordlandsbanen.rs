@@ -1,0 +1,310 @@
+//! The Nordlandsbanen case study: a real-life-inspired reconstruction of
+//! the Norwegian line from Trondheim to Bodø — 58 stations and 822 km of
+//! track, operated as a single-track line with two-track crossing loops at
+//! a subset of stations.
+//!
+//! The paper publishes only the station count and total length; the
+//! inter-station distances here are synthesised deterministically (fixed
+//! seed, no RNG dependency) and scaled so the total trackage is exactly
+//! 822 km. Remote stretches share long TTD sections, mirroring the paper's
+//! 51 pure-TTD sections.
+
+use crate::schedule::{Schedule, TrainRun};
+use crate::scenario::Scenario;
+use crate::topology::{NetworkBuilder, TrackId};
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// The 58 stations from Trondheim to Bodø (south to north). The real line
+/// has fewer regular stops; historic halts pad the list to the paper's 58.
+pub const NORDLANDSBANEN_STATIONS: [&str; 58] = [
+    "Trondheim",
+    "Leangen",
+    "Vikhammer",
+    "Hommelvik",
+    "Hell",
+    "Værnes",
+    "Stjørdal",
+    "Skatval",
+    "Langstein",
+    "Åsen",
+    "Ronglan",
+    "Skogn",
+    "Levanger",
+    "Bergsgrav",
+    "Verdal",
+    "Røra",
+    "Sparbu",
+    "Steinkjer",
+    "Sunnan",
+    "Starrgrasmyra",
+    "Jørstad",
+    "Snåsa",
+    "Agle",
+    "Grong",
+    "Harran",
+    "Lassemoen",
+    "Namsskogan",
+    "Brekkvasselv",
+    "Majavatn",
+    "Svenningdal",
+    "Trofors",
+    "Laksfors",
+    "Eiterstraum",
+    "Mosjøen",
+    "Drevvatn",
+    "Elsfjord",
+    "Bjerka",
+    "Finneidfjord",
+    "Mo i Rana",
+    "Skonseng",
+    "Ørtfjell",
+    "Dunderland",
+    "Bolna",
+    "Stødi",
+    "Lønsdal",
+    "Røkland",
+    "Rognan",
+    "Setså",
+    "Finneid",
+    "Fauske",
+    "Valnesfjord",
+    "Oteråga",
+    "Tverlandet",
+    "Mørkved",
+    "Støver",
+    "Hunstad",
+    "Bodø Sør",
+    "Bodø",
+];
+
+/// Indices of the stations that are two-track crossing loops. Index 0
+/// (Trondheim) and 57 (Bodø) are boundary yards instead.
+const CROSSING_LOOPS: [usize; 10] = [4, 9, 17, 23, 28, 33, 38, 44, 49, 53];
+
+/// Deterministic pseudo-random stream (xorshift), so the fixture needs no
+/// RNG dependency and is bit-identical across runs.
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// Track budget (all in km): 2 terminus yards of 5, 10 loops of 2 × 5,
+/// 46 plain-station platforms of 5, and 57 links making up the rest of the
+/// 822 km total.
+const LINK_BUDGET_KM: u64 = 822 - 2 * 5 - 10 * 10 - 46 * 5;
+
+/// Synthesises the 57 link lengths (km, multiples of 5, minimum 5) summing
+/// to [`LINK_BUDGET_KM`] up to one remainder link.
+fn link_lengths_km() -> Vec<u64> {
+    const NUM_LINKS: u64 = 57;
+    let mut seed = 0x5eed_ba5e_u64 | 1;
+    let raw: Vec<u64> = (0..NUM_LINKS).map(|_| 1 + xorshift(&mut seed) % 3).collect();
+    let raw_sum: u64 = raw.iter().sum();
+    let mut lengths: Vec<u64> = raw
+        .iter()
+        .map(|&w| ((w * LINK_BUDGET_KM / raw_sum) / 5).max(1) * 5)
+        .collect();
+    // Fix rounding drift on the longest link (may leave it a non-multiple
+    // of 5; discretisation rounds that single segment up).
+    let current: u64 = lengths.iter().sum();
+    let longest = (0..NUM_LINKS as usize)
+        .max_by_key(|&i| lengths[i])
+        .expect("links exist");
+    lengths[longest] = lengths[longest] + LINK_BUDGET_KM - current;
+    lengths
+}
+
+/// Builds the Nordlandsbanen scenario
+/// (`r_s = 5 km`, `r_t = 5 min`, 340-minute horizon).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::fixtures::nordlandsbanen;
+/// let s = nordlandsbanen();
+/// assert_eq!(s.network.stations().len(), 58);
+/// assert_eq!(s.network.total_length().as_km(), 822.0);
+/// ```
+pub fn nordlandsbanen() -> Scenario {
+    let km = |x: u64| Meters::from_km(x as f64);
+    let lengths = link_lengths_km();
+    let mut b = NetworkBuilder::new();
+
+    let mut ttd_counter = 0usize;
+    // Plain-line tracks accumulate until a crossing loop closes the TTD;
+    // remote stretches are chunked so one TTD covers at most 3 tracks.
+    let mut open_line: Vec<TrackId> = Vec::new();
+
+    macro_rules! close_ttd {
+        ($tracks:expr) => {{
+            ttd_counter += 1;
+            b.ttd(format!("TTD{ttd_counter}"), $tracks);
+        }};
+    }
+    macro_rules! flush_line {
+        () => {{
+            let pending = std::mem::take(&mut open_line);
+            for chunk in pending.chunks(3) {
+                close_ttd!(chunk.to_vec());
+            }
+        }};
+    }
+
+    // Terminus Trondheim.
+    let yard_end = b.node();
+    let mut prev = b.node();
+    let yard = b.track(yard_end, prev, km(5), "Trondheim-yard");
+    close_ttd!([yard]);
+    b.station(NORDLANDSBANEN_STATIONS[0], [yard], true);
+
+    for i in 1..58 {
+        let name = NORDLANDSBANEN_STATIONS[i];
+        let link_km = lengths[i - 1];
+        if i == 57 {
+            // Terminus Bodø.
+            let west = b.node();
+            let link = b.track(prev, west, km(link_km), format!("line-{i}"));
+            open_line.push(link);
+            flush_line!();
+            let end = b.node();
+            let yard = b.track(west, end, km(5), "Bodø-yard");
+            close_ttd!([yard]);
+            b.station(name, [yard], true);
+        } else if CROSSING_LOOPS.contains(&i) {
+            let west = b.node();
+            let link = b.track(prev, west, km(link_km), format!("line-{i}"));
+            open_line.push(link);
+            flush_line!();
+            let east = b.node();
+            let loop_a = b.track(west, east, km(5), format!("{name}-a"));
+            let loop_b = b.track(west, east, km(5), format!("{name}-b"));
+            close_ttd!([loop_a]);
+            close_ttd!([loop_b]);
+            b.station(name, [loop_a, loop_b], false);
+            prev = east;
+        } else {
+            // Plain station: link then a 5 km platform track on the line.
+            let mid = b.node();
+            let next = b.node();
+            let link = b.track(prev, mid, km(link_km), format!("line-{i}"));
+            let platform = b.track(mid, next, km(5), format!("{name}-platform"));
+            open_line.push(link);
+            open_line.push(platform);
+            b.station(name, [platform], false);
+            prev = next;
+        }
+    }
+
+    let network = b.build().expect("nordlandsbanen topology is valid");
+
+    let trondheim = network.station_by_name("Trondheim").expect("exists");
+    let bodo = network.station_by_name("Bodø").expect("exists");
+    let mosjoen = network.station_by_name("Mosjøen").expect("exists");
+    let mo = network.station_by_name("Mo i Rana").expect("exists");
+
+    let min = Seconds::from_minutes;
+    // 180 km/h day trains advance 3 segments per 5-minute step; 120 km/h
+    // freights advance 2.
+    let day_train = |name: &str| Train::new(name, Meters(200), KmPerHour(180));
+    let freight = |name: &str| Train::new(name, Meters(600), KmPerHour(120));
+
+    // The freights leave first; the faster day trains catch up mid-line
+    // and must overtake at crossing loops.
+    let schedule = Schedule::new(vec![
+        TrainRun::new(freight("Freight North"), trondheim, mo, min(0), Some(min(315))),
+        TrainRun::new(freight("Freight South"), bodo, mosjoen, min(0), Some(min(315))),
+        TrainRun::new(day_train("Day North"), trondheim, bodo, min(30), Some(min(320))),
+        TrainRun::new(day_train("Day South"), bodo, trondheim, min(30), Some(min(320))),
+    ]);
+
+    Scenario {
+        name: "Nordlandsbanen".into(),
+        network,
+        schedule,
+        r_s: km(5),
+        r_t: Seconds::from_minutes(5),
+        horizon: Seconds::from_minutes(340),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_58_stations_and_822_km() {
+        let s = nordlandsbanen();
+        assert_eq!(s.network.stations().len(), 58);
+        assert_eq!(s.network.total_length(), Meters::from_km(822.0));
+    }
+
+    #[test]
+    fn termini_are_boundaries_rest_interior() {
+        let s = nordlandsbanen();
+        for (i, st) in s.network.stations().iter().enumerate() {
+            assert_eq!(
+                st.boundary,
+                i == 0 || i == 57,
+                "station {} boundary flag",
+                st.name
+            );
+        }
+    }
+
+    #[test]
+    fn ten_crossing_loops() {
+        let s = nordlandsbanen();
+        let loops = s
+            .network
+            .stations()
+            .iter()
+            .filter(|st| st.tracks.len() == 2)
+            .count();
+        assert_eq!(loops, 10);
+    }
+
+    #[test]
+    fn link_lengths_are_deterministic_and_quantised() {
+        let a = link_lengths_km();
+        let b = link_lengths_km();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 57);
+        assert!(a.iter().all(|&l| l >= 5));
+        assert_eq!(a.iter().sum::<u64>(), LINK_BUDGET_KM);
+    }
+
+    #[test]
+    fn validates_and_discretises() {
+        let s = nordlandsbanen();
+        s.validate().expect("schedule is valid");
+        let d = s.discretise().expect("discretises");
+        // 822 km of track at 5 km per segment, with at most one link
+        // rounded up.
+        let expected: u64 = s
+            .network
+            .tracks()
+            .iter()
+            .map(|t| t.length.div_ceil(s.r_s))
+            .sum();
+        assert_eq!(d.num_edges() as u64, expected);
+        assert!((164..=170).contains(&d.num_edges()));
+    }
+
+    #[test]
+    fn ttd_count_matches_paper_scale() {
+        let s = nordlandsbanen();
+        // The paper reports 51 pure-TTD sections; the reconstruction lands
+        // in the same range.
+        let n = s.network.ttds().len();
+        assert!((45..=60).contains(&n), "got {n} TTDs");
+    }
+
+    #[test]
+    fn horizon_and_steps() {
+        let s = nordlandsbanen();
+        assert_eq!(s.t_max(), 69);
+    }
+}

@@ -1,0 +1,150 @@
+//! The paper's running example (Fig. 1): a main line from Station A to
+//! Station B with a two-track terminus branch "Station C" at the junction
+//! point, divided into four TTD sections.
+//!
+//! The schedule is Fig. 1b verbatim: with pure TTD operation it deadlocks
+//! (verification is UNSAT); a single additional VSS border makes it
+//! feasible; further borders let the optimiser cut the completion time.
+
+use crate::schedule::{Schedule, TrainRun};
+use crate::scenario::Scenario;
+use crate::topology::NetworkBuilder;
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// Builds the running-example scenario
+/// (`r_s = 0.5 km`, `r_t = 0.5 min`, 5-minute horizon).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::fixtures::running_example;
+/// let s = running_example();
+/// assert_eq!(s.network.ttds().len(), 4);
+/// assert_eq!(s.schedule.len(), 4);
+/// ```
+pub fn running_example() -> Scenario {
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+
+    // Topology: A - a1 ====== P ====== b1 - B, with a two-track terminus
+    // branch at P forming Station C (tracks to Ca and Cb).
+    let a = b.node();
+    let a1 = b.node();
+    let p = b.node();
+    let ca1 = b.node();
+    let ca = b.node();
+    let cb1 = b.node();
+    let cb = b.node();
+    let b1 = b.node();
+    let bb = b.node();
+
+    let sta_a = b.track(a, a1, km(0.5), "A");
+    let ap = b.track(a1, p, km(1.0), "A-P");
+    let pca = b.track(p, ca1, km(0.5), "P-Ca");
+    let sta_ca = b.track(ca1, ca, km(0.5), "Ca");
+    let pcb = b.track(p, cb1, km(0.5), "P-Cb");
+    let sta_cb = b.track(cb1, cb, km(0.5), "Cb");
+    let pb = b.track(p, b1, km(1.5), "P-B");
+    let sta_b = b.track(b1, bb, km(0.5), "B");
+
+    b.ttd("TTD1", [sta_a, ap]);
+    b.ttd("TTD2", [pca, sta_ca]);
+    b.ttd("TTD3", [pcb, sta_cb]);
+    b.ttd("TTD4", [pb, sta_b]);
+
+    let st_a = b.station("A", [sta_a], true);
+    let st_b = b.station("B", [sta_b], true);
+    let st_c = b.station("C", [sta_ca, sta_cb], false);
+
+    let network = b.build().expect("running example topology is valid");
+
+    let time = |text: &str| Seconds::parse_hms(text).expect("fixture times are valid");
+    // Fig. 1b of the paper.
+    let schedule = Schedule::new(vec![
+        TrainRun::new(
+            Train::new("Train 1", Meters(400), KmPerHour(180)),
+            st_a,
+            st_b,
+            time("0:00:00"),
+            Some(time("0:04:30")),
+        ),
+        TrainRun::new(
+            Train::new("Train 2", Meters(700), KmPerHour(120)),
+            st_b,
+            st_a,
+            time("0:00:00"),
+            Some(time("0:04:00")),
+        ),
+        TrainRun::new(
+            Train::new("Train 3", Meters(100), KmPerHour(120)),
+            st_a,
+            st_c,
+            time("0:01:00"),
+            Some(time("0:03:00")),
+        ),
+        TrainRun::new(
+            Train::new("Train 4", Meters(250), KmPerHour(180)),
+            st_b,
+            st_a,
+            time("0:01:00"),
+            Some(time("0:05:00")),
+        ),
+    ]);
+
+    Scenario {
+        name: "Running Example".into(),
+        network,
+        schedule,
+        r_s: km(0.5),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::VssLayout;
+
+    #[test]
+    fn matches_paper_headline_numbers() {
+        let s = running_example();
+        assert_eq!(s.network.ttds().len(), 4, "four TTD sections");
+        assert_eq!(s.schedule.len(), 4, "four trains");
+        assert_eq!(s.t_max(), 11);
+        s.validate().expect("schedule is valid");
+    }
+
+    #[test]
+    fn discretises_to_a_tree() {
+        let s = running_example();
+        let d = s.discretise().expect("discretises");
+        assert_eq!(d.num_edges(), 11);
+        assert_eq!(d.num_nodes(), 12);
+        // Pure TTD operation yields exactly the 4 TTD sections.
+        assert_eq!(VssLayout::pure_ttd().section_count(&d), 4);
+    }
+
+    #[test]
+    fn train_parameters_match_fig_1b() {
+        let s = running_example();
+        let runs = s.schedule.runs();
+        assert_eq!(runs[0].train.max_speed, KmPerHour(180));
+        assert_eq!(runs[1].train.length, Meters(700));
+        assert_eq!(runs[2].arrival, Some(Seconds(180)));
+        assert_eq!(runs[3].departure, Seconds(60));
+    }
+
+    #[test]
+    fn discrete_train_dimensions() {
+        let s = running_example();
+        let runs = s.schedule.runs();
+        // 180 km/h at 30 s and 500 m: 3 segments per step.
+        assert_eq!(runs[0].train.discrete_speed(s.r_s, s.r_t), 3);
+        assert_eq!(runs[1].train.discrete_speed(s.r_s, s.r_t), 2);
+        // 700 m spans 2 segments, everything else 1.
+        assert_eq!(runs[1].train.discrete_length(s.r_s), 2);
+        assert_eq!(runs[0].train.discrete_length(s.r_s), 1);
+    }
+}

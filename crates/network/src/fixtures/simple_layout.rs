@@ -1,0 +1,149 @@
+//! The "Simple Layout" case study (Fig. 4a): three stations on a vertical
+//! line, the outer two at the network boundary, the middle one a two-track
+//! crossing loop, joined by single-track links (10 TTD sections in total,
+//! as in the paper).
+//!
+//! The schedule sends a three-train convoy in each direction. Under pure
+//! TTD operation each 1.5 km loop track holds one train, so the convoys
+//! deadlock at the crossing station — verification is UNSAT. VSS borders
+//! subdivide the loop tracks (and links), letting a whole convoy stack on
+//! one loop track while the opposing convoy passes.
+
+use crate::schedule::{Schedule, TrainRun};
+use crate::scenario::Scenario;
+use crate::topology::NetworkBuilder;
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// Builds the simple-layout scenario
+/// (`r_s = 0.5 km`, `r_t = 1 min`, 20-minute horizon).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::fixtures::simple_layout;
+/// let s = simple_layout();
+/// assert_eq!(s.network.stations().len(), 3);
+/// assert_eq!(s.network.ttds().len(), 10);
+/// assert_eq!(s.schedule.len(), 6);
+/// ```
+pub fn simple_layout() -> Scenario {
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+
+    // S1 (two boundary tracks) = p1 --L1a--m1--L1b-- p2 = S2 loop =
+    // p3 --L2a--m2--L2b-- p4 = S3 (two boundary tracks).
+    let s1a_end = b.node();
+    let s1b_end = b.node();
+    let p1 = b.node();
+    let m1 = b.node();
+    let p2 = b.node();
+    let p3 = b.node();
+    let m2 = b.node();
+    let p4 = b.node();
+    let s3a_end = b.node();
+    let s3b_end = b.node();
+
+    let s1a = b.track(s1a_end, p1, km(0.5), "S1a");
+    let s1b = b.track(s1b_end, p1, km(0.5), "S1b");
+    let l1a = b.track(p1, m1, km(1.5), "L1a");
+    let l1b = b.track(m1, p2, km(1.5), "L1b");
+    let s2a = b.track(p2, p3, km(1.5), "S2a");
+    let s2b = b.track(p2, p3, km(1.5), "S2b");
+    let l2a = b.track(p3, m2, km(1.5), "L2a");
+    let l2b = b.track(m2, p4, km(1.5), "L2b");
+    let s3a = b.track(p4, s3a_end, km(0.5), "S3a");
+    let s3b = b.track(p4, s3b_end, km(0.5), "S3b");
+
+    for (name, track) in [
+        ("TTD-S1a", s1a),
+        ("TTD-S1b", s1b),
+        ("TTD-L1a", l1a),
+        ("TTD-L1b", l1b),
+        ("TTD-S2a", s2a),
+        ("TTD-S2b", s2b),
+        ("TTD-L2a", l2a),
+        ("TTD-L2b", l2b),
+        ("TTD-S3a", s3a),
+        ("TTD-S3b", s3b),
+    ] {
+        b.ttd(name, [track]);
+    }
+
+    let st1 = b.station("S1", [s1a, s1b], true);
+    let _st2 = b.station("S2", [s2a, s2b], false);
+    let st3 = b.station("S3", [s3a, s3b], true);
+
+    let network = b.build().expect("simple layout topology is valid");
+
+    let min = Seconds::from_minutes;
+    let regional = |name: &str| Train::new(name, Meters(200), KmPerHour(120));
+
+    // A three-train convoy in each direction, two minutes apart.
+    let schedule = Schedule::new(vec![
+        TrainRun::new(regional("South 1"), st1, st3, min(0), Some(min(11))),
+        TrainRun::new(regional("North 1"), st3, st1, min(0), Some(min(11))),
+        TrainRun::new(regional("South 2"), st1, st3, min(2), Some(min(12))),
+        TrainRun::new(regional("North 2"), st3, st1, min(2), Some(min(12))),
+        TrainRun::new(regional("South 3"), st1, st3, min(4), Some(min(13))),
+        TrainRun::new(regional("North 3"), st3, st1, min(4), Some(min(13))),
+    ]);
+
+    Scenario {
+        name: "Simple Layout".into(),
+        network,
+        schedule,
+        r_s: km(0.5),
+        r_t: Seconds::from_minutes(1),
+        horizon: Seconds::from_minutes(20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::VssLayout;
+
+    #[test]
+    fn shape_matches_fig_4a() {
+        let s = simple_layout();
+        assert_eq!(s.network.stations().len(), 3);
+        assert_eq!(s.network.ttds().len(), 10, "paper: 10 pure-TTD sections");
+        s.validate().expect("schedule is valid");
+    }
+
+    #[test]
+    fn pure_ttd_section_count() {
+        let s = simple_layout();
+        let d = s.discretise().expect("discretises");
+        assert_eq!(VssLayout::pure_ttd().section_count(&d), 10);
+    }
+
+    #[test]
+    fn loop_tracks_are_subdividable() {
+        let s = simple_layout();
+        let d = s.discretise().expect("discretises");
+        let st2 = s.network.station_by_name("S2").expect("exists");
+        // Each 1.5 km loop track has 3 segments — room for a whole convoy
+        // once VSS borders are added.
+        assert_eq!(d.station_edges(st2).len(), 6);
+    }
+
+    #[test]
+    fn loop_tracks_allow_crossing() {
+        let s = simple_layout();
+        let d = s.discretise().expect("discretises");
+        let st2 = s.network.station_by_name("S2").expect("exists");
+        let edges = d.station_edges(st2);
+        let layout = VssLayout::pure_ttd();
+        // The two loop tracks are separate sections even under pure TTD.
+        let sec = layout.section_of(&d, edges[0]);
+        assert!(!edges.iter().all(|e| sec.contains(e)));
+    }
+
+    #[test]
+    fn horizon_and_steps() {
+        let s = simple_layout();
+        assert_eq!(s.t_max(), 21);
+    }
+}

@@ -1,0 +1,285 @@
+//! Parametric scenario synthesis: deterministic single-track lines with
+//! crossing loops and opposing traffic.
+//!
+//! Used by the property-based test suites (random-but-reproducible
+//! topologies) and by the scaling benchmarks; also a convenient starting
+//! point for custom experiments.
+
+use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
+use crate::topology::NetworkBuilder;
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// Parameters for [`single_track_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineConfig {
+    /// Number of stations along the line (≥ 2); the termini are two-track
+    /// boundary stations.
+    pub stations: usize,
+    /// Every `loop_every`-th interior station is a two-track crossing loop
+    /// (0 = no loops).
+    pub loop_every: usize,
+    /// Inter-station link length in metres (drawn deterministically in
+    /// `link_m ..= 2·link_m`, quantised to `r_s`).
+    pub link_m: u64,
+    /// Trains per direction.
+    pub trains_per_direction: usize,
+    /// Departure headway between same-direction trains.
+    pub headway: Seconds,
+    /// Train speed.
+    pub speed: KmPerHour,
+    /// Train length in metres.
+    pub train_m: u64,
+    /// Spatial resolution.
+    pub r_s: Meters,
+    /// Temporal resolution.
+    pub r_t: Seconds,
+    /// Scenario horizon.
+    pub horizon: Seconds,
+    /// Seed for the deterministic length stream.
+    pub seed: u64,
+}
+
+impl Default for LineConfig {
+    fn default() -> Self {
+        LineConfig {
+            stations: 4,
+            loop_every: 2,
+            link_m: 1000,
+            trains_per_direction: 1,
+            headway: Seconds::from_minutes(2),
+            speed: KmPerHour(120),
+            train_m: 200,
+            r_s: Meters(500),
+            r_t: Seconds(30),
+            horizon: Seconds::from_minutes(15),
+            seed: 1,
+        }
+    }
+}
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// Synthesises a single-track line scenario from `cfg`.
+///
+/// The network is a chain of `cfg.stations` stations; the two termini are
+/// two-track boundary stations (so convoys can depart at tight headways),
+/// interior stations are plain platforms or, every `loop_every`-th, a
+/// two-track crossing loop. Trains run end to end in both directions
+/// without arrival deadlines (add your own or run the optimisation task).
+///
+/// # Panics
+///
+/// Panics if `cfg.stations < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::generator::{single_track_line, LineConfig};
+/// let scenario = single_track_line(&LineConfig::default());
+/// assert_eq!(scenario.network.stations().len(), 4);
+/// scenario.validate()?;
+/// scenario.discretise()?;
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+pub fn single_track_line(cfg: &LineConfig) -> Scenario {
+    assert!(cfg.stations >= 2, "a line needs at least two stations");
+    let mut seed = cfg.seed | 1;
+    let quantum = cfg.r_s.as_u64().max(1);
+    let mut draw_link = || {
+        let raw = cfg.link_m + xorshift(&mut seed) % (cfg.link_m + 1);
+        Meters((raw.div_ceil(quantum)).max(1) * quantum)
+    };
+    let station_track_len = Meters(quantum);
+
+    let mut b = NetworkBuilder::new();
+    let mut ttd = 0usize;
+    let mut station_ids = Vec::new();
+
+    // First terminus: two boundary tracks joining at a point.
+    let t_end_a = b.node();
+    let t_end_a2 = b.node();
+    let mut prev = b.node();
+    let first_a = b.track(t_end_a, prev, station_track_len, "S0-a");
+    let first_b = b.track(t_end_a2, prev, station_track_len, "S0-b");
+    ttd += 1;
+    b.ttd(format!("TTD{ttd}"), [first_a]);
+    ttd += 1;
+    b.ttd(format!("TTD{ttd}"), [first_b]);
+    station_ids.push(b.station("S0", [first_a, first_b], true));
+
+    for i in 1..cfg.stations {
+        let link_len = draw_link();
+        let is_last = i == cfg.stations - 1;
+        let is_loop = !is_last && cfg.loop_every != 0 && i % cfg.loop_every == 0;
+        let west = b.node();
+        let link = b.track(prev, west, link_len, format!("link-{i}"));
+        ttd += 1;
+        b.ttd(format!("TTD{ttd}"), [link]);
+        if is_last {
+            // Second terminus: two boundary tracks.
+            let end1 = b.node();
+            let end2 = b.node();
+            let ta = b.track(west, end1, station_track_len, format!("S{i}-a"));
+            let tb = b.track(west, end2, station_track_len, format!("S{i}-b"));
+            ttd += 1;
+            b.ttd(format!("TTD{ttd}"), [ta]);
+            ttd += 1;
+            b.ttd(format!("TTD{ttd}"), [tb]);
+            station_ids.push(b.station(format!("S{i}"), [ta, tb], true));
+        } else if is_loop {
+            let east = b.node();
+            let loop_len = Meters(quantum * 2);
+            let la = b.track(west, east, loop_len, format!("S{i}-a"));
+            let lb = b.track(west, east, loop_len, format!("S{i}-b"));
+            ttd += 1;
+            b.ttd(format!("TTD{ttd}"), [la]);
+            ttd += 1;
+            b.ttd(format!("TTD{ttd}"), [lb]);
+            station_ids.push(b.station(format!("S{i}"), [la, lb], false));
+            prev = east;
+            continue;
+        } else {
+            let east = b.node();
+            let platform = b.track(west, east, station_track_len, format!("S{i}-pl"));
+            ttd += 1;
+            b.ttd(format!("TTD{ttd}"), [platform]);
+            station_ids.push(b.station(format!("S{i}"), [platform], false));
+            prev = east;
+            continue;
+        }
+    }
+
+    let network = b.build().expect("generated line topology is valid");
+    let first = station_ids[0];
+    let last = *station_ids.last().expect("at least two stations");
+
+    let mut runs = Vec::new();
+    for k in 0..cfg.trains_per_direction {
+        let dep = Seconds(cfg.headway.as_u64() * k as u64);
+        runs.push(TrainRun::new(
+            Train::new(
+                format!("East {k}"),
+                Meters(cfg.train_m),
+                cfg.speed,
+            ),
+            first,
+            last,
+            dep,
+            None,
+        ));
+        runs.push(TrainRun::new(
+            Train::new(
+                format!("West {k}"),
+                Meters(cfg.train_m),
+                cfg.speed,
+            ),
+            last,
+            first,
+            dep,
+            None,
+        ));
+    }
+
+    Scenario {
+        name: format!("line-{}st-{}tr-seed{}", cfg.stations, cfg.trains_per_direction, cfg.seed),
+        network,
+        schedule: Schedule::new(runs),
+        r_s: cfg.r_s,
+        r_t: cfg.r_t,
+        horizon: cfg.horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_line_is_valid() {
+        let s = single_track_line(&LineConfig::default());
+        s.validate().expect("valid");
+        let d = s.discretise().expect("discretises");
+        assert!(d.num_edges() > 0);
+    }
+
+    #[test]
+    fn station_count_matches_config() {
+        for n in 2..8 {
+            let s = single_track_line(&LineConfig {
+                stations: n,
+                ..LineConfig::default()
+            });
+            assert_eq!(s.network.stations().len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = single_track_line(&LineConfig::default());
+        let b = single_track_line(&LineConfig::default());
+        assert_eq!(a.network, b.network);
+        let c = single_track_line(&LineConfig {
+            seed: 99,
+            ..LineConfig::default()
+        });
+        assert_ne!(a.network, c.network, "different seed, different lengths");
+    }
+
+    #[test]
+    fn loops_appear_at_configured_interval() {
+        let s = single_track_line(&LineConfig {
+            stations: 7,
+            loop_every: 2,
+            ..LineConfig::default()
+        });
+        let loops = s
+            .network
+            .stations()
+            .iter()
+            .filter(|st| !st.boundary && st.tracks.len() == 2)
+            .count();
+        assert_eq!(loops, 2, "stations 2 and 4 are loops");
+    }
+
+    #[test]
+    fn no_loops_when_disabled() {
+        let s = single_track_line(&LineConfig {
+            stations: 6,
+            loop_every: 0,
+            ..LineConfig::default()
+        });
+        assert!(s
+            .network
+            .stations()
+            .iter()
+            .filter(|st| !st.boundary)
+            .all(|st| st.tracks.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stations")]
+    fn one_station_panics() {
+        single_track_line(&LineConfig {
+            stations: 1,
+            ..LineConfig::default()
+        });
+    }
+
+    #[test]
+    fn trains_run_in_both_directions() {
+        let s = single_track_line(&LineConfig {
+            trains_per_direction: 3,
+            ..LineConfig::default()
+        });
+        assert_eq!(s.schedule.len(), 6);
+        let runs = s.schedule.runs();
+        assert_ne!(runs[0].origin, runs[1].origin);
+    }
+}

@@ -1,0 +1,248 @@
+//! VSS layouts: which candidate nodes carry a virtual-subsection border.
+//!
+//! A layout assigns the paper's `border_v` variables. TTD borders are always
+//! borders (they carry physical axle counters); a [`VssLayout`] records the
+//! *additional* virtual borders placed at interior nodes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::discrete::{DiscreteNet, EdgeId, NodeId, NodeKind};
+
+/// A placement of VSS borders on a [`DiscreteNet`].
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::{NetworkBuilder, DiscreteNet, VssLayout, Meters};
+/// let mut b = NetworkBuilder::new();
+/// let a = b.node();
+/// let c = b.node();
+/// let t = b.track(a, c, Meters::from_km(1.5), "main");
+/// b.ttd("TTD1", [t]);
+/// let net = b.build()?;
+/// let disc = DiscreteNet::new(&net, Meters::from_km(0.5))?;
+/// // Pure TTD operation: one section; full VSS: one per segment.
+/// assert_eq!(VssLayout::pure_ttd().section_count(&disc), 1);
+/// assert_eq!(VssLayout::full(&disc).section_count(&disc), 3);
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VssLayout {
+    borders: BTreeSet<NodeId>,
+}
+
+impl VssLayout {
+    /// The pure-TTD layout: no virtual borders at all.
+    pub fn pure_ttd() -> Self {
+        VssLayout::default()
+    }
+
+    /// The finest layout: a border at every candidate node, i.e. every
+    /// segment is its own VSS (the paper's "trivial" generation answer).
+    pub fn full(net: &DiscreteNet) -> Self {
+        VssLayout {
+            borders: net.border_candidates().into_iter().collect(),
+        }
+    }
+
+    /// A layout with the given virtual borders.
+    pub fn with_borders(borders: impl IntoIterator<Item = NodeId>) -> Self {
+        VssLayout {
+            borders: borders.into_iter().collect(),
+        }
+    }
+
+    /// The virtual borders (not counting TTD borders).
+    pub fn borders(&self) -> &BTreeSet<NodeId> {
+        &self.borders
+    }
+
+    /// Number of virtual borders.
+    pub fn num_borders(&self) -> usize {
+        self.borders.len()
+    }
+
+    /// Adds a virtual border; returns `true` if it was new.
+    pub fn add_border(&mut self, n: NodeId) -> bool {
+        self.borders.insert(n)
+    }
+
+    /// Removes a virtual border; returns `true` if it was present.
+    pub fn remove_border(&mut self, n: NodeId) -> bool {
+        self.borders.remove(&n)
+    }
+
+    /// `true` when node `n` separates two sections under this layout
+    /// (either a virtual border or a TTD border).
+    pub fn is_border(&self, net: &DiscreteNet, n: NodeId) -> bool {
+        self.borders.contains(&n) || net.node_kind(n) == NodeKind::TtdBorder
+    }
+
+    /// Groups the edges into VSS sections: maximal edge sets connected
+    /// through non-border nodes.
+    pub fn sections(&self, net: &DiscreteNet) -> Vec<Vec<EdgeId>> {
+        // Union-find over edges; merge across every non-border interior node.
+        let mut parent: Vec<usize> = (0..net.num_edges()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for ni in 0..net.num_nodes() {
+            let n = NodeId::from_index(ni);
+            if self.is_border(net, n) || net.node_kind(n) == NodeKind::Boundary {
+                continue;
+            }
+            let incident = net.edges_at(n);
+            for w in incident.windows(2) {
+                let a = find(&mut parent, w[0].index());
+                let b = find(&mut parent, w[1].index());
+                parent[a] = b;
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<EdgeId>> = Default::default();
+        for e in 0..net.num_edges() {
+            let root = find(&mut parent, e);
+            groups.entry(root).or_default().push(EdgeId::from_index(e));
+        }
+        groups.into_values().collect()
+    }
+
+    /// Number of VSS sections — the paper's "TTD/VSS" column of Table I.
+    pub fn section_count(&self, net: &DiscreteNet) -> usize {
+        self.sections(net).len()
+    }
+
+    /// The section containing edge `e`.
+    pub fn section_of(&self, net: &DiscreteNet, e: EdgeId) -> Vec<EdgeId> {
+        self.sections(net)
+            .into_iter()
+            .find(|s| s.contains(&e))
+            .expect("every edge is in exactly one section")
+    }
+}
+
+impl fmt::Display for VssLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VssLayout({} virtual borders:", self.borders.len())?;
+        for b in &self.borders {
+            write!(f, " v{}", b.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<NodeId> for VssLayout {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        VssLayout::with_borders(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NetworkBuilder;
+    use crate::units::Meters;
+
+    fn km(x: f64) -> Meters {
+        Meters::from_km(x)
+    }
+
+    /// Two TTDs in a row: A --(2 seg)-- M --(2 seg)-- B.
+    fn two_ttds() -> DiscreteNet {
+        let mut b = NetworkBuilder::new();
+        let a = b.node();
+        let m = b.node();
+        let c = b.node();
+        let t1 = b.track(a, m, km(1.0), "t1");
+        let t2 = b.track(m, c, km(1.0), "t2");
+        b.ttd("TTD1", [t1]);
+        b.ttd("TTD2", [t2]);
+        let net = b.build().expect("valid");
+        DiscreteNet::new(&net, km(0.5)).expect("discretises")
+    }
+
+    #[test]
+    fn pure_ttd_sections_equal_ttds() {
+        let d = two_ttds();
+        assert_eq!(VssLayout::pure_ttd().section_count(&d), 2);
+    }
+
+    #[test]
+    fn full_layout_sections_equal_edges() {
+        let d = two_ttds();
+        assert_eq!(VssLayout::full(&d).section_count(&d), d.num_edges());
+    }
+
+    #[test]
+    fn single_border_splits_one_ttd() {
+        let d = two_ttds();
+        let candidates = d.border_candidates();
+        let mut layout = VssLayout::pure_ttd();
+        layout.add_border(candidates[0]);
+        assert_eq!(layout.section_count(&d), 3);
+    }
+
+    #[test]
+    fn adding_same_border_twice_is_idempotent() {
+        let d = two_ttds();
+        let candidates = d.border_candidates();
+        let mut layout = VssLayout::pure_ttd();
+        assert!(layout.add_border(candidates[0]));
+        assert!(!layout.add_border(candidates[0]));
+        assert_eq!(layout.num_borders(), 1);
+    }
+
+    #[test]
+    fn ttd_borders_always_separate() {
+        let d = two_ttds();
+        let forced = d.forced_borders();
+        assert_eq!(forced.len(), 1);
+        assert!(VssLayout::pure_ttd().is_border(&d, forced[0]));
+    }
+
+    #[test]
+    fn sections_partition_edges() {
+        let d = two_ttds();
+        for layout in [
+            VssLayout::pure_ttd(),
+            VssLayout::full(&d),
+            VssLayout::with_borders([d.border_candidates()[1]]),
+        ] {
+            let sections = layout.sections(&d);
+            let mut all: Vec<EdgeId> = sections.into_iter().flatten().collect();
+            all.sort();
+            let expected: Vec<EdgeId> = (0..d.num_edges()).map(EdgeId::from_index).collect();
+            assert_eq!(all, expected);
+        }
+    }
+
+    #[test]
+    fn section_of_finds_the_right_group() {
+        let d = two_ttds();
+        let layout = VssLayout::pure_ttd();
+        let sec = layout.section_of(&d, EdgeId(0));
+        assert!(sec.contains(&EdgeId(0)));
+        assert!(sec.contains(&EdgeId(1)));
+        assert!(!sec.contains(&EdgeId(2)));
+    }
+
+    #[test]
+    fn display_lists_borders() {
+        let layout = VssLayout::with_borders([NodeId(3), NodeId(1)]);
+        let text = format!("{layout}");
+        assert!(text.contains("v1"));
+        assert!(text.contains("v3"));
+        assert!(text.contains("2 virtual borders"));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let layout: VssLayout = [NodeId(5)].into_iter().collect();
+        assert_eq!(layout.num_borders(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # etcs-network — railway modelling for the ETCS Level 3 reproduction
+//!
+//! The input domain of Wille et al. (DATE 2021): macroscopic railway
+//! networks ([`RailwayNetwork`]) with TTD sections and stations, trains and
+//! schedules ([`Train`], [`Schedule`]), their discretisation into the
+//! segment graph `G = (V, E)` of the paper's Section III-A
+//! ([`DiscreteNet`]), VSS layouts ([`VssLayout`]) and the four bundled case
+//! studies ([`fixtures`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use etcs_network::{fixtures, VssLayout};
+//!
+//! let scenario = fixtures::running_example();
+//! let discrete = scenario.discretise()?;
+//! // Pure TTD operation has one section per TTD …
+//! assert_eq!(VssLayout::pure_ttd().section_count(&discrete), 4);
+//! // … while the finest VSS layout has one per segment.
+//! assert_eq!(
+//!     VssLayout::full(&discrete).section_count(&discrete),
+//!     discrete.num_edges(),
+//! );
+//! # Ok::<(), etcs_network::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod discrete;
+mod error;
+pub mod fixtures;
+mod format;
+pub mod generator;
+mod layout;
+mod scenario;
+mod schedule;
+mod topology;
+mod train;
+mod units;
+
+pub use discrete::{DiscreteNet, EdgeId, NodeId, NodeKind, Segment};
+pub use error::NetworkError;
+pub use format::{parse_scenario, write_scenario, ParseScenarioError};
+pub use layout::VssLayout;
+pub use scenario::Scenario;
+pub use schedule::{Schedule, TrainRun};
+pub use topology::{
+    NetworkBuilder, RailwayNetwork, Station, StationId, TopoNodeId, Track, TrackId, Ttd, TtdId,
+};
+pub use train::{Train, TrainId};
+pub use units::{KmPerHour, Meters, ParseTimeError, Seconds};

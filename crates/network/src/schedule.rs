@@ -1,0 +1,298 @@
+//! Train schedules: who runs where, and when.
+//!
+//! A [`Schedule`] is the Fig. 1b table of the paper: per train an origin,
+//! a destination, a departure time and (for the verification and generation
+//! tasks) a required arrival time. The optimisation task drops the arrival
+//! times and lets the solver find the earliest ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetworkError;
+use crate::topology::{RailwayNetwork, StationId};
+use crate::train::{Train, TrainId};
+use crate::units::Seconds;
+
+/// One scheduled train movement.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainRun {
+    /// The train being moved.
+    pub train: Train,
+    /// Origin station (must be a boundary station: the train enters the
+    /// modelled network here).
+    pub origin: StationId,
+    /// Destination station.
+    pub destination: StationId,
+    /// Departure time from the origin.
+    pub departure: Seconds,
+    /// Required arrival time at the destination; `None` leaves the arrival
+    /// free (used by the optimisation task).
+    pub arrival: Option<Seconds>,
+    /// Intermediate stops the train must make, in order, each with an
+    /// optional deadline.
+    pub stops: Vec<(StationId, Option<Seconds>)>,
+}
+
+impl TrainRun {
+    /// Creates a run without intermediate stops.
+    pub fn new(
+        train: Train,
+        origin: StationId,
+        destination: StationId,
+        departure: Seconds,
+        arrival: Option<Seconds>,
+    ) -> Self {
+        TrainRun {
+            train,
+            origin,
+            destination,
+            departure,
+            arrival,
+            stops: Vec::new(),
+        }
+    }
+
+    /// Adds an intermediate stop.
+    pub fn with_stop(mut self, station: StationId, deadline: Option<Seconds>) -> Self {
+        self.stops.push((station, deadline));
+        self
+    }
+}
+
+/// A complete scenario schedule.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::{Schedule, TrainRun, Train, Meters, KmPerHour, Seconds, NetworkBuilder};
+/// let mut b = NetworkBuilder::new();
+/// let n0 = b.node();
+/// let n1 = b.node();
+/// let t = b.track(n0, n1, Meters::from_km(2.0), "main");
+/// b.ttd("TTD1", [t]);
+/// let a = b.station("A", [t], true);
+/// let net = b.build()?;
+/// let schedule = Schedule::new(vec![TrainRun::new(
+///     Train::new("T1", Meters(400), KmPerHour(180)),
+///     a,
+///     a,
+///     Seconds::ZERO,
+///     None,
+/// )]);
+/// schedule.validate(&net)?;
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    runs: Vec<TrainRun>,
+}
+
+impl Schedule {
+    /// Creates a schedule from the given runs.
+    pub fn new(runs: Vec<TrainRun>) -> Self {
+        Schedule { runs }
+    }
+
+    /// The scheduled runs, indexable by [`TrainId`].
+    pub fn runs(&self) -> &[TrainRun] {
+        &self.runs
+    }
+
+    /// Number of trains.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when no trains are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The run of a particular train.
+    pub fn run(&self, train: TrainId) -> &TrainRun {
+        &self.runs[train.index()]
+    }
+
+    /// Iterates `(TrainId, &TrainRun)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TrainId, &TrainRun)> {
+        self.runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (TrainId::from_index(i), r))
+    }
+
+    /// The latest arrival deadline, if every run has one.
+    pub fn latest_arrival(&self) -> Option<Seconds> {
+        self.runs.iter().map(|r| r.arrival).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+
+    /// Drops all arrival deadlines (turning a verification schedule into an
+    /// optimisation agenda, Section III-C of the paper).
+    pub fn without_arrivals(&self) -> Schedule {
+        Schedule {
+            runs: self
+                .runs
+                .iter()
+                .map(|r| TrainRun {
+                    arrival: None,
+                    stops: r.stops.iter().map(|&(s, _)| (s, None)).collect(),
+                    ..r.clone()
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks that all station references exist in `net`, that origins are
+    /// boundary stations, and that arrivals are not before departures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownReference`] describing the first
+    /// offending run.
+    pub fn validate(&self, net: &RailwayNetwork) -> Result<(), NetworkError> {
+        for run in &self.runs {
+            let stations = [run.origin, run.destination]
+                .into_iter()
+                .chain(run.stops.iter().map(|&(s, _)| s));
+            for s in stations {
+                if s.index() >= net.stations().len() {
+                    return Err(NetworkError::UnknownReference {
+                        what: format!("station {} in run of train `{}`", s, run.train.name),
+                    });
+                }
+            }
+            if !net.stations()[run.origin.index()].boundary {
+                return Err(NetworkError::UnknownReference {
+                    what: format!(
+                        "origin `{}` of train `{}` is not a boundary station",
+                        net.stations()[run.origin.index()].name,
+                        run.train.name
+                    ),
+                });
+            }
+            if let Some(arr) = run.arrival {
+                if arr < run.departure {
+                    return Err(NetworkError::UnknownReference {
+                        what: format!(
+                            "train `{}` arrives ({arr}) before departing ({})",
+                            run.train.name, run.departure
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{KmPerHour, Meters};
+    use crate::NetworkBuilder;
+
+    fn toy_net() -> (RailwayNetwork, StationId, StationId) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.node();
+        let n1 = b.node();
+        let n2 = b.node();
+        let t1 = b.track(n0, n1, Meters::from_km(1.0), "t1");
+        let t2 = b.track(n1, n2, Meters::from_km(1.0), "t2");
+        b.ttd("TTD1", [t1, t2]);
+        let a = b.station("A", [t1], true);
+        let c = b.station("C", [t2], false);
+        (b.build().expect("valid"), a, c)
+    }
+
+    fn train() -> Train {
+        Train::new("T", Meters(200), KmPerHour(120))
+    }
+
+    #[test]
+    fn validate_accepts_good_schedule() {
+        let (net, a, c) = toy_net();
+        let s = Schedule::new(vec![TrainRun::new(
+            train(),
+            a,
+            c,
+            Seconds::ZERO,
+            Some(Seconds(120)),
+        )]);
+        assert!(s.validate(&net).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_interior_origin() {
+        let (net, a, c) = toy_net();
+        let s = Schedule::new(vec![TrainRun::new(train(), c, a, Seconds::ZERO, None)]);
+        let err = s.validate(&net).expect_err("interior origin");
+        assert!(format!("{err}").contains("boundary"));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_station() {
+        let (net, a, _) = toy_net();
+        let s = Schedule::new(vec![TrainRun::new(
+            train(),
+            a,
+            StationId(42),
+            Seconds::ZERO,
+            None,
+        )]);
+        assert!(s.validate(&net).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_arrival_before_departure() {
+        let (net, a, c) = toy_net();
+        let s = Schedule::new(vec![TrainRun::new(
+            train(),
+            a,
+            c,
+            Seconds(300),
+            Some(Seconds(60)),
+        )]);
+        assert!(s.validate(&net).is_err());
+    }
+
+    #[test]
+    fn without_arrivals_clears_deadlines() {
+        let (_, a, c) = toy_net();
+        let s = Schedule::new(vec![TrainRun::new(
+            train(),
+            a,
+            c,
+            Seconds::ZERO,
+            Some(Seconds(120)),
+        )
+        .with_stop(c, Some(Seconds(60)))]);
+        let open = s.without_arrivals();
+        assert_eq!(open.runs()[0].arrival, None);
+        assert_eq!(open.runs()[0].stops[0].1, None);
+        assert_eq!(open.runs()[0].departure, Seconds::ZERO);
+    }
+
+    #[test]
+    fn latest_arrival_requires_all_deadlines() {
+        let (_, a, c) = toy_net();
+        let with = Schedule::new(vec![
+            TrainRun::new(train(), a, c, Seconds::ZERO, Some(Seconds(120))),
+            TrainRun::new(train(), a, c, Seconds::ZERO, Some(Seconds(300))),
+        ]);
+        assert_eq!(with.latest_arrival(), Some(Seconds(300)));
+        let without = with.without_arrivals();
+        assert_eq!(without.latest_arrival(), None);
+    }
+
+    #[test]
+    fn iter_yields_dense_ids() {
+        let (_, a, c) = toy_net();
+        let s = Schedule::new(vec![
+            TrainRun::new(train(), a, c, Seconds::ZERO, None),
+            TrainRun::new(train(), a, c, Seconds(60), None),
+        ]);
+        let ids: Vec<usize> = s.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Trains and their physical parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::topology::id_type;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+id_type!(
+    /// A train in the considered scenario.
+    TrainId
+);
+
+/// A train with the parameters the paper's formulation needs: a length
+/// `l_tr` and a maximum speed `s_tr` (Section III-A).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::{Train, Meters, KmPerHour, Seconds};
+/// let t = Train::new("ICE 1", Meters(400), KmPerHour(180));
+/// // At r_s = 500 m it occupies ceil(400/500) = 1 segment …
+/// assert_eq!(t.discrete_length(Meters(500)), 1);
+/// // … and covers 3 segments per 30-second step.
+/// assert_eq!(t.discrete_speed(Meters(500), Seconds(30)), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Train {
+    /// Human-readable name (unique within a scenario).
+    pub name: String,
+    /// Physical train length.
+    pub length: Meters,
+    /// Maximum speed.
+    pub max_speed: KmPerHour,
+}
+
+impl Train {
+    /// Creates a train.
+    pub fn new(name: impl Into<String>, length: Meters, max_speed: KmPerHour) -> Self {
+        Train {
+            name: name.into(),
+            length,
+            max_speed,
+        }
+    }
+
+    /// Discrete length `l*_tr = ceil(l_tr / r_s)` — the number of segments
+    /// the train occupies (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_s` is zero.
+    pub fn discrete_length(&self, r_s: Meters) -> u64 {
+        self.length.div_ceil(r_s).max(1)
+    }
+
+    /// Discrete speed — the number of segments the train may advance per
+    /// time step, `floor(s_tr · r_t / r_s)`, clamped to at least 1 so that
+    /// every train can make progress on any grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_s` is zero.
+    pub fn discrete_speed(&self, r_s: Meters, r_t: Seconds) -> u64 {
+        self.max_speed.distance_in(r_t).div_floor(r_s).max(1)
+    }
+}
+
+impl fmt::Display for Train {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.length, self.max_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_length_rounds_up() {
+        let t = Train::new("t", Meters(700), KmPerHour(120));
+        assert_eq!(t.discrete_length(Meters(500)), 2);
+        assert_eq!(t.discrete_length(Meters(700)), 1);
+        assert_eq!(t.discrete_length(Meters(1000)), 1);
+    }
+
+    #[test]
+    fn discrete_length_is_at_least_one() {
+        let t = Train::new("handcar", Meters(10), KmPerHour(20));
+        assert_eq!(t.discrete_length(Meters(5000)), 1);
+    }
+
+    #[test]
+    fn discrete_speed_floors() {
+        let t = Train::new("t", Meters(100), KmPerHour(120));
+        // 120 km/h * 60 s = 2 km = 4 segments of 500 m.
+        assert_eq!(t.discrete_speed(Meters(500), Seconds(60)), 4);
+        // 120 km/h * 30 s = 1 km = 2 segments.
+        assert_eq!(t.discrete_speed(Meters(500), Seconds(30)), 2);
+        // 1.5 km per step at 1 km segments floors to 1.
+        let fast = Train::new("f", Meters(100), KmPerHour(90));
+        assert_eq!(fast.discrete_speed(Meters(1000), Seconds(60)), 1);
+    }
+
+    #[test]
+    fn discrete_speed_is_at_least_one() {
+        let slow = Train::new("s", Meters(100), KmPerHour(10));
+        assert_eq!(slow.discrete_speed(Meters(5000), Seconds(60)), 1);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let t = Train::new("RE 7", Meters(250), KmPerHour(160));
+        assert!(format!("{t}").contains("RE 7"));
+    }
+}

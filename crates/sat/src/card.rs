@@ -1,0 +1,367 @@
+//! Cardinality constraint encodings.
+//!
+//! Three encodings are provided, trading clause count against propagation
+//! strength:
+//!
+//! * pairwise at-most-one (via [`CnfSink::at_most_one_pairwise`]),
+//! * the sequential-counter encoding of Sinz (2005) for `≤ k`,
+//! * the totalizer of Bailleux & Boutry (2003), whose unary output allows a
+//!   MaxSAT loop to tighten a bound incrementally with assumptions.
+//!
+//! All encodings are arc-consistent: unit propagation alone detects any
+//! violated bound.
+
+// Index-coupled loops over parallel tables are intentional here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cnf::CnfSink;
+use crate::types::Lit;
+
+/// Sequential (commander-free, ladder) at-most-one over `lits`.
+///
+/// Linear in the number of literals (vs. quadratic pairwise); introduces
+/// `n-1` auxiliary variables.
+pub fn at_most_one_sequential<S: CnfSink + ?Sized>(sink: &mut S, lits: &[Lit]) {
+    if lits.len() <= 4 {
+        sink.at_most_one_pairwise(lits);
+        return;
+    }
+    // s_i = "some literal among lits[..=i] is true"
+    let mut prev = lits[0];
+    for i in 1..lits.len() {
+        let s = sink.new_var().positive();
+        sink.implies(prev, s); // carry the ladder
+        sink.implies(lits[i], s); // current literal raises it too
+        sink.add_clause_from(&[!prev, !lits[i]]); // prev set forbids current
+        prev = s;
+    }
+}
+
+/// Sequential-counter encoding of `Σ lits ≤ k` (Sinz 2005).
+///
+/// Uses `n·k` auxiliary variables and `O(n·k)` clauses.
+///
+/// # Panics
+///
+/// Panics if `k == 0`; encode that case by asserting every literal false
+/// instead (cheaper and clearer at the call site).
+pub fn at_most_k_sequential<S: CnfSink + ?Sized>(sink: &mut S, lits: &[Lit], k: usize) {
+    assert!(k >= 1, "use assert_false per literal for k = 0");
+    let n = lits.len();
+    if n <= k {
+        return; // trivially satisfied
+    }
+    // r[i][j] = "at least j+1 of lits[..=i] are true"
+    let mut r: Vec<Vec<Lit>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<Lit> = (0..k.min(i + 1))
+            .map(|_| sink.new_var().positive())
+            .collect();
+        r.push(row);
+    }
+    for i in 0..n {
+        // lits[i] → r[i][0]
+        sink.implies(lits[i], r[i][0]);
+        if i > 0 {
+            for j in 0..r[i - 1].len() {
+                // r[i-1][j] → r[i][j]
+                sink.implies(r[i - 1][j], r[i][j]);
+            }
+            for j in 0..r[i - 1].len().min(k - 1) {
+                // lits[i] ∧ r[i-1][j] → r[i][j+1]
+                sink.implies2(lits[i], r[i - 1][j], r[i][j + 1]);
+            }
+            // Overflow: lits[i] ∧ r[i-1][k-1] → ⊥
+            if r[i - 1].len() == k {
+                sink.add_clause_from(&[!lits[i], !r[i - 1][k - 1]]);
+            }
+        }
+    }
+}
+
+/// Totalizer tree over a set of input literals (Bailleux & Boutry 2003).
+///
+/// After construction, `outputs()[i]` is true **iff** at least `i + 1` of
+/// the inputs are true (both implication directions are encoded). A bound
+/// `Σ inputs ≤ b` is therefore the single literal `!outputs()[b]`, which the
+/// MaxSAT layer passes as an assumption and tightens monotonically.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::{Solver, Totalizer, SatResult, CnfSink};
+/// let mut s = Solver::new();
+/// let xs: Vec<_> = (0..4).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+/// let tot = Totalizer::build(&mut s, xs.clone());
+/// // Require at least 2 and at most 3 of the inputs:
+/// s.assert_true(tot.at_least(2).unwrap());
+/// s.assert_true(tot.at_most(3).unwrap());
+/// let SatResult::Sat(m) = s.solve() else { unreachable!() };
+/// let n = m.count_true(&xs);
+/// assert!((2..=3).contains(&n));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Totalizer {
+    inputs: Vec<Lit>,
+    outputs: Vec<Lit>,
+}
+
+impl Totalizer {
+    /// Builds the totalizer tree, emitting its clauses into `sink`.
+    pub fn build<S: CnfSink + ?Sized>(sink: &mut S, inputs: Vec<Lit>) -> Self {
+        let outputs = Self::build_tree(sink, &inputs);
+        Totalizer { inputs, outputs }
+    }
+
+    fn build_tree<S: CnfSink + ?Sized>(sink: &mut S, lits: &[Lit]) -> Vec<Lit> {
+        match lits.len() {
+            0 => Vec::new(),
+            1 => vec![lits[0]],
+            n => {
+                let (l, r) = lits.split_at(n / 2);
+                let left = Self::build_tree(sink, l);
+                let right = Self::build_tree(sink, r);
+                Self::merge(sink, &left, &right)
+            }
+        }
+    }
+
+    /// Merges two sorted unary numbers `a` and `b` into a fresh sorted unary
+    /// number of length `|a| + |b|`.
+    fn merge<S: CnfSink + ?Sized>(sink: &mut S, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let p = a.len();
+        let q = b.len();
+        let out: Vec<Lit> = (0..p + q).map(|_| sink.new_var().positive()).collect();
+        // Forward: i trues on the left and j trues on the right force
+        // out[i + j - 1] ("at least i + j").
+        for i in 0..=p {
+            for j in 0..=q {
+                if i + j == 0 {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                if i > 0 {
+                    clause.push(!a[i - 1]);
+                }
+                if j > 0 {
+                    clause.push(!b[j - 1]);
+                }
+                clause.push(out[i + j - 1]);
+                sink.add_clause_from(&clause);
+            }
+        }
+        // Backward: at most i on the left and at most j on the right force
+        // ¬out[i + j] ("not ≥ i + j + 1").
+        for i in 0..=p {
+            for j in 0..=q {
+                if i + j == p + q {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                if i < p {
+                    clause.push(a[i]);
+                }
+                if j < q {
+                    clause.push(b[j]);
+                }
+                clause.push(!out[i + j]);
+                sink.add_clause_from(&clause);
+            }
+        }
+        out
+    }
+
+    /// The input literals being counted.
+    pub fn inputs(&self) -> &[Lit] {
+        &self.inputs
+    }
+
+    /// Sorted unary outputs: `outputs()[i]` ⟺ at least `i + 1` inputs true.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Literal asserting `Σ inputs ≤ bound`, or `None` if the bound is
+    /// trivially satisfied (`bound >= inputs.len()`).
+    pub fn at_most(&self, bound: usize) -> Option<Lit> {
+        self.outputs.get(bound).map(|&l| !l)
+    }
+
+    /// Literal asserting `Σ inputs ≥ bound`, or `None` if `bound == 0`
+    /// (trivially true) or `bound > inputs.len()` (unsatisfiable by any
+    /// literal — callers must handle this case).
+    pub fn at_least(&self, bound: usize) -> Option<Lit> {
+        if bound == 0 {
+            return None;
+        }
+        self.outputs.get(bound - 1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Formula;
+    use crate::solver::{SatResult, Solver};
+    use crate::types::Var;
+
+    /// Enumerates all assignments of `n` inputs and checks the constraint
+    /// built by `enc` accepts exactly those with `pred(#true)`.
+    fn exhaustive_check(
+        n: usize,
+        enc: impl Fn(&mut Formula, &[Lit]),
+        pred: impl Fn(usize) -> bool,
+    ) {
+        for mask in 0..(1u32 << n) {
+            let mut f = Formula::new();
+            let lits: Vec<Lit> = (0..n).map(|_| f.new_var().positive()).collect();
+            enc(&mut f, &lits);
+            for (i, &l) in lits.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    f.assert_true(l);
+                } else {
+                    f.assert_false(l);
+                }
+            }
+            let mut s = Solver::new();
+            f.load_into(&mut s);
+            let sat = s.solve().is_sat();
+            let count = mask.count_ones() as usize;
+            assert_eq!(
+                sat,
+                pred(count),
+                "n={n} mask={mask:b} count={count}: encoder disagrees with predicate"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_amo_exhaustive() {
+        for n in 1..=7 {
+            exhaustive_check(n, at_most_one_sequential, |c| c <= 1);
+        }
+    }
+
+    #[test]
+    fn sequential_atmost_k_exhaustive() {
+        for n in 1..=6 {
+            for k in 1..=n {
+                exhaustive_check(n, |f, l| at_most_k_sequential(f, l, k), |c| c <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn totalizer_at_most_exhaustive() {
+        for n in 1..=6 {
+            for k in 0..=n {
+                exhaustive_check(
+                    n,
+                    |f, l| {
+                        let t = Totalizer::build(f, l.to_vec());
+                        if let Some(b) = t.at_most(k) {
+                            f.assert_true(b);
+                        }
+                    },
+                    |c| c <= k,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn totalizer_at_least_exhaustive() {
+        for n in 1..=6 {
+            for k in 1..=n {
+                exhaustive_check(
+                    n,
+                    |f, l| {
+                        let t = Totalizer::build(f, l.to_vec());
+                        if let Some(b) = t.at_least(k) {
+                            f.assert_true(b);
+                        }
+                    },
+                    |c| c >= k,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn totalizer_outputs_track_count_both_ways() {
+        // Free inputs: outputs must equal the unary representation of the
+        // number of true inputs in every model found.
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..5)
+            .map(|_| crate::cnf::CnfSink::new_var(&mut s).positive())
+            .collect();
+        let t = Totalizer::build(&mut s, xs.clone());
+        // Pin an arbitrary pattern.
+        s.assert_true(xs[0]);
+        s.assert_true(xs[3]);
+        s.assert_false(xs[1]);
+        s.assert_false(xs[2]);
+        s.assert_false(xs[4]);
+        let SatResult::Sat(m) = s.solve() else {
+            panic!("expected sat")
+        };
+        let count = m.count_true(&xs);
+        assert_eq!(count, 2);
+        for (i, &o) in t.outputs().iter().enumerate() {
+            assert_eq!(
+                m.lit_is_true(o),
+                i < count,
+                "output {i} disagrees with count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn totalizer_empty_and_singleton() {
+        let mut f = Formula::new();
+        let t = Totalizer::build(&mut f, Vec::new());
+        assert!(t.outputs().is_empty());
+        assert_eq!(t.at_most(0), None);
+
+        let x = f.new_var().positive();
+        let t1 = Totalizer::build(&mut f, vec![x]);
+        assert_eq!(t1.outputs(), [x]);
+        assert_eq!(t1.at_most(0), Some(!x));
+        assert_eq!(t1.at_least(1), Some(x));
+    }
+
+    #[test]
+    fn at_most_bound_is_assumable() {
+        // Using the bound as an assumption keeps the solver reusable.
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..4)
+            .map(|_| crate::cnf::CnfSink::new_var(&mut s).positive())
+            .collect();
+        for &x in &xs {
+            s.assert_true(x);
+        }
+        let t = Totalizer::build(&mut s, xs);
+        let b2 = t.at_most(2).expect("bound exists");
+        assert!(s.solve_with(&[b2]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 0")]
+    fn sequential_k0_panics() {
+        let mut f = Formula::new();
+        let l = f.new_var().positive();
+        at_most_k_sequential(&mut f, &[l], 0);
+    }
+
+    #[test]
+    fn amo_sequential_small_defers_to_pairwise() {
+        // n <= 4 uses pairwise and must add no auxiliary variables.
+        let mut f = Formula::new();
+        let lits: Vec<Lit> = (0..3).map(|_| f.new_var().positive()).collect();
+        let before = f.num_vars();
+        at_most_one_sequential(&mut f, &lits);
+        assert_eq!(f.num_vars(), before);
+        let _ = Var::from_index(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Clause storage for the CDCL solver.
+//!
+//! Clauses live in a [`ClauseDb`] arena and are addressed by lightweight
+//! [`ClauseRef`] handles. Deleted clauses release their literal storage but
+//! keep their slot, so outstanding references (e.g. in watch lists that are
+//! rebuilt lazily) can detect deletion instead of dereferencing stale data.
+
+use crate::types::Lit;
+
+/// Handle to a clause inside a [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single clause plus the metadata CDCL needs for clause management.
+#[derive(Debug)]
+pub(crate) struct Clause {
+    lits: Vec<Lit>,
+    /// Learnt clauses are subject to database reduction; problem clauses are
+    /// permanent.
+    pub(crate) learnt: bool,
+    /// Literal-block distance at learning time (lower = more valuable).
+    pub(crate) lbd: u32,
+    /// Bump-and-decay activity used as a tiebreaker during reduction.
+    pub(crate) activity: f64,
+    /// Deleted clauses keep their slot but drop their literals.
+    pub(crate) deleted: bool,
+}
+
+impl Clause {
+    #[inline]
+    pub(crate) fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    #[inline]
+    pub(crate) fn lits_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Removes the literal at `i` (order-destroying swap-remove).
+    #[inline]
+    pub(crate) fn swap_remove(&mut self, i: usize) -> Lit {
+        self.lits.swap_remove(i)
+    }
+}
+
+/// Arena of clauses addressed by [`ClauseRef`].
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of live (non-deleted) learnt clauses.
+    num_learnt: usize,
+    /// Number of live problem clauses.
+    num_problem: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a clause and returns its handle.
+    ///
+    /// The caller must guarantee `lits.len() >= 2`; unit and empty clauses
+    /// are handled by the solver before reaching the database.
+    pub(crate) fn push(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "database clauses must have >= 2 literals");
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        let r = ClauseRef(self.clauses.len() as u32);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            lbd,
+            activity: 0.0,
+            deleted: false,
+        });
+        r
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, r: ClauseRef) -> &Clause {
+        &self.clauses[r.index()]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, r: ClauseRef) -> &mut Clause {
+        &mut self.clauses[r.index()]
+    }
+
+    /// Marks a clause deleted and releases its literal storage.
+    pub(crate) fn delete(&mut self, r: ClauseRef) {
+        let c = &mut self.clauses[r.index()];
+        debug_assert!(!c.deleted, "double delete of clause {r:?}");
+        c.deleted = true;
+        c.lits = Vec::new();
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_problem -= 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_deleted(&self, r: ClauseRef) -> bool {
+        self.clauses[r.index()].deleted
+    }
+
+    /// Live learnt-clause count.
+    #[inline]
+    pub(crate) fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    /// Live problem-clause count.
+    #[inline]
+    pub(crate) fn num_problem(&self) -> usize {
+        self.num_problem
+    }
+
+    /// Iterates over handles of all live clauses.
+    pub(crate) fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Handles of live learnt clauses (candidates for reduction).
+    pub(crate) fn learnt_refs(&self) -> Vec<ClauseRef> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted && c.learnt)
+            .map(|(i, _)| ClauseRef(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn lits(ix: &[usize]) -> Vec<Lit> {
+        ix.iter().map(|&i| Var::from_index(i).positive()).collect()
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut db = ClauseDb::new();
+        let r = db.push(lits(&[0, 1, 2]), false, 0);
+        assert_eq!(db.get(r).len(), 3);
+        assert!(!db.get(r).learnt);
+        assert_eq!(db.num_problem(), 1);
+        assert_eq!(db.num_learnt(), 0);
+    }
+
+    #[test]
+    fn delete_releases_and_counts() {
+        let mut db = ClauseDb::new();
+        let p = db.push(lits(&[0, 1]), false, 0);
+        let l = db.push(lits(&[2, 3]), true, 2);
+        assert_eq!(db.num_learnt(), 1);
+        db.delete(l);
+        assert!(db.is_deleted(l));
+        assert!(!db.is_deleted(p));
+        assert_eq!(db.num_learnt(), 0);
+        assert_eq!(db.num_problem(), 1);
+        assert_eq!(db.iter_refs().count(), 1);
+    }
+
+    #[test]
+    fn learnt_refs_only_live_learnt() {
+        let mut db = ClauseDb::new();
+        db.push(lits(&[0, 1]), false, 0);
+        let l1 = db.push(lits(&[2, 3]), true, 2);
+        let l2 = db.push(lits(&[4, 5]), true, 3);
+        db.delete(l1);
+        assert_eq!(db.learnt_refs(), vec![l2]);
+    }
+
+    #[test]
+    fn swap_remove_shrinks() {
+        let mut db = ClauseDb::new();
+        let r = db.push(lits(&[0, 1, 2]), false, 0);
+        let removed = db.get_mut(r).swap_remove(0);
+        assert_eq!(removed, Var::from_index(0).positive());
+        assert_eq!(db.get(r).len(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! Exact MaxSAT-style minimisation on top of the incremental CDCL solver.
+//!
+//! The ETCS design tasks need two optimisation modes:
+//!
+//! * a single linear objective (`min Σ border_v` for layout generation),
+//! * a lexicographic pair (`min Σ ¬done^t`, then `min Σ border_v` for
+//!   schedule optimisation).
+//!
+//! Both are solved by iteratively tightening an assumable unary bound built
+//! by [`Objective::lower`]: because bounds are passed as *assumptions*, an
+//! UNSAT answer at a candidate bound leaves the solver reusable for the next
+//! probe and for subsequent objectives.
+
+use crate::model::Model;
+use crate::pb::{Objective, ObjectiveCounter};
+use crate::solver::{SatResult, Solver};
+use crate::types::Lit;
+
+/// Search strategy for the minimisation loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Start from the first model's cost and repeatedly ask for `cost - 1`.
+    /// Each SAT step produces a strictly better model; the final UNSAT step
+    /// proves optimality. Usually best when good models are found early.
+    #[default]
+    LinearSatUnsat,
+    /// Binary search between 0 and the first model's cost. Fewer solver
+    /// calls on instances whose optimum is far below the first model.
+    BinarySearch,
+}
+
+/// Result of a successful minimisation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimumResult {
+    /// An optimal model.
+    pub model: Model,
+    /// The proven optimal cost.
+    pub cost: u64,
+    /// Number of solver calls spent (including the initial one).
+    pub solver_calls: usize,
+}
+
+/// Outcome of [`minimize`] / [`minimize_lex`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptimizeOutcome {
+    /// Optimum found and proven.
+    Optimal(OptimumResult),
+    /// The hard constraints are unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out; `best` holds the best model found so
+    /// far, if any (not proven optimal).
+    Unknown {
+        /// Best (unproven) result so far.
+        best: Option<OptimumResult>,
+    },
+}
+
+impl OptimizeOutcome {
+    /// The optimal result if one was proven.
+    pub fn optimal(&self) -> Option<&OptimumResult> {
+        match self {
+            OptimizeOutcome::Optimal(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` if the hard constraints were proven unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, OptimizeOutcome::Unsat)
+    }
+}
+
+/// Minimises `objective` subject to the clauses already in `solver` and the
+/// extra `assumptions` (which are kept active during the whole search).
+///
+/// The solver is left usable afterwards; the optimum is *not* asserted as a
+/// hard constraint (use the returned cost with
+/// [`Objective::lower`]-derived bounds if you need to pin it, as
+/// [`minimize_lex`] does).
+pub fn minimize(
+    solver: &mut Solver,
+    objective: &Objective,
+    assumptions: &[Lit],
+    strategy: Strategy,
+) -> OptimizeOutcome {
+    let mut calls = 0usize;
+    let first = {
+        calls += 1;
+        solver.solve_with(assumptions)
+    };
+    let mut best = match first {
+        SatResult::Sat(m) => {
+            let cost = objective.eval(&m);
+            OptimumResult {
+                model: m,
+                cost,
+                solver_calls: calls,
+            }
+        }
+        SatResult::Unsat { .. } => return OptimizeOutcome::Unsat,
+        SatResult::Unknown => return OptimizeOutcome::Unknown { best: None },
+    };
+    if objective.is_empty() || best.cost == 0 {
+        best.solver_calls = calls;
+        return OptimizeOutcome::Optimal(best);
+    }
+
+    let counter = objective.lower(solver);
+    match strategy {
+        Strategy::LinearSatUnsat => loop {
+            let target = best.cost - 1;
+            let Some(bound) = counter.at_most(target) else {
+                // target >= capacity would be trivially true; cannot happen
+                // here because target < best.cost <= capacity.
+                unreachable!("bound below a witnessed cost always exists");
+            };
+            let mut assume: Vec<Lit> = assumptions.to_vec();
+            assume.push(bound);
+            calls += 1;
+            match solver.solve_with(&assume) {
+                SatResult::Sat(m) => {
+                    let cost = objective.eval(&m);
+                    debug_assert!(cost <= target, "bounded solve exceeded bound");
+                    best = OptimumResult {
+                        model: m,
+                        cost,
+                        solver_calls: calls,
+                    };
+                    if cost == 0 {
+                        return OptimizeOutcome::Optimal(best);
+                    }
+                }
+                SatResult::Unsat { .. } => {
+                    best.solver_calls = calls;
+                    return OptimizeOutcome::Optimal(best);
+                }
+                SatResult::Unknown => {
+                    best.solver_calls = calls;
+                    return OptimizeOutcome::Unknown { best: Some(best) };
+                }
+            }
+        },
+        Strategy::BinarySearch => {
+            let mut lo = 0u64; // smallest cost not yet excluded
+            while lo < best.cost {
+                let mid = lo + (best.cost - lo) / 2;
+                let bound = counter
+                    .at_most(mid)
+                    .expect("mid < best.cost <= capacity, bound exists");
+                let mut assume: Vec<Lit> = assumptions.to_vec();
+                assume.push(bound);
+                calls += 1;
+                match solver.solve_with(&assume) {
+                    SatResult::Sat(m) => {
+                        let cost = objective.eval(&m);
+                        debug_assert!(cost <= mid);
+                        best = OptimumResult {
+                            model: m,
+                            cost,
+                            solver_calls: calls,
+                        };
+                    }
+                    SatResult::Unsat { .. } => {
+                        lo = mid + 1;
+                    }
+                    SatResult::Unknown => {
+                        best.solver_calls = calls;
+                        return OptimizeOutcome::Unknown { best: Some(best) };
+                    }
+                }
+            }
+            best.solver_calls = calls;
+            OptimizeOutcome::Optimal(best)
+        }
+    }
+}
+
+/// Result of a lexicographic minimisation: one cost per objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexOptimumResult {
+    /// A model optimal for the lexicographic ordering.
+    pub model: Model,
+    /// Proven optimal cost of each objective, in order.
+    pub costs: Vec<u64>,
+    /// Total solver calls across all stages.
+    pub solver_calls: usize,
+}
+
+/// Lexicographically minimises `objectives[0]`, then `objectives[1]` subject
+/// to the first being at its optimum, and so on.
+///
+/// Used by the ETCS schedule-optimisation task: time steps first, VSS
+/// borders second.
+pub fn minimize_lex(
+    solver: &mut Solver,
+    objectives: &[Objective],
+    strategy: Strategy,
+) -> OptimizeOutcome {
+    let mut pinned: Vec<Lit> = Vec::new();
+    let mut costs: Vec<u64> = Vec::new();
+    let mut calls = 0usize;
+    let mut model: Option<Model> = None;
+
+    for obj in objectives {
+        match minimize(solver, obj, &pinned, strategy) {
+            OptimizeOutcome::Optimal(r) => {
+                calls += r.solver_calls;
+                costs.push(r.cost);
+                model = Some(r.model);
+                // Pin this objective at its optimum for the later stages.
+                if !obj.is_empty() && r.cost < obj.max_cost() {
+                    let counter: ObjectiveCounter = obj.lower(solver);
+                    if let Some(b) = counter.at_most(r.cost) {
+                        pinned.push(b);
+                    }
+                }
+            }
+            OptimizeOutcome::Unsat => return OptimizeOutcome::Unsat,
+            OptimizeOutcome::Unknown { best } => {
+                return OptimizeOutcome::Unknown {
+                    best: best.map(|mut r| {
+                        r.solver_calls += calls;
+                        r
+                    }),
+                }
+            }
+        }
+    }
+
+    match model {
+        Some(model) => {
+            // Represent the lexicographic result through OptimumResult of the
+            // *last* objective; full per-objective costs are attached via
+            // `LexOptimumResult` from `minimize_lex_full`.
+            let cost = *costs.last().unwrap_or(&0);
+            OptimizeOutcome::Optimal(OptimumResult {
+                model,
+                cost,
+                solver_calls: calls,
+            })
+        }
+        None => {
+            // No objectives: plain satisfiability.
+            calls += 1;
+            match solver.solve() {
+                SatResult::Sat(m) => OptimizeOutcome::Optimal(OptimumResult {
+                    model: m,
+                    cost: 0,
+                    solver_calls: calls,
+                }),
+                SatResult::Unsat { .. } => OptimizeOutcome::Unsat,
+                SatResult::Unknown => OptimizeOutcome::Unknown { best: None },
+            }
+        }
+    }
+}
+
+/// Like [`minimize_lex`] but reports every stage's optimal cost.
+pub fn minimize_lex_full(
+    solver: &mut Solver,
+    objectives: &[Objective],
+    strategy: Strategy,
+) -> Result<Option<LexOptimumResult>, BudgetExhausted> {
+    let mut pinned: Vec<Lit> = Vec::new();
+    let mut costs: Vec<u64> = Vec::new();
+    let mut calls = 0usize;
+    let mut model: Option<Model> = None;
+
+    for obj in objectives {
+        match minimize(solver, obj, &pinned, strategy) {
+            OptimizeOutcome::Optimal(r) => {
+                calls += r.solver_calls;
+                costs.push(r.cost);
+                model = Some(r.model);
+                if !obj.is_empty() && r.cost < obj.max_cost() {
+                    let counter = obj.lower(solver);
+                    if let Some(b) = counter.at_most(r.cost) {
+                        pinned.push(b);
+                    }
+                }
+            }
+            OptimizeOutcome::Unsat => return Ok(None),
+            OptimizeOutcome::Unknown { .. } => return Err(BudgetExhausted),
+        }
+    }
+    let model = match model {
+        Some(m) => m,
+        None => match solver.solve() {
+            SatResult::Sat(m) => {
+                calls += 1;
+                m
+            }
+            SatResult::Unsat { .. } => return Ok(None),
+            SatResult::Unknown => return Err(BudgetExhausted),
+        },
+    };
+    Ok(Some(LexOptimumResult {
+        model,
+        costs,
+        solver_calls: calls,
+    }))
+}
+
+/// The conflict budget was exhausted before optimality could be proven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conflict budget exhausted before proving optimality")
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfSink;
+
+    /// min #true over 5 free vars with a hard "at least 2 true" ⇒ optimum 2.
+    fn at_least_two_instance() -> (Solver, Objective) {
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..5).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+        let t = crate::card::Totalizer::build(&mut s, xs.clone());
+        let al = t.at_least(2).expect("bound exists");
+        s.assert_true(al);
+        (s, Objective::count_of(xs))
+    }
+
+    #[test]
+    fn linear_finds_proven_optimum() {
+        let (mut s, obj) = at_least_two_instance();
+        match minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat) {
+            OptimizeOutcome::Optimal(r) => {
+                assert_eq!(r.cost, 2);
+                assert_eq!(obj.eval(&r.model), 2);
+            }
+            other => panic!("expected optimal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_finds_same_optimum() {
+        let (mut s, obj) = at_least_two_instance();
+        match minimize(&mut s, &obj, &[], Strategy::BinarySearch) {
+            OptimizeOutcome::Optimal(r) => assert_eq!(r.cost, 2),
+            other => panic!("expected optimal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_hard_constraints_reported() {
+        let mut s = Solver::new();
+        let a = CnfSink::new_var(&mut s).positive();
+        s.assert_true(a);
+        s.assert_false(a);
+        let obj = Objective::count_of([a]);
+        assert!(minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat).is_unsat());
+    }
+
+    #[test]
+    fn zero_cost_short_circuits() {
+        let mut s = Solver::new();
+        let a = CnfSink::new_var(&mut s).positive();
+        let b = CnfSink::new_var(&mut s).positive();
+        s.add_clause([a, b]); // satisfiable with both cost lits false? no: a∨b
+        let obj = Objective::count_of([]); // empty objective
+        match minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat) {
+            OptimizeOutcome::Optimal(r) => assert_eq!(r.cost, 0),
+            other => panic!("expected optimal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weighted_objective_minimised() {
+        // a ∨ b required; cost(a)=1, cost(b)=10 ⇒ choose a.
+        let mut s = Solver::new();
+        let a = CnfSink::new_var(&mut s).positive();
+        let b = CnfSink::new_var(&mut s).positive();
+        s.add_clause([a, b]);
+        let obj = Objective::new(vec![(a, 1), (b, 10)]);
+        match minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat) {
+            OptimizeOutcome::Optimal(r) => {
+                assert_eq!(r.cost, 1);
+                assert!(r.model.lit_is_true(a));
+                assert!(!r.model.lit_is_true(b));
+            }
+            other => panic!("expected optimal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexicographic_orders_objectives() {
+        // Hard: a ∨ b. Obj1: min (#{a}) ⇒ a false. Obj2: min (#{¬b})
+        // subject to a false ⇒ b true (forced anyway), cost2 = 0.
+        let mut s = Solver::new();
+        let a = CnfSink::new_var(&mut s).positive();
+        let b = CnfSink::new_var(&mut s).positive();
+        s.add_clause([a, b]);
+        let o1 = Objective::count_of([a]);
+        let o2 = Objective::count_of([!b]);
+        let r = minimize_lex_full(&mut s, &[o1, o2], Strategy::LinearSatUnsat)
+            .expect("budget unlimited")
+            .expect("satisfiable");
+        assert_eq!(r.costs, vec![0, 0]);
+        assert!(!r.model.lit_is_true(a));
+        assert!(r.model.lit_is_true(b));
+    }
+
+    #[test]
+    fn lexicographic_pins_first_objective() {
+        // 3 vars, hard: at least 2 true. Obj1: min count(x0,x1,x2) ⇒ 2.
+        // Obj2: min count(x0) ⇒ with cost1 pinned at 2, x0 can be false.
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..3).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+        let t = crate::card::Totalizer::build(&mut s, xs.clone());
+        s.assert_true(t.at_least(2).expect("bound"));
+        let o1 = Objective::count_of(xs.clone());
+        let o2 = Objective::count_of([xs[0]]);
+        let r = minimize_lex_full(&mut s, &[o1, o2], Strategy::LinearSatUnsat)
+            .expect("budget unlimited")
+            .expect("satisfiable");
+        assert_eq!(r.costs, vec![2, 0]);
+        assert!(!r.model.lit_is_true(xs[0]));
+        assert_eq!(r.model.count_true(&xs), 2);
+    }
+
+    #[test]
+    fn lex_unsat_propagates() {
+        let mut s = Solver::new();
+        let a = CnfSink::new_var(&mut s).positive();
+        s.assert_true(a);
+        s.assert_false(a);
+        let o = Objective::count_of([a]);
+        assert!(minimize_lex(&mut s, &[o], Strategy::LinearSatUnsat).is_unsat());
+    }
+
+    #[test]
+    fn solver_reusable_after_minimize() {
+        let (mut s, obj) = at_least_two_instance();
+        let _ = minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat);
+        // The optimum was probed with assumptions only; the base formula is
+        // still satisfiable with any count >= 2.
+        assert!(s.solve().is_sat());
+    }
+}

@@ -1,0 +1,142 @@
+//! Satisfying assignments returned by the solver.
+
+use crate::types::{LBool, Lit, Var};
+
+/// An immutable snapshot of a satisfying assignment.
+///
+/// Variables that were irrelevant to satisfiability may be unassigned in the
+/// solver; the model maps those to `false`, which is always safe for the
+/// encodings in this workspace (all constraints are clauses, and a clause
+/// satisfied under a partial assignment stays satisfied under any
+/// completion of it).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::{Solver, SatResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// s.add_clause([a.positive()]);
+/// let SatResult::Sat(model) = s.solve() else { unreachable!() };
+/// assert!(model.var_is_true(a));
+/// assert!(!model.lit_is_true(a.negative()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Builds a model from the solver's internal assignment table,
+    /// completing unassigned variables with `false`.
+    pub(crate) fn from_assignments(assigns: &[LBool]) -> Self {
+        Model {
+            values: assigns
+                .iter()
+                .map(|v| matches!(v, LBool::True))
+                .collect(),
+        }
+    }
+
+    /// Builds a model directly from per-variable truth values (used by
+    /// tests and by external tooling that replays stored models).
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// Number of variables covered by the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Truth value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is outside the model.
+    pub fn var_is_true(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// Truth value of a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal's variable is outside the model.
+    pub fn lit_is_true(&self, l: Lit) -> bool {
+        self.values[l.var().index()] == l.is_positive()
+    }
+
+    /// Iterates over `(Var, bool)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (Var::from_index(i), b))
+    }
+
+    /// Evaluates a clause (a disjunction) under this model.
+    pub fn satisfies_clause(&self, clause: &[Lit]) -> bool {
+        clause.iter().any(|&l| self.lit_is_true(l))
+    }
+
+    /// Number of `true` literals among the given literals (used by the
+    /// MaxSAT layer to evaluate objective values).
+    pub fn count_true<'a>(&self, lits: impl IntoIterator<Item = &'a Lit>) -> usize {
+        lits.into_iter().filter(|&&l| self.lit_is_true(l)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undef_completes_to_false() {
+        let m = Model::from_assignments(&[LBool::True, LBool::Undef, LBool::False]);
+        assert!(m.var_is_true(Var::from_index(0)));
+        assert!(!m.var_is_true(Var::from_index(1)));
+        assert!(!m.var_is_true(Var::from_index(2)));
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let m = Model::from_values(vec![true, false]);
+        let a = Var::from_index(0);
+        let b = Var::from_index(1);
+        assert!(m.lit_is_true(a.positive()));
+        assert!(!m.lit_is_true(a.negative()));
+        assert!(!m.lit_is_true(b.positive()));
+        assert!(m.lit_is_true(b.negative()));
+    }
+
+    #[test]
+    fn clause_evaluation() {
+        let m = Model::from_values(vec![true, false]);
+        let a = Var::from_index(0).positive();
+        let b = Var::from_index(1).positive();
+        assert!(m.satisfies_clause(&[a, b]));
+        assert!(m.satisfies_clause(&[!b]));
+        assert!(!m.satisfies_clause(&[b]));
+        assert!(!m.satisfies_clause(&[]));
+    }
+
+    #[test]
+    fn count_true_counts() {
+        let m = Model::from_values(vec![true, true, false]);
+        let lits: Vec<Lit> = (0..3).map(|i| Var::from_index(i).positive()).collect();
+        assert_eq!(m.count_true(&lits), 2);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let m = Model::from_values(vec![false, true]);
+        let collected: Vec<(usize, bool)> = m.iter().map(|(v, b)| (v.index(), b)).collect();
+        assert_eq!(collected, vec![(0, false), (1, true)]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Linear pseudo-Boolean objectives.
+//!
+//! The ETCS design tasks minimise plain sums of literals (`Σ border_v`,
+//! `Σ ¬done^t`), i.e. unit weights, but the optimiser accepts general small
+//! integer weights: a weighted sum is lowered onto a [`Totalizer`] by
+//! repeating each literal `weight` times, which is exact and keeps the
+//! encoding arc-consistent. This is quadratic in the weight magnitude and
+//! documented as such — it is the right trade-off for the weight ranges
+//! occurring here (1..=a few dozen).
+
+use crate::card::Totalizer;
+use crate::cnf::CnfSink;
+use crate::model::Model;
+use crate::types::Lit;
+
+/// A linear objective `minimise Σ wᵢ · [ℓᵢ is true]`.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::{Objective, Formula, CnfSink};
+/// let mut f = Formula::new();
+/// let a = f.new_var().positive();
+/// let b = f.new_var().positive();
+/// let obj = Objective::new(vec![(a, 1), (b, 3)]);
+/// assert_eq!(obj.max_cost(), 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Objective {
+    terms: Vec<(Lit, u64)>,
+}
+
+impl Objective {
+    /// Creates an objective from `(literal, weight)` terms.
+    ///
+    /// Zero-weight terms are dropped.
+    pub fn new(terms: Vec<(Lit, u64)>) -> Self {
+        Objective {
+            terms: terms.into_iter().filter(|&(_, w)| w > 0).collect(),
+        }
+    }
+
+    /// Creates a unit-weight objective over the given cost literals.
+    pub fn count_of(lits: impl IntoIterator<Item = Lit>) -> Self {
+        Objective {
+            terms: lits.into_iter().map(|l| (l, 1)).collect(),
+        }
+    }
+
+    /// The `(literal, weight)` terms.
+    pub fn terms(&self) -> &[(Lit, u64)] {
+        &self.terms
+    }
+
+    /// `true` when the objective has no terms (cost is constantly 0).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Upper bound on the cost (all cost literals true).
+    pub fn max_cost(&self) -> u64 {
+        self.terms.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Cost of a model.
+    pub fn eval(&self, model: &Model) -> u64 {
+        self.terms
+            .iter()
+            .filter(|&&(l, _)| model.lit_is_true(l))
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// Lowers the objective onto a unary counter in `sink`.
+    ///
+    /// The returned [`ObjectiveCounter`] exposes assumable upper-bound
+    /// literals used by the MaxSAT search.
+    pub fn lower<S: CnfSink + ?Sized>(&self, sink: &mut S) -> ObjectiveCounter {
+        let mut expanded: Vec<Lit> = Vec::with_capacity(self.max_cost() as usize);
+        for &(l, w) in &self.terms {
+            for _ in 0..w {
+                expanded.push(l);
+            }
+        }
+        ObjectiveCounter {
+            totalizer: Totalizer::build(sink, expanded),
+        }
+    }
+}
+
+impl FromIterator<(Lit, u64)> for Objective {
+    fn from_iter<I: IntoIterator<Item = (Lit, u64)>>(iter: I) -> Self {
+        Objective::new(iter.into_iter().collect())
+    }
+}
+
+/// A unary counter of an [`Objective`]'s cost, embedded in a formula or
+/// solver, with assumable bound literals.
+#[derive(Clone, Debug)]
+pub struct ObjectiveCounter {
+    totalizer: Totalizer,
+}
+
+impl ObjectiveCounter {
+    /// Literal asserting `cost ≤ bound`; `None` when trivially true.
+    pub fn at_most(&self, bound: u64) -> Option<Lit> {
+        self.totalizer.at_most(bound as usize)
+    }
+
+    /// The maximum representable cost.
+    pub fn capacity(&self) -> u64 {
+        self.totalizer.inputs().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Formula;
+    use crate::solver::{SatResult, Solver};
+
+    #[test]
+    fn eval_weighted() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        let obj = Objective::new(vec![(a, 2), (b, 5)]);
+        let m = Model::from_values(vec![true, false]);
+        assert_eq!(obj.eval(&m), 2);
+        let m2 = Model::from_values(vec![true, true]);
+        assert_eq!(obj.eval(&m2), 7);
+    }
+
+    #[test]
+    fn zero_weights_dropped() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let obj = Objective::new(vec![(a, 0)]);
+        assert!(obj.is_empty());
+        assert_eq!(obj.max_cost(), 0);
+    }
+
+    #[test]
+    fn lowered_counter_bounds_weighted_cost() {
+        // cost(a)=2, cost(b)=3; require cost <= 2 ⇒ b must be false.
+        let mut s = Solver::new();
+        let a = crate::cnf::CnfSink::new_var(&mut s).positive();
+        let b = crate::cnf::CnfSink::new_var(&mut s).positive();
+        let obj = Objective::new(vec![(a, 2), (b, 3)]);
+        let counter = obj.lower(&mut s);
+        let bound = counter.at_most(2).expect("bound exists");
+        s.add_clause([a, b]); // at least one cost literal true
+        match s.solve_with(&[bound]) {
+            SatResult::Sat(m) => {
+                assert!(obj.eval(&m) <= 2);
+                assert!(!m.lit_is_true(b));
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_of_builds_unit_weights() {
+        let mut f = Formula::new();
+        let lits: Vec<Lit> = (0..3).map(|_| f.new_var().positive()).collect();
+        let obj = Objective::count_of(lits.clone());
+        assert_eq!(obj.max_cost(), 3);
+        assert!(obj.terms().iter().all(|&(_, w)| w == 1));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let obj: Objective = [(a, 4u64)].into_iter().collect();
+        assert_eq!(obj.max_cost(), 4);
+    }
+
+    #[test]
+    fn counter_capacity_is_total_weight() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        let obj = Objective::new(vec![(a, 2), (b, 3)]);
+        let c = obj.lower(&mut f);
+        assert_eq!(c.capacity(), 5);
+        assert!(c.at_most(5).is_none()); // trivially true
+        assert!(c.at_most(4).is_some());
+    }
+}

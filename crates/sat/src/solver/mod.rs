@@ -1,0 +1,1117 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The engine implements the standard modern architecture: two-watched-literal
+//! propagation with blocker literals, first-UIP conflict analysis with clause
+//! minimisation, VSIDS decision heuristics with phase saving, Luby restarts,
+//! LBD-based learnt-clause database reduction, level-0 simplification, and
+//! incremental solving under assumptions with unsat-core extraction.
+//!
+//! This crate is the substrate standing in for Z3 in the ETCS Level 3
+//! reproduction: the encodings in `etcs-core` are plain CNF plus linear
+//! objectives, for which an exact CDCL + MaxSAT stack produces identical
+//! answers.
+
+mod heap;
+mod restart;
+
+pub use restart::luby;
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::model::Model;
+use crate::stats::Stats;
+use crate::types::{LBool, Lit, Var};
+use heap::VarHeap;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula is unsatisfiable under the given assumptions.
+    ///
+    /// `core` is a subset of the assumption literals that is already
+    /// inconsistent with the formula (empty when the formula itself is
+    /// unsatisfiable without assumptions).
+    Unsat {
+        /// Failed subset of the assumptions.
+        core: Vec<Lit>,
+    },
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat { .. })
+    }
+
+    /// The model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// Arbitrary other literal of the clause; if it is already true the
+    /// clause is satisfied and the watch scan can skip loading the clause.
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 128;
+
+/// A CDCL SAT solver over clauses built from [`Var`]s handed out by
+/// [`Solver::new_var`].
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::{Solver, SatResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.positive(), b.positive()]);
+/// s.add_clause([!a.positive()]);
+/// match s.solve() {
+///     SatResult::Sat(model) => assert!(model.lit_is_true(b.positive())),
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// `watches[l.index()]` lists clauses that must be inspected when literal
+    /// `l` becomes true (they watch `!l`).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    heap: VarHeap,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    /// Becomes false once level-0 unsatisfiability is established.
+    ok: bool,
+    seen: Vec<bool>,
+    stats: Stats,
+    /// Learnt-clause count that triggers the next database reduction.
+    reduce_limit: usize,
+    /// Trail length at the last level-0 simplification; the satisfied-clause
+    /// scan is skipped while no new level-0 facts have been derived.
+    last_simplify_trail: usize,
+    conflict_budget: Option<u64>,
+    default_phase: bool,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables and no clauses.
+    pub fn new() -> Self {
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            heap: VarHeap::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            stats: Stats::default(),
+            reduce_limit: 2000,
+            last_simplify_trail: 0,
+            conflict_budget: None,
+            default_phase: false,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phase.push(self.default_phase);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow_to(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Allocates `n` fresh variables and returns them in order.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live clauses (problem + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_problem() + self.db.num_learnt()
+    }
+
+    /// Cumulative search statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Limits the next `solve` calls to roughly `budget` conflicts
+    /// (`None` = unlimited). When exhausted, [`SatResult::Unknown`] is
+    /// returned and the solver remains usable.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Sets the phase a variable is first tried with (`false` by default,
+    /// which suits sparse encodings such as the ETCS occupancy variables).
+    pub fn set_default_phase(&mut self, phase: bool) {
+        self.default_phase = phase;
+    }
+
+    /// Sets the saved phase of one variable (the value it is first decided
+    /// to). Encoders use this to steer the search towards likely-satisfiable
+    /// regions, e.g. "all VSS borders active".
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        self.phase[v.index()] = phase;
+    }
+
+    /// Adds `amount` to a variable's branching activity. Encoders use this
+    /// to seed a domain-aware decision order (e.g. structural variables
+    /// first, early time steps before late ones); VSIDS takes over as
+    /// conflicts accumulate.
+    pub fn boost_activity(&mut self, v: Var, amount: f64) {
+        self.activity[v.index()] += amount;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the formula is now unsatisfiable at level 0 (an
+    /// empty clause arose); the solver stays in that state and further
+    /// `solve` calls return `Unsat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a literal references a variable that was not
+    /// created by [`Solver::new_var`] on this solver.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            debug_assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l:?} uses an unallocated variable"
+            );
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut write = 0;
+        for read in 0..lits.len() {
+            let l = lits[read];
+            if read + 1 < lits.len() && lits[read + 1] == !l {
+                return true; // tautology: contains l and !l (adjacent after sort)
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => {
+                    lits[write] = l;
+                    write += 1;
+                }
+            }
+        }
+        lits.truncate(write);
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.push(lits, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Convenience for adding many clauses; returns `false` if any addition
+    /// made the formula level-0 unsatisfiable.
+    pub fn add_clauses<I, C>(&mut self, clauses: I) -> bool
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = Lit>,
+    {
+        let mut ok = true;
+        for c in clauses {
+            ok &= self.add_clause(c);
+        }
+        ok
+    }
+
+    /// Solves the current formula without assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On `Unsat`, the returned `core` is a subset of `assumptions` that is
+    /// jointly inconsistent with the formula. The solver state (clauses,
+    /// activities, learnt clauses) is preserved across calls, enabling
+    /// incremental use by the MaxSAT layer.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat { core: Vec::new() };
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat { core: Vec::new() };
+        }
+        // Size the learnt-clause budget to the problem: tiny limits thrash
+        // on large encodings.
+        self.reduce_limit = self.reduce_limit.max(self.db.num_problem() / 2);
+        let budget_start = self.stats.conflicts;
+        let mut restart_num = 0u64;
+        loop {
+            restart_num += 1;
+            let limit = RESTART_BASE * luby(restart_num);
+            match self.search(assumptions, limit, budget_start) {
+                SearchOutcome::Sat => {
+                    let model = Model::from_assignments(&self.assigns);
+                    self.cancel_until(0);
+                    return SatResult::Sat(model);
+                }
+                SearchOutcome::Unsat(core) => {
+                    self.cancel_until(0);
+                    return SatResult::Unsat { core };
+                }
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                    self.simplify_and_maybe_reduce();
+                    if !self.ok {
+                        return SatResult::Unsat { core: Vec::new() };
+                    }
+                }
+                SearchOutcome::BudgetExhausted => {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+            }
+        }
+    }
+
+    /// Current value of a literal under the partial/level-0 assignment.
+    ///
+    /// After `solve` returned, the trail is rolled back to level 0, so this
+    /// reports only facts fixed by the formula itself.
+    pub fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// `true` once the formula is known unsatisfiable at level 0.
+    pub fn is_conflicting(&self) -> bool {
+        !self.ok
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = self.db.get(cref);
+            (c.lits()[0], c.lits()[1])
+        };
+        self.watches[(!w0).index()].push(Watcher { cref, blocker: w1 });
+        self.watches[(!w1).index()].push(Watcher { cref, blocker: w0 });
+    }
+
+    #[inline]
+    fn enqueue(&mut self, p: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(p), LBool::Undef);
+        let v = p.var().index();
+        self.assigns[v] = LBool::from_bool(p.is_positive());
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail.push(p);
+    }
+
+    /// Unit propagation; returns the conflicting clause if a conflict arose.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                if self.db.is_deleted(w.cref) {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure the falsified watched literal (!p) sits at slot 1.
+                let false_lit = !p;
+                {
+                    let c = self.db.get_mut(w.cref);
+                    let lits = c.lits_mut();
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.get(w.cref).lits()[0];
+                if self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(w.cref).len();
+                for k in 2..len {
+                    let cand = self.db.get(w.cref).lits()[k];
+                    if self.lit_value(cand) != LBool::False {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits_mut().swap(1, k);
+                        self.watches[(!cand).index()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // No replacement: unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, Some(w.cref));
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var();
+            self.phase[v.index()] = p.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reasons[v.index()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.cla_inc;
+        let c = self.db.get_mut(cref);
+        c.activity += inc;
+        if c.activity > RESCALE_LIMIT {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLAUSE_DECAY;
+    }
+
+    /// First-UIP conflict analysis.
+    ///
+    /// Returns the learnt clause (asserting literal first), the backtrack
+    /// level, and the clause's literal-block distance.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = Vec::with_capacity(8);
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+        let current_level = self.decision_level();
+
+        loop {
+            self.bump_clause(cref);
+            let lits: Vec<Lit> = self.db.get(cref).lits().to_vec();
+            for q in lits {
+                // Skip the implied literal itself when traversing its reason.
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v.index()] && self.levels[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.levels[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next marked literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            p = Some(lit);
+            cref = self.reasons[lit.var().index()]
+                .expect("non-decision literal on conflict side must have a reason");
+        }
+
+        let asserting = !p.expect("analysis always reaches the first UIP");
+        // Clause minimisation: drop literals whose reason is subsumed by the
+        // remainder of the learnt clause (one-step self-subsumption).
+        for &l in &learnt {
+            self.seen[l.var().index()] = true;
+        }
+        let minimised: Vec<Lit> = learnt
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let mut learnt = minimised;
+        self.stats.learnt_literals += learnt.len() as u64 + 1;
+
+        // Backtrack level = highest level among the non-asserting literals.
+        let bt_level = learnt
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of bt_level to slot 1 (second watch invariant).
+        let mut out = Vec::with_capacity(learnt.len() + 1);
+        out.push(asserting);
+        if let Some(pos) = learnt
+            .iter()
+            .position(|l| self.levels[l.var().index()] == bt_level)
+        {
+            learnt.swap(0, pos);
+        }
+        out.extend(learnt);
+
+        // LBD = number of distinct decision levels in the clause.
+        let mut lvls: Vec<u32> = out
+            .iter()
+            .map(|l| self.levels[l.var().index()])
+            .collect();
+        lvls.sort_unstable();
+        lvls.dedup();
+        let lbd = lvls.len() as u32;
+
+        (out, bt_level, lbd)
+    }
+
+    /// One-step redundancy check for clause minimisation: `l` is redundant if
+    /// it was implied by literals that are all already in the learnt clause
+    /// (or fixed at level 0).
+    fn literal_redundant(&self, l: Lit) -> bool {
+        match self.reasons[l.var().index()] {
+            None => false,
+            Some(r) => self.db.get(r).lits().iter().all(|&q| {
+                q.var() == l.var()
+                    || self.seen[q.var().index()]
+                    || self.levels[q.var().index()] == 0
+            }),
+        }
+    }
+
+    /// Computes the subset of assumptions responsible for forcing `!failed`.
+    fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[failed.var().index()] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reasons[v] {
+                None => {
+                    // Decision ⇒ an assumption literal (all decisions below
+                    // the assumption boundary are assumptions). This also
+                    // covers the opposite phase of the failed assumption's
+                    // own variable, which is itself an assumption when two
+                    // contradictory assumptions are passed.
+                    core.push(q);
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.db.get(r).lits().to_vec();
+                    for x in lits {
+                        if self.levels[x.var().index()] > 0 {
+                            self.seen[x.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[failed.var().index()] = false;
+        core
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_limit: u64,
+        budget_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat(Vec::new());
+                }
+                let (learnt, bt_level, lbd) = self.analyze(conflict);
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    debug_assert_eq!(bt_level, 0);
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.db.push(learnt, true, lbd);
+                    self.attach(cref);
+                    self.enqueue(asserting, Some(cref));
+                }
+                self.decay_activities();
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if conflicts_here >= conflict_limit {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Assumption decisions come first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            // Already implied: open a dummy level so the
+                            // assumption index keeps advancing.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            let core = self.analyze_final(p);
+                            return SearchOutcome::Unsat(core);
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = v.lit(self.phase[v.index()]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Level-0 housekeeping performed between restarts: removes satisfied
+    /// clauses, strips falsified literals, and if the learnt database grew
+    /// past the limit deletes the less valuable half.
+    ///
+    /// The satisfied-clause scan only runs when new level-0 facts appeared
+    /// since the last call, so restarts stay cheap.
+    fn simplify_and_maybe_reduce(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        debug_assert_eq!(self.qhead, self.trail.len());
+        // Reasons of level-0 assignments are never inspected again.
+        for &p in &self.trail {
+            self.reasons[p.var().index()] = None;
+        }
+        let mut changed = false;
+        let mut units: Vec<Lit> = Vec::new();
+        if self.trail.len() > self.last_simplify_trail {
+            self.last_simplify_trail = self.trail.len();
+            changed = true;
+            units = match self.remove_satisfied() {
+                Some(units) => units,
+                None => return, // level-0 conflict found
+            };
+        }
+        if self.db.num_learnt() > self.reduce_limit {
+            self.reduce_learnt();
+            self.reduce_limit += self.reduce_limit / 2;
+            changed = true;
+        }
+        if changed {
+            // Watches must be consistent before the recovered units are
+            // propagated, otherwise their implications would be lost.
+            self.rebuild_watches();
+        }
+        for u in units {
+            match self.lit_value(u) {
+                LBool::False => {
+                    self.ok = false;
+                    return;
+                }
+                LBool::Undef => self.enqueue(u, None),
+                LBool::True => {}
+            }
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        self.last_simplify_trail = self.last_simplify_trail.max(self.trail.len());
+    }
+
+    /// Deletes clauses satisfied at level 0 and strips falsified literals.
+    /// Returns the recovered unit literals, or `None` on a level-0 conflict
+    /// (an empty clause).
+    fn remove_satisfied(&mut self) -> Option<Vec<Lit>> {
+        let refs: Vec<ClauseRef> = self.db.iter_refs().collect();
+        let mut units: Vec<Lit> = Vec::new();
+        for r in refs {
+            let mut satisfied = false;
+            let mut k = 0;
+            while k < self.db.get(r).len() {
+                let l = self.db.get(r).lits()[k];
+                match self.lit_value(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => {
+                        self.db.get_mut(r).swap_remove(k);
+                    }
+                    LBool::Undef => k += 1,
+                }
+            }
+            if satisfied {
+                self.db.delete(r);
+                continue;
+            }
+            match self.db.get(r).len() {
+                0 => {
+                    self.ok = false;
+                    return None;
+                }
+                1 => {
+                    units.push(self.db.get(r).lits()[0]);
+                    self.db.delete(r);
+                }
+                _ => {}
+            }
+        }
+        Some(units)
+    }
+
+    /// Deletes the worse half of learnt clauses (high LBD, low activity).
+    /// Glue clauses (LBD <= 2) are always kept.
+    fn reduce_learnt(&mut self) {
+        let mut learnt = self.db.learnt_refs();
+        learnt.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            ca.lbd
+                .cmp(&cb.lbd)
+                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let keep = learnt.len() / 2;
+        for &r in learnt.iter().skip(keep) {
+            if self.db.get(r).lbd <= 2 {
+                continue;
+            }
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let refs: Vec<ClauseRef> = self.db.iter_refs().collect();
+        for r in refs {
+            debug_assert!(self.db.get(r).len() >= 2);
+            self.attach(r);
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat(Vec<Lit>),
+    Restart,
+    BudgetExhausted,
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver) -> Lit {
+        s.new_var().positive()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        s.add_clause([a]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.lit_is_true(a)),
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        s.add_clause([a]);
+        assert!(!s.add_clause([!a]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        let mut s = Solver::new();
+        let vars: Vec<Lit> = (0..20).map(|_| lit(&mut s)).collect();
+        for w in vars.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        s.add_clause([vars[0]]);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                for &v in &vars {
+                    assert!(m.lit_is_true(v));
+                }
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_unsat_triangle() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ ¬b)
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        s.add_clause([a, !b]);
+        s.add_clause([!a, !b]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        assert!(s.add_clause([a, !a]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause([a, a, b, b]);
+        s.add_clause([!a]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.lit_is_true(b)),
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat_with_core() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        let c = lit(&mut s);
+        s.add_clause([!a, !b]); // a ∧ b impossible
+        s.add_clause([c]);
+        assert!(s.solve_with(&[a]).is_sat());
+        assert!(s.solve_with(&[b]).is_sat());
+        match s.solve_with(&[a, b]) {
+            SatResult::Unsat { core } => {
+                assert!(!core.is_empty());
+                assert!(core.iter().all(|l| *l == a || *l == b));
+            }
+            other => panic!("expected unsat: {other:?}"),
+        }
+        // Solver is still usable afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn core_excludes_irrelevant_assumptions() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        let junk: Vec<Lit> = (0..5).map(|_| lit(&mut s)).collect();
+        s.add_clause([!a, !b]);
+        let mut assumptions = junk.clone();
+        assumptions.push(a);
+        assumptions.push(b);
+        match s.solve_with(&assumptions) {
+            SatResult::Unsat { core } => {
+                for j in junk {
+                    assert!(!core.contains(&j), "irrelevant assumption in core");
+                }
+            }
+            other => panic!("expected unsat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn incremental_solving_reuses_state() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause([a, b]);
+        assert!(s.solve().is_sat());
+        s.add_clause([!a]);
+        match s.solve() {
+            SatResult::Sat(m) => assert!(m.lit_is_true(b)),
+            other => panic!("expected sat: {other:?}"),
+        }
+        s.add_clause([!b]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_or_verdict() {
+        // A hard instance with a tiny budget must not loop forever.
+        let n = 8usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(10));
+        let r = s.solve();
+        assert!(matches!(r, SatResult::Unknown | SatResult::Unsat { .. }));
+    }
+
+    #[test]
+    fn model_respects_all_clauses_random_smoke() {
+        // Deterministic pseudo-random 3-SAT instance, checked against the model.
+        let num_vars = 30usize;
+        let num_clauses = 100usize;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for _ in 0..num_clauses {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let v = vars[(next() % num_vars as u64) as usize];
+                c.push(v.lit(next() % 2 == 0));
+            }
+            clauses.push(c.clone());
+            s.add_clause(c);
+        }
+        if let SatResult::Sat(m) = s.solve() {
+            for c in &clauses {
+                assert!(
+                    c.iter().any(|&l| m.lit_is_true(l)),
+                    "model violates clause {c:?}"
+                );
+            }
+        }
+    }
+}

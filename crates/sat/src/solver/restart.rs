@@ -1,0 +1,74 @@
+//! Luby restart sequence.
+//!
+//! The solver restarts after `base * luby(i)` conflicts where `luby` is the
+//! reluctant-doubling sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 … of
+//! Luby, Sinclair and Zuckerman, the theoretically optimal universal restart
+//! strategy.
+
+/// Returns the `i`-th element of the Luby sequence (`i >= 1`).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::luby;
+/// let prefix: Vec<u64> = (1..=15).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `i == 0`; the sequence is 1-indexed.
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "luby sequence is 1-indexed");
+    // Find the smallest k with 2^k - 1 >= i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let (mut i, mut k) = (i, k);
+    // If i is exactly 2^k - 1 the value is 2^(k-1); otherwise recurse on the
+    // tail of the current block.
+    loop {
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+        k = {
+            let mut k2 = 1u32;
+            while (1u64 << k2) - 1 < i {
+                k2 += 1;
+            }
+            k2
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_prefix() {
+        let expected = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
+            2, 4, 8, 16,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "mismatch at index {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_of_two_positions() {
+        // Position 2^k - 1 carries value 2^(k-1).
+        for k in 1..20u32 {
+            assert_eq!(luby((1u64 << k) - 1), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn zero_panics() {
+        luby(0);
+    }
+}

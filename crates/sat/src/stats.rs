@@ -1,0 +1,66 @@
+//! Cumulative search statistics.
+
+use std::fmt;
+
+/// Counters accumulated across all `solve` calls of a
+/// [`Solver`](crate::Solver).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::Solver;
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// s.add_clause([a.positive()]);
+/// s.solve();
+/// // A trivially satisfiable instance needs no conflicts.
+/// assert_eq!(s.stats().conflicts, 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals dequeued by unit propagation.
+    pub propagations: u64,
+    /// Conflicts encountered (= learnt clauses, counting units).
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Total literals in learnt clauses (after minimisation).
+    pub learnt_literals: u64,
+    /// Learnt clauses removed by database reduction.
+    pub deleted_clauses: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} restarts={} learnt_lits={} deleted={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_literals,
+            self.deleted_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = Stats::default();
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.conflicts, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Stats::default();
+        assert!(format!("{s}").contains("conflicts=0"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based test: lexicographic MaxSAT against brute-force
+//! enumeration on small random instances.
+
+use etcs_sat::{maxsat, CnfSink, Formula, Objective, Solver, Strategy as OptStrategy, Var};
+use proptest::prelude::*;
+
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (3..=6usize).prop_flat_map(|nv| {
+        let clause = proptest::collection::vec(
+            (1..=nv as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..=3,
+        );
+        proptest::collection::vec(clause, 1..=12).prop_map(move |cs| (nv, cs))
+    })
+}
+
+fn build(nv: usize, clauses: &[Vec<i32>]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..nv).map(|_| CnfSink::new_var(&mut s)).collect();
+    for c in clauses {
+        let lits: Vec<_> = c
+            .iter()
+            .map(|&x| vars[(x.unsigned_abs() - 1) as usize].lit(x > 0))
+            .collect();
+        s.add_clause(lits);
+    }
+    (s, vars)
+}
+
+/// Brute-force lexicographic optimum of (min #true in `a`, min #true in `b`)
+/// subject to the clauses; `None` if unsatisfiable.
+fn brute_lex(
+    nv: usize,
+    clauses: &[Vec<i32>],
+    a: &[usize],
+    b: &[usize],
+) -> Option<(u32, u32)> {
+    (0..(1u64 << nv))
+        .filter(|&mask| {
+            clauses.iter().all(|c| {
+                c.iter().any(|&x| {
+                    let bit = mask & (1 << (x.unsigned_abs() - 1)) != 0;
+                    if x > 0 {
+                        bit
+                    } else {
+                        !bit
+                    }
+                })
+            })
+        })
+        .map(|mask| {
+            let count = |set: &[usize]| set.iter().filter(|&&v| mask & (1 << v) != 0).count() as u32;
+            (count(a), count(b))
+        })
+        .min()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexicographic_matches_brute_force(
+        (nv, clauses) in cnf_strategy(),
+        sel in proptest::collection::vec(0usize..3, 6),
+    ) {
+        // Partition variables into objective A (sel = 0), objective B
+        // (sel = 1), free (sel = 2).
+        let a_vars: Vec<usize> = (0..nv).filter(|&v| sel[v] == 0).collect();
+        let b_vars: Vec<usize> = (0..nv).filter(|&v| sel[v] == 1).collect();
+        let expected = brute_lex(nv, &clauses, &a_vars, &b_vars);
+
+        let (mut s, vars) = build(nv, &clauses);
+        let obj_a = Objective::count_of(a_vars.iter().map(|&v| vars[v].positive()));
+        let obj_b = Objective::count_of(b_vars.iter().map(|&v| vars[v].positive()));
+        let result = maxsat::minimize_lex_full(
+            &mut s,
+            &[obj_a.clone(), obj_b.clone()],
+            OptStrategy::LinearSatUnsat,
+        )
+        .expect("no budget configured");
+        match (result, expected) {
+            (Some(r), Some((ea, eb))) => {
+                prop_assert_eq!((r.costs[0] as u32, r.costs[1] as u32), (ea, eb));
+                // The model achieves the reported costs.
+                prop_assert_eq!(obj_a.eval(&r.model) as u32, ea);
+                prop_assert_eq!(obj_b.eval(&r.model) as u32, eb);
+            }
+            (None, None) => {}
+            (got, want) => prop_assert!(
+                false,
+                "solver and brute force disagree: got {:?}, want {:?}",
+                got.map(|r| r.costs.clone()),
+                want
+            ),
+        }
+    }
+}

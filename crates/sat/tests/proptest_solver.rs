@@ -1,0 +1,211 @@
+//! Property-based tests: the CDCL solver, the cardinality encoders, and the
+//! MaxSAT optimiser are cross-checked against brute-force enumeration on
+//! randomly generated small instances.
+
+use etcs_sat::{
+    maxsat, CnfSink, Formula, Model, Objective, SatResult, Solver, Strategy as OptStrategy,
+    Totalizer, Var,
+};
+use proptest::prelude::*;
+
+/// A random CNF over `num_vars` variables as raw signed integers
+/// (`±(var + 1)` like DIMACS).
+fn cnf_strategy(
+    max_vars: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec(
+            (1..=nv as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..=3,
+        );
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| (nv, cs))
+    })
+}
+
+fn build_formula(nv: usize, clauses: &[Vec<i32>]) -> Formula {
+    let mut f = Formula::new();
+    let vars: Vec<Var> = (0..nv).map(|_| f.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<_> = c
+            .iter()
+            .map(|&s| vars[(s.unsigned_abs() - 1) as usize].lit(s > 0))
+            .collect();
+        f.add_clause_from(&lits);
+    }
+    f
+}
+
+/// Brute-force satisfiability by enumerating all assignments.
+fn brute_force_sat(nv: usize, clauses: &[Vec<i32>]) -> bool {
+    (0..(1u64 << nv)).any(|mask| {
+        clauses.iter().all(|c| {
+            c.iter().any(|&s| {
+                let bit = mask & (1 << (s.unsigned_abs() - 1)) != 0;
+                if s > 0 {
+                    bit
+                } else {
+                    !bit
+                }
+            })
+        })
+    })
+}
+
+/// Brute-force optimum of "minimise #true among `obj_vars`" subject to the
+/// clauses; `None` if unsatisfiable.
+fn brute_force_min(nv: usize, clauses: &[Vec<i32>], obj_vars: &[usize]) -> Option<u32> {
+    (0..(1u64 << nv))
+        .filter(|&mask| {
+            clauses.iter().all(|c| {
+                c.iter().any(|&s| {
+                    let bit = mask & (1 << (s.unsigned_abs() - 1)) != 0;
+                    if s > 0 {
+                        bit
+                    } else {
+                        !bit
+                    }
+                })
+            })
+        })
+        .map(|mask| obj_vars.iter().filter(|&&v| mask & (1 << v) != 0).count() as u32)
+        .min()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force((nv, clauses) in cnf_strategy(10, 40)) {
+        let f = build_formula(nv, &clauses);
+        let mut s = Solver::new();
+        f.load_into(&mut s);
+        let expected = brute_force_sat(nv, &clauses);
+        match s.solve() {
+            SatResult::Sat(m) => {
+                prop_assert!(expected, "solver said SAT on an UNSAT instance");
+                prop_assert!(f.eval(&m), "returned model violates a clause");
+            }
+            SatResult::Unsat { .. } => prop_assert!(!expected, "solver said UNSAT on a SAT instance"),
+            SatResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn incremental_assumptions_agree_with_monolithic(
+        (nv, clauses) in cnf_strategy(8, 25),
+        assumed in proptest::collection::vec((0usize..8, any::<bool>()), 0..4),
+    ) {
+        let f = build_formula(nv, &clauses);
+        // Assumption-based solve.
+        let mut s1 = Solver::new();
+        f.load_into(&mut s1);
+        let assumptions: Vec<_> = assumed
+            .iter()
+            .filter(|&&(v, _)| v < nv)
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        let incremental = s1.solve_with(&assumptions).is_sat();
+        // Monolithic solve with the assumptions added as unit clauses.
+        let mut s2 = Solver::new();
+        f.load_into(&mut s2);
+        for &a in &assumptions {
+            s2.add_clause([a]);
+        }
+        let monolithic = s2.solve().is_sat();
+        prop_assert_eq!(incremental, monolithic);
+    }
+
+    #[test]
+    fn unsat_core_is_itself_unsat(
+        (nv, clauses) in cnf_strategy(8, 25),
+        assumed in proptest::collection::vec((0usize..8, any::<bool>()), 1..6),
+    ) {
+        let f = build_formula(nv, &clauses);
+        let mut s = Solver::new();
+        f.load_into(&mut s);
+        let assumptions: Vec<_> = assumed
+            .iter()
+            .filter(|&&(v, _)| v < nv)
+            .map(|&(v, pos)| Var::from_index(v).lit(pos))
+            .collect();
+        if let SatResult::Unsat { core } = s.solve_with(&assumptions) {
+            // Every core literal must come from the assumptions.
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core literal not among assumptions");
+            }
+            // The core alone must already be inconsistent with the formula.
+            let mut s2 = Solver::new();
+            f.load_into(&mut s2);
+            prop_assert!(s2.solve_with(&core).is_unsat(), "reported core is satisfiable");
+        }
+    }
+
+    #[test]
+    fn totalizer_counts_exactly(bits in proptest::collection::vec(any::<bool>(), 1..10)) {
+        let mut s = Solver::new();
+        let lits: Vec<_> = bits.iter().map(|_| CnfSink::new_var(&mut s).positive()).collect();
+        let t = Totalizer::build(&mut s, lits.clone());
+        for (l, &b) in lits.iter().zip(&bits) {
+            if b { s.assert_true(*l) } else { s.assert_false(*l) }
+        }
+        let SatResult::Sat(m) = s.solve() else {
+            return Err(TestCaseError::fail("pinned instance must be SAT"));
+        };
+        let count = bits.iter().filter(|&&b| b).count();
+        for (i, &o) in t.outputs().iter().enumerate() {
+            prop_assert_eq!(m.lit_is_true(o), i < count, "output {} wrong for count {}", i, count);
+        }
+    }
+
+    #[test]
+    fn maxsat_linear_matches_brute_force(
+        (nv, clauses) in cnf_strategy(7, 20),
+        obj_sel in proptest::collection::vec(any::<bool>(), 7),
+    ) {
+        let f = build_formula(nv, &clauses);
+        let obj_vars: Vec<usize> = (0..nv).filter(|&v| obj_sel[v]).collect();
+        let expected = brute_force_min(nv, &clauses, &obj_vars);
+        let mut s = Solver::new();
+        f.load_into(&mut s);
+        let obj = Objective::count_of(obj_vars.iter().map(|&v| Var::from_index(v).positive()));
+        match maxsat::minimize(&mut s, &obj, &[], OptStrategy::LinearSatUnsat) {
+            maxsat::OptimizeOutcome::Optimal(r) => {
+                prop_assert_eq!(Some(r.cost as u32), expected);
+                prop_assert!(f.eval(&r.model));
+            }
+            maxsat::OptimizeOutcome::Unsat => prop_assert_eq!(expected, None),
+            maxsat::OptimizeOutcome::Unknown { .. } => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn maxsat_binary_matches_linear(
+        (nv, clauses) in cnf_strategy(7, 20),
+        obj_sel in proptest::collection::vec(any::<bool>(), 7),
+    ) {
+        let f = build_formula(nv, &clauses);
+        let obj_vars: Vec<usize> = (0..nv).filter(|&v| obj_sel[v]).collect();
+        let obj = Objective::count_of(obj_vars.iter().map(|&v| Var::from_index(v).positive()));
+        let run = |strategy: OptStrategy| {
+            let mut s = Solver::new();
+            f.load_into(&mut s);
+            match maxsat::minimize(&mut s, &obj, &[], strategy) {
+                maxsat::OptimizeOutcome::Optimal(r) => Some(r.cost),
+                maxsat::OptimizeOutcome::Unsat => None,
+                maxsat::OptimizeOutcome::Unknown { .. } => panic!("no budget was set"),
+            }
+        };
+        prop_assert_eq!(run(OptStrategy::LinearSatUnsat), run(OptStrategy::BinarySearch));
+    }
+
+    #[test]
+    fn model_completion_is_stable(values in proptest::collection::vec(any::<bool>(), 1..16)) {
+        let m = Model::from_values(values.clone());
+        for (i, &b) in values.iter().enumerate() {
+            prop_assert_eq!(m.var_is_true(Var::from_index(i)), b);
+            prop_assert_eq!(m.lit_is_true(Var::from_index(i).positive()), b);
+            prop_assert_eq!(m.lit_is_true(Var::from_index(i).negative()), !b);
+        }
+    }
+}

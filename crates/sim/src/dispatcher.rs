@@ -1,0 +1,316 @@
+//! A greedy fixed-block dispatcher: the operational baseline the paper's
+//! SAT methodology is compared against.
+//!
+//! The dispatcher simulates conventional signalling on a given VSS layout:
+//! each train follows its shortest route and may only advance into a
+//! segment whose *section* (TTD or VSS, per the layout) is free of other
+//! trains. No global lookahead — exactly the myopic behaviour that
+//! deadlocks on the paper's running example, motivating the SAT approach.
+
+// Index-coupled loops over parallel tables are intentional here.
+#![allow(clippy::needless_range_loop)]
+
+use etcs_core::{ExitPolicy, Instance, SolvedPlan, TrainPlan};
+use etcs_network::{EdgeId, VssLayout};
+
+/// Result of a dispatcher run.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// The produced movement plan (positions per train per step).
+    pub plan: SolvedPlan,
+    /// Arrival step of each train, `None` if it never arrived within the
+    /// horizon (blocked or deadlocked).
+    pub arrivals: Vec<Option<usize>>,
+}
+
+impl DispatchResult {
+    /// `true` when every train reached its destination within the horizon.
+    pub fn all_arrived(&self) -> bool {
+        self.arrivals.iter().all(Option::is_some)
+    }
+
+    /// Completion time in steps (last arrival + 1), if all trains arrived.
+    pub fn completion_steps(&self) -> Option<usize> {
+        self.arrivals
+            .iter()
+            .map(|a| a.map(|s| s + 1))
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
+    }
+}
+
+/// Runs the greedy dispatcher on the instance under the given layout.
+///
+/// Trains move in schedule order each step (earlier trains have priority),
+/// advancing up to their speed along their precomputed shortest route, but
+/// never entering a segment whose section contains another train at the
+/// start of the step or a segment already claimed in this step.
+pub fn dispatch(inst: &Instance, layout: &VssLayout) -> DispatchResult {
+    let net = &inst.net;
+    let sections = layout.sections(net);
+    let section_of: Vec<usize> = {
+        let mut map = vec![usize::MAX; net.num_edges()];
+        for (si, sec) in sections.iter().enumerate() {
+            for e in sec {
+                map[e.index()] = si;
+            }
+        }
+        map
+    };
+
+    // Shortest route (as an edge sequence) per train.
+    let routes: Vec<Vec<EdgeId>> = inst.trains.iter().map(|tr| route_of(inst, tr)).collect();
+
+    #[derive(Clone)]
+    struct State {
+        /// Index of the route edge under the train's front, `None` before
+        /// departure or after leaving.
+        front: Option<usize>,
+        arrived: Option<usize>,
+        gone: bool,
+    }
+    let mut states: Vec<State> = inst
+        .trains
+        .iter()
+        .map(|_| State {
+            front: None,
+            arrived: None,
+            gone: false,
+        })
+        .collect();
+
+    let occupied_chain = |route: &[EdgeId], front: usize, len: usize| -> Vec<EdgeId> {
+        let lo = front.saturating_sub(len - 1);
+        route[lo..=front].to_vec()
+    };
+
+    let mut positions: Vec<Vec<Vec<EdgeId>>> =
+        vec![vec![Vec::new(); inst.t_max]; inst.trains.len()];
+
+    for t in 0..inst.t_max {
+        // Occupancy at the start of the step.
+        let mut section_busy: Vec<Option<usize>> = vec![None; sections.len()];
+        let mut edge_busy: Vec<Option<usize>> = vec![None; net.num_edges()];
+        for (tr, st) in states.iter().enumerate() {
+            if let (Some(front), false) = (st.front, st.gone) {
+                for e in occupied_chain(&routes[tr], front, inst.trains[tr].length) {
+                    edge_busy[e.index()] = Some(tr);
+                    section_busy[section_of[e.index()]] = Some(tr);
+                }
+            }
+        }
+
+        for tr in 0..inst.trains.len() {
+            let spec = &inst.trains[tr];
+            let route = &routes[tr];
+            let st = &mut states[tr];
+            if st.gone {
+                continue;
+            }
+            match st.front {
+                None if t == spec.dep_step => {
+                    // Enter at the first route edge if its section is free.
+                    let e = route[0];
+                    let free = edge_busy[e.index()].is_none()
+                        && section_busy[section_of[e.index()]].is_none();
+                    if free {
+                        st.front = Some(0);
+                        edge_busy[e.index()] = Some(tr);
+                        section_busy[section_of[e.index()]] = Some(tr);
+                    }
+                    // A blocked entry is a missed departure: the train stays
+                    // outside and retries next step (real dispatching would
+                    // hold it in the yard).
+                }
+                None => {}
+                Some(front) => {
+                    if st.arrived.is_some() {
+                        match spec.exit {
+                            ExitPolicy::Leave => {
+                                // Vacate the network.
+                                for e in occupied_chain(route, front, spec.length) {
+                                    edge_busy[e.index()] = None;
+                                    section_busy[section_of[e.index()]] = None;
+                                }
+                                st.gone = true;
+                            }
+                            ExitPolicy::Park => {}
+                        }
+                        continue;
+                    }
+                    // Advance while speed and section availability allow.
+                    let mut new_front = front;
+                    for _ in 0..spec.speed {
+                        let Some(&next_edge) = route.get(new_front + 1) else {
+                            break;
+                        };
+                        let sec = section_of[next_edge.index()];
+                        let blocked_edge =
+                            matches!(edge_busy[next_edge.index()], Some(o) if o != tr);
+                        let blocked_sec = matches!(section_busy[sec], Some(o) if o != tr);
+                        if blocked_edge || blocked_sec {
+                            break;
+                        }
+                        new_front += 1;
+                        edge_busy[next_edge.index()] = Some(tr);
+                        section_busy[sec] = Some(tr);
+                    }
+                    if new_front != front {
+                        // Release the vacated tail.
+                        let old = occupied_chain(route, front, spec.length);
+                        let new = occupied_chain(route, new_front, spec.length);
+                        for e in old {
+                            if !new.contains(&e) {
+                                edge_busy[e.index()] = None;
+                                if !new
+                                    .iter()
+                                    .any(|f| section_of[f.index()] == section_of[e.index()])
+                                {
+                                    section_busy[section_of[e.index()]] = None;
+                                }
+                            }
+                        }
+                    }
+                    st.front = Some(new_front);
+                    if spec.goal_edges.contains(&route[new_front]) {
+                        st.arrived = Some(t);
+                    }
+                }
+            }
+        }
+
+        // Record positions at the end of the step.
+        for (tr, st) in states.iter().enumerate() {
+            if let (Some(front), false) = (st.front, st.gone) {
+                positions[tr][t] = occupied_chain(&routes[tr], front, inst.trains[tr].length);
+            }
+        }
+    }
+
+    let plans = inst
+        .trains
+        .iter()
+        .zip(positions)
+        .map(|(spec, positions)| TrainPlan {
+            name: spec.name.clone(),
+            positions,
+        })
+        .collect();
+    DispatchResult {
+        plan: SolvedPlan {
+            layout: layout.clone(),
+            plans,
+        },
+        arrivals: states.iter().map(|s| s.arrived).collect(),
+    }
+}
+
+/// Shortest origin→goal edge sequence for a train (BFS over segments).
+fn route_of(inst: &Instance, tr: &etcs_core::TrainSpec) -> Vec<EdgeId> {
+    let net = &inst.net;
+    // Multi-source BFS from all origin edges towards the nearest goal edge.
+    use std::collections::VecDeque;
+    let mut parent: Vec<Option<EdgeId>> = vec![None; net.num_edges()];
+    let mut seen = vec![false; net.num_edges()];
+    let mut queue = VecDeque::new();
+    for &o in &tr.origin_edges {
+        seen[o.index()] = true;
+        queue.push_back(o);
+    }
+    let mut goal = None;
+    'bfs: while let Some(e) = queue.pop_front() {
+        if tr.goal_edges.contains(&e) {
+            goal = Some(e);
+            break 'bfs;
+        }
+        for &f in net.neighbors(e) {
+            if !seen[f.index()] {
+                seen[f.index()] = true;
+                parent[f.index()] = Some(e);
+                queue.push_back(f);
+            }
+        }
+    }
+    let mut route = Vec::new();
+    let mut cur = goal.expect("schedules are validated: goal is reachable");
+    route.push(cur);
+    while let Some(p) = parent[cur.index()] {
+        route.push(p);
+        cur = p;
+    }
+    route.reverse();
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_network::fixtures;
+
+    #[test]
+    fn pure_ttd_running_example_fails_to_complete() {
+        // The paper's motivating observation, reproduced operationally: a
+        // greedy fixed-block dispatcher cannot run Fig. 1b on pure TTDs.
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let result = dispatch(&inst, &VssLayout::pure_ttd());
+        assert!(!result.all_arrived(), "pure TTD must fail");
+    }
+
+    #[test]
+    fn routes_connect_origin_to_goal() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        for tr in &inst.trains {
+            let route = route_of(&inst, tr);
+            assert!(tr.origin_edges.contains(&route[0]));
+            assert!(tr.goal_edges.contains(route.last().expect("non-empty")));
+            for w in route.windows(2) {
+                assert!(inst.net.shared_node(w[0], w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn single_train_reaches_goal_on_any_layout() {
+        // With no other traffic the greedy dispatcher always succeeds.
+        let scenario = fixtures::running_example();
+        let mut one = scenario.clone();
+        one.schedule = etcs_network::Schedule::new(vec![scenario.schedule.runs()[0].clone()]);
+        let inst = Instance::new(&one).expect("valid");
+        for layout in [VssLayout::pure_ttd(), VssLayout::full(&inst.net)] {
+            let result = dispatch(&inst, &layout);
+            assert!(result.all_arrived(), "single train must arrive");
+            assert!(result.completion_steps().expect("arrived") <= inst.t_max);
+        }
+    }
+
+    #[test]
+    fn finer_layout_never_hurts_single_direction_convoys() {
+        // Convoys on the simple layout: full VSS completes no later than
+        // any coarser layout the dispatcher happens to manage.
+        let scenario = fixtures::simple_layout();
+        let inst = Instance::new(&scenario).expect("valid");
+        let full = dispatch(&inst, &VssLayout::full(&inst.net));
+        let pure = dispatch(&inst, &VssLayout::pure_ttd());
+        if let (Some(f), Some(p)) = (full.completion_steps(), pure.completion_steps()) {
+            assert!(f <= p);
+        }
+    }
+
+    #[test]
+    fn dispatcher_plans_have_correct_shapes() {
+        let scenario = fixtures::running_example();
+        let mut one = scenario.clone();
+        one.schedule = etcs_network::Schedule::new(vec![scenario.schedule.runs()[1].clone()]);
+        let inst = Instance::new(&one).expect("valid");
+        let result = dispatch(&inst, &VssLayout::full(&inst.net));
+        let spec = &inst.trains[0];
+        for t in spec.dep_step..inst.t_max {
+            let pos = &result.plan.plans[0].positions[t];
+            if !pos.is_empty() {
+                assert!(pos.len() <= spec.length);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # etcs-sim — independent validation and operational baseline
+//!
+//! Two cross-checks for the SAT methodology in `etcs-core`:
+//!
+//! * [`validate`] — re-checks a decoded plan against an independent
+//!   implementation of the paper's operational rules (train shape, speed,
+//!   VSS separation, no passing through one another, departures, arrivals);
+//! * [`dispatch`] — a greedy fixed-block dispatcher, the conventional
+//!   operation the paper's methodology is motivated against: it deadlocks
+//!   on the running example under pure TTD operation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use etcs_core::{generate, EncoderConfig, Instance};
+//! use etcs_network::fixtures;
+//! use etcs_sim::validate;
+//!
+//! let scenario = fixtures::running_example();
+//! let inst = Instance::new(&scenario)?;
+//! let (outcome, _) = generate(&scenario, &EncoderConfig::default())?;
+//! let report = validate(&inst, outcome.plan().expect("feasible"), true);
+//! assert!(report.is_valid());
+//! # Ok::<(), etcs_network::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dispatcher;
+mod report;
+mod validator;
+
+pub use dispatcher::{dispatch, DispatchResult};
+pub use report::{plan_stats, render_timeline, render_timeline_for, PlanStats, TrainStats};
+pub use validator::{validate, ValidationReport, Violation};

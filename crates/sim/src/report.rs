@@ -1,0 +1,251 @@
+//! Plan analytics and a time–space timeline rendering.
+//!
+//! Quantifies what a solved plan *does* — waiting steps, travel times,
+//! section utilisation — and renders the classic dispatcher's time–space
+//! diagram as text, which makes solver output reviewable by railway
+//! engineers (and in test failures).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use etcs_core::{Instance, SolvedPlan};
+use etcs_network::EdgeId;
+
+/// Quantitative summary of one train's movement in a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Display name.
+    pub name: String,
+    /// Departure step.
+    pub departure: usize,
+    /// First step at the destination, if reached.
+    pub arrival: Option<usize>,
+    /// Steps between departure and arrival.
+    pub travel_steps: Option<usize>,
+    /// Steps (strictly between departure and arrival) at which the train
+    /// did not change its position — time spent waiting for other traffic.
+    pub wait_steps: usize,
+    /// Distinct segments visited.
+    pub segments_visited: usize,
+}
+
+/// Quantitative summary of a whole plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Per-train statistics, in schedule order.
+    pub trains: Vec<TrainStats>,
+    /// Completion time in steps (last arrival + 1), if all trains arrive.
+    pub completion_steps: Option<usize>,
+    /// Total waiting steps across all trains.
+    pub total_wait_steps: usize,
+    /// Peak number of trains simultaneously on the network.
+    pub peak_occupancy: usize,
+}
+
+impl fmt::Display for PlanStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "completion: {} steps, total waiting: {} steps, peak occupancy: {} trains",
+            self.completion_steps
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            self.total_wait_steps,
+            self.peak_occupancy
+        )?;
+        for t in &self.trains {
+            writeln!(
+                f,
+                "  {:<16} dep {} arr {} ({} moving, {} waiting)",
+                t.name,
+                t.departure,
+                t.arrival.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+                t.travel_steps
+                    .map(|s| s.saturating_sub(t.wait_steps).to_string())
+                    .unwrap_or_else(|| "-".into()),
+                t.wait_steps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes [`PlanStats`] for a solved plan.
+pub fn plan_stats(inst: &Instance, plan: &SolvedPlan) -> PlanStats {
+    let mut trains = Vec::new();
+    let mut total_wait = 0usize;
+    let mut last_arrival: Option<usize> = Some(0);
+    for (p, spec) in plan.plans.iter().zip(&inst.trains) {
+        let arrival = p.arrival_step(&spec.goal_edges);
+        let travel = arrival.map(|a| a - spec.dep_step);
+        let end = arrival.unwrap_or(inst.t_max - 1);
+        let mut waits = 0usize;
+        for t in spec.dep_step..end {
+            let now = &p.positions[t];
+            let next = &p.positions[t + 1];
+            if !now.is_empty() && now == next {
+                waits += 1;
+            }
+        }
+        let mut visited: Vec<EdgeId> = p.positions.iter().flatten().copied().collect();
+        visited.sort();
+        visited.dedup();
+        total_wait += waits;
+        last_arrival = match (last_arrival, arrival) {
+            (Some(best), Some(a)) => Some(best.max(a)),
+            _ => None,
+        };
+        trains.push(TrainStats {
+            name: p.name.clone(),
+            departure: spec.dep_step,
+            arrival,
+            travel_steps: travel,
+            wait_steps: waits,
+            segments_visited: visited.len(),
+        });
+    }
+    let peak = (0..inst.t_max)
+        .map(|t| {
+            plan.plans
+                .iter()
+                .filter(|p| !p.positions[t].is_empty())
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    PlanStats {
+        trains,
+        completion_steps: last_arrival.map(|a| a + 1),
+        total_wait_steps: total_wait,
+        peak_occupancy: peak,
+    }
+}
+
+/// Renders a textual time–space diagram: one row per segment (in id
+/// order), one column per time step, with each cell showing the index of
+/// the occupying train (or `.`).
+///
+/// Intended for small networks; on large ones, pass a slice of edges of
+/// interest via [`render_timeline_for`].
+pub fn render_timeline(inst: &Instance, plan: &SolvedPlan) -> String {
+    let edges: Vec<EdgeId> = (0..inst.net.num_edges()).map(EdgeId::from_index).collect();
+    render_timeline_for(inst, plan, &edges)
+}
+
+/// Like [`render_timeline`] restricted to the given segments.
+pub fn render_timeline_for(inst: &Instance, plan: &SolvedPlan, edges: &[EdgeId]) -> String {
+    use std::fmt::Write;
+    // Occupancy index: (edge, step) -> train.
+    let mut occupancy: BTreeMap<(EdgeId, usize), usize> = BTreeMap::new();
+    for (tr, p) in plan.plans.iter().enumerate() {
+        for (t, pos) in p.positions.iter().enumerate() {
+            for &e in pos {
+                occupancy.insert((e, t), tr);
+            }
+        }
+    }
+    let name_width = edges
+        .iter()
+        .map(|&e| inst.net.edge_name(e).len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    let _ = write!(out, "{:>width$} ", "t =", width = name_width);
+    for t in 0..inst.t_max {
+        let _ = write!(out, "{:>2}", t % 100);
+    }
+    let _ = writeln!(out);
+    for &e in edges {
+        let _ = write!(out, "{:>width$} ", inst.net.edge_name(e), width = name_width);
+        for t in 0..inst.t_max {
+            match occupancy.get(&(e, t)) {
+                Some(tr) => {
+                    let _ = write!(out, "{:>2}", tr);
+                }
+                None => {
+                    let _ = write!(out, " .");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_core::{generate, EncoderConfig};
+    use etcs_network::fixtures;
+
+    fn solved() -> (Instance, SolvedPlan) {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        (inst, outcome.plan().expect("feasible").clone())
+    }
+
+    #[test]
+    fn stats_account_for_all_trains() {
+        let (inst, plan) = solved();
+        let stats = plan_stats(&inst, &plan);
+        assert_eq!(stats.trains.len(), 4);
+        assert!(stats.completion_steps.is_some());
+        assert!(stats.peak_occupancy >= 2, "trains overlap in time");
+        for t in &stats.trains {
+            let arrival = t.arrival.expect("all trains arrive");
+            assert!(arrival >= t.departure);
+            assert_eq!(t.travel_steps, Some(arrival - t.departure));
+            assert!(t.segments_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn waits_are_bounded_by_travel() {
+        let (inst, plan) = solved();
+        let stats = plan_stats(&inst, &plan);
+        for t in &stats.trains {
+            if let Some(travel) = t.travel_steps {
+                assert!(t.wait_steps <= travel);
+            }
+        }
+        assert_eq!(
+            stats.total_wait_steps,
+            stats.trains.iter().map(|t| t.wait_steps).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn timeline_mentions_every_step_and_train() {
+        let (inst, plan) = solved();
+        let text = render_timeline(&inst, &plan);
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + one row per segment.
+        assert_eq!(lines.len(), 1 + inst.net.num_edges());
+        // Train 0 appears somewhere.
+        assert!(text.contains(" 0"));
+        // Every row has the same length.
+        let width = lines[0].len();
+        for l in &lines {
+            assert_eq!(l.len(), width, "ragged timeline row");
+        }
+    }
+
+    #[test]
+    fn restricted_timeline_only_shows_requested_edges() {
+        let (inst, plan) = solved();
+        let some = [EdgeId::from_index(0)];
+        let text = render_timeline_for(&inst, &plan, &some);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn display_of_stats_is_informative() {
+        let (inst, plan) = solved();
+        let stats = plan_stats(&inst, &plan);
+        let text = format!("{stats}");
+        assert!(text.contains("completion"));
+        assert!(text.contains("Train 1"));
+    }
+}

@@ -1,0 +1,609 @@
+//! Independent validation of solved plans.
+//!
+//! The checks mirror the paper's Section III-B constraints but are
+//! implemented from scratch against the decoded [`TrainPlan`]s — none of
+//! the encoder's clause machinery is reused — so a bug in the encoding and
+//! a bug in the validator would have to coincide to let an invalid plan
+//! slip through.
+
+use std::fmt;
+
+use etcs_core::{ExitPolicy, Instance, SolvedPlan};
+use etcs_network::EdgeId;
+#[cfg(test)]
+use etcs_network::VssLayout;
+
+/// A single rule violation found in a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The occupied segments do not form one connected simple chain.
+    NotAChain {
+        /// Offending train (schedule index).
+        train: usize,
+        /// Offending time step.
+        step: usize,
+    },
+    /// The chain has the wrong number of segments for the train's length.
+    WrongLength {
+        /// Offending train.
+        train: usize,
+        /// Offending step.
+        step: usize,
+        /// Segments required (`l*`).
+        expected: usize,
+        /// Segments occupied.
+        actual: usize,
+    },
+    /// A segment occupied at `step + 1` is farther than the train's speed
+    /// from every segment occupied at `step` (or vice versa).
+    TooFast {
+        /// Offending train.
+        train: usize,
+        /// Step of the move's start.
+        step: usize,
+    },
+    /// The train is absent at a step where it must be present (after
+    /// departure and before completing), or present when it must be gone.
+    PresenceBroken {
+        /// Offending train.
+        train: usize,
+        /// Offending step.
+        step: usize,
+    },
+    /// The departure chain does not touch the origin station.
+    DepartureMissed {
+        /// Offending train.
+        train: usize,
+    },
+    /// The train never reaches its goal by the deadline.
+    ArrivalMissed {
+        /// Offending train.
+        train: usize,
+        /// The deadline step it missed.
+        deadline: usize,
+    },
+    /// A parked train moved after reaching its interior terminus.
+    ParkBroken {
+        /// Offending train.
+        train: usize,
+        /// Step at which it moved.
+        step: usize,
+    },
+    /// Two trains occupy the same segment.
+    SharedSegment {
+        /// Offending step.
+        step: usize,
+        /// The contested segment.
+        edge: EdgeId,
+        /// The two trains.
+        trains: (usize, usize),
+    },
+    /// Two trains share a TTD without an active VSS border between them.
+    MissingBorder {
+        /// Offending step.
+        step: usize,
+        /// The two trains.
+        trains: (usize, usize),
+    },
+    /// A train's move sweeps over segments occupied by another train
+    /// (trains passing through one another).
+    PassThrough {
+        /// Step of the move's start.
+        step: usize,
+        /// The moving train.
+        mover: usize,
+        /// The train in its way.
+        other: usize,
+        /// The swept, occupied segment.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotAChain { train, step } => {
+                write!(f, "train {train} does not occupy a chain at step {step}")
+            }
+            Violation::WrongLength {
+                train,
+                step,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "train {train} occupies {actual} segments at step {step}, needs {expected}"
+            ),
+            Violation::TooFast { train, step } => {
+                write!(f, "train {train} exceeds its speed between steps {step} and {}", step + 1)
+            }
+            Violation::PresenceBroken { train, step } => {
+                write!(f, "train {train} presence broken at step {step}")
+            }
+            Violation::DepartureMissed { train } => {
+                write!(f, "train {train} does not depart from its origin")
+            }
+            Violation::ArrivalMissed { train, deadline } => {
+                write!(f, "train {train} misses its arrival deadline (step {deadline})")
+            }
+            Violation::ParkBroken { train, step } => {
+                write!(f, "parked train {train} moved at step {step}")
+            }
+            Violation::SharedSegment { step, edge, trains } => write!(
+                f,
+                "trains {} and {} share segment {edge} at step {step}",
+                trains.0, trains.1
+            ),
+            Violation::MissingBorder { step, trains } => write!(
+                f,
+                "trains {} and {} share a TTD without a separating border at step {step}",
+                trains.0, trains.1
+            ),
+            Violation::PassThrough {
+                step,
+                mover,
+                other,
+                edge,
+            } => write!(
+                f,
+                "train {mover} sweeps segment {edge} occupied by train {other} at step {step}"
+            ),
+        }
+    }
+}
+
+/// The outcome of validating a plan.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All violations found, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// `true` when the plan satisfies every rule.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "plan is valid")
+        } else {
+            writeln!(f, "{} violations:", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validates `plan` against the operational rules of the paper on the
+/// instance's network, using the plan's own VSS layout.
+///
+/// `enforce_deadlines` additionally checks the schedule's arrival deadlines
+/// (verification/generation semantics); the optimisation task validates
+/// with it disabled.
+pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let net = &inst.net;
+    let layout = &plan.layout;
+
+    for (tr, (p, spec)) in plan.plans.iter().zip(&inst.trains).enumerate() {
+        let mut arrived_at: Option<usize> = None;
+        for t in 0..inst.t_max {
+            let pos = &p.positions[t];
+            // Presence discipline.
+            if t < spec.dep_step {
+                if !pos.is_empty() {
+                    report.violations.push(Violation::PresenceBroken { train: tr, step: t });
+                }
+                continue;
+            }
+            if pos.is_empty() {
+                match spec.exit {
+                    ExitPolicy::Park => {
+                        report.violations.push(Violation::PresenceBroken { train: tr, step: t });
+                    }
+                    ExitPolicy::Leave => {
+                        // Absence is only allowed after a goal visit.
+                        if arrived_at.is_none() {
+                            report
+                                .violations
+                                .push(Violation::PresenceBroken { train: tr, step: t });
+                        }
+                    }
+                }
+                continue;
+            }
+            // Shape.
+            if pos.len() != spec.length {
+                report.violations.push(Violation::WrongLength {
+                    train: tr,
+                    step: t,
+                    expected: spec.length,
+                    actual: pos.len(),
+                });
+            } else if !is_chain(net, pos) {
+                report.violations.push(Violation::NotAChain { train: tr, step: t });
+            }
+            if pos.iter().any(|e| spec.goal_edges.contains(e)) && arrived_at.is_none() {
+                arrived_at = Some(t);
+            }
+        }
+        // Departure at the origin.
+        let dep_pos = &p.positions[spec.dep_step];
+        if !dep_pos.iter().any(|e| spec.origin_edges.contains(e)) {
+            report.violations.push(Violation::DepartureMissed { train: tr });
+        }
+        // Arrival.
+        if enforce_deadlines {
+            let deadline = spec.deadline_step.unwrap_or(inst.t_max - 1);
+            match arrived_at {
+                Some(a) if a <= deadline => {}
+                _ => report.violations.push(Violation::ArrivalMissed {
+                    train: tr,
+                    deadline,
+                }),
+            }
+        } else if arrived_at.is_none() {
+            report.violations.push(Violation::ArrivalMissed {
+                train: tr,
+                deadline: inst.t_max - 1,
+            });
+        }
+        // Movement speed and park freezing.
+        for t in spec.dep_step..inst.t_max - 1 {
+            let now = &p.positions[t];
+            let next = &p.positions[t + 1];
+            if now.is_empty() || next.is_empty() {
+                continue;
+            }
+            let within = |a: &EdgeId, set: &[EdgeId]| {
+                set.iter()
+                    .any(|b| matches!(inst.dist(*a, *b), Some(d) if d <= spec.speed))
+            };
+            if !now.iter().all(|e| within(e, next)) || !next.iter().all(|f| within(f, now)) {
+                report.violations.push(Violation::TooFast { train: tr, step: t });
+            }
+            if spec.exit == ExitPolicy::Park {
+                if let Some(a) = arrived_at {
+                    if t >= a && now != next {
+                        report.violations.push(Violation::ParkBroken { train: tr, step: t });
+                    }
+                }
+            }
+        }
+    }
+
+    // Pairwise exclusivity.
+    for t in 0..inst.t_max {
+        for i in 0..plan.plans.len() {
+            for j in (i + 1)..plan.plans.len() {
+                let pi = &plan.plans[i].positions[t];
+                let pj = &plan.plans[j].positions[t];
+                for &e in pi {
+                    if pj.contains(&e) {
+                        report.violations.push(Violation::SharedSegment {
+                            step: t,
+                            edge: e,
+                            trains: (i, j),
+                        });
+                    }
+                }
+                // VSS separation inside a common TTD.
+                'pairs: for &e in pi {
+                    for &f in pj {
+                        if e == f || net.segment(e).ttd != net.segment(f).ttd {
+                            continue;
+                        }
+                        let between = net.between(e, f).expect("same-TTD edges connect");
+                        if !between.iter().any(|&n| layout.is_border(net, n)) {
+                            report.violations.push(Violation::MissingBorder {
+                                step: t,
+                                trains: (i, j),
+                            });
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // No passing through one another: re-derive each train's swept segments
+    // per move and test them against every other train.
+    for (mover, (p, spec)) in plan.plans.iter().zip(&inst.trains).enumerate() {
+        for t in spec.dep_step..inst.t_max - 1 {
+            let now = &p.positions[t];
+            let next = &p.positions[t + 1];
+            if now.is_empty() || next.is_empty() {
+                continue;
+            }
+            let mut swept: Vec<EdgeId> = Vec::new();
+            for &e in now {
+                for &f in next {
+                    if e == f {
+                        continue;
+                    }
+                    if !matches!(inst.dist(e, f), Some(d) if d >= 1 && d <= spec.speed) {
+                        continue;
+                    }
+                    swept.extend(net.path_edges(e, f, spec.speed));
+                }
+            }
+            swept.sort();
+            swept.dedup();
+            for (other, q) in plan.plans.iter().enumerate() {
+                if other == mover {
+                    continue;
+                }
+                for &g in &swept {
+                    for step in [t, t + 1] {
+                        if q.positions[step].contains(&g) {
+                            report.violations.push(Violation::PassThrough {
+                                step: t,
+                                mover,
+                                other,
+                                edge: g,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Checks that the segments form one connected simple chain: every segment
+/// shares nodes with its chain neighbours and no node is used more than
+/// twice.
+fn is_chain(net: &etcs_network::DiscreteNet, edges: &[EdgeId]) -> bool {
+    if edges.len() <= 1 {
+        return true;
+    }
+    // A set of edges is a simple path iff it is connected (in the subgraph
+    // induced by exactly these edges) and every node has degree <= 2 with
+    // exactly two degree-1 endpoints.
+    use std::collections::BTreeMap;
+    let mut degree: BTreeMap<etcs_network::NodeId, usize> = BTreeMap::new();
+    for &e in edges {
+        let s = net.segment(e);
+        *degree.entry(s.a).or_insert(0) += 1;
+        *degree.entry(s.b).or_insert(0) += 1;
+    }
+    if degree.values().any(|&d| d > 2) {
+        return false;
+    }
+    if degree.values().filter(|&&d| d == 1).count() != 2 {
+        return false;
+    }
+    // Connectivity via BFS over shared nodes.
+    let mut seen = vec![false; edges.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(i) = stack.pop() {
+        for j in 0..edges.len() {
+            if !seen[j] && net.shared_node(edges[i], edges[j]).is_some() {
+                seen[j] = true;
+                stack.push(j);
+            }
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_core::{generate, optimize, verify, EncoderConfig};
+    use etcs_network::fixtures;
+
+    #[test]
+    fn generated_running_example_plan_is_valid() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        let plan = outcome.plan().expect("feasible");
+        let report = validate(&inst, plan, true);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn optimized_running_example_plan_is_valid() {
+        let scenario = fixtures::running_example();
+        let open = scenario.without_arrivals();
+        let inst = Instance::new(&open).expect("valid");
+        let (outcome, _) = optimize(&scenario, &EncoderConfig::default()).expect("ok");
+        let plan = outcome.plan().expect("feasible");
+        let report = validate(&inst, plan, false);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn full_vss_witness_is_valid() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let full = VssLayout::full(&inst.net);
+        let (outcome, _) = verify(&scenario, &full, &EncoderConfig::default()).expect("ok");
+        let plan = outcome.plan().expect("feasible");
+        let report = validate(&inst, plan, true);
+        assert!(report.is_valid(), "{report}");
+    }
+
+    #[test]
+    fn tampered_plan_is_rejected() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        let mut plan = outcome.plan().expect("feasible").clone();
+        // Teleport train 0 to the far end of the network mid-plan.
+        let far = EdgeId::from_index(inst.net.num_edges() - 1);
+        let mid = inst.t_max / 2;
+        plan.plans[0].positions[mid] = vec![far];
+        let report = validate(&inst, &plan, true);
+        assert!(!report.is_valid(), "teleportation must be flagged");
+    }
+
+    #[test]
+    fn stripped_borders_break_separation() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        let mut plan = outcome.plan().expect("feasible").clone();
+        assert!(plan.layout.num_borders() > 0);
+        // Remove all virtual borders but keep the movements: the separation
+        // rule must now fire somewhere.
+        plan.layout = VssLayout::pure_ttd();
+        let report = validate(&inst, &plan, true);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::MissingBorder { .. })),
+            "expected a MissingBorder violation, got: {report}"
+        );
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let mut r = ValidationReport::default();
+        assert!(format!("{r}").contains("valid"));
+        r.violations.push(Violation::DepartureMissed { train: 3 });
+        let text = format!("{r}");
+        assert!(text.contains("1 violations"));
+        assert!(text.contains("train 3"));
+    }
+}
+
+#[cfg(test)]
+mod mutation_tests {
+    //! Mutation coverage of the validator itself: every class of rule
+    //! violation must be detected when deliberately injected into an
+    //! otherwise-valid plan.
+
+    use super::*;
+    use etcs_core::{generate, EncoderConfig, Instance, SolvedPlan};
+    use etcs_network::fixtures;
+
+    fn solved() -> (Instance, SolvedPlan) {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        (inst, outcome.plan().expect("feasible").clone())
+    }
+
+    fn kinds(report: &ValidationReport) -> Vec<&'static str> {
+        report
+            .violations
+            .iter()
+            .map(|v| match v {
+                Violation::NotAChain { .. } => "chain",
+                Violation::WrongLength { .. } => "length",
+                Violation::TooFast { .. } => "speed",
+                Violation::PresenceBroken { .. } => "presence",
+                Violation::DepartureMissed { .. } => "departure",
+                Violation::ArrivalMissed { .. } => "arrival",
+                Violation::ParkBroken { .. } => "park",
+                Violation::SharedSegment { .. } => "shared",
+                Violation::MissingBorder { .. } => "border",
+                Violation::PassThrough { .. } => "pass",
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wrong_length_is_detected() {
+        let (inst, mut plan) = solved();
+        // Duplicate an edge of train 0 at its departure step into a second
+        // segment far away: wrong length and not a chain.
+        let dep = inst.trains[0].dep_step;
+        let far = EdgeId::from_index(inst.net.num_edges() - 1);
+        plan.plans[0].positions[dep].push(far);
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"length"), "{report}");
+    }
+
+    #[test]
+    fn too_fast_is_detected() {
+        let (inst, mut plan) = solved();
+        // Move train 0 across the network between two consecutive steps.
+        let dep = inst.trains[0].dep_step;
+        let far = EdgeId::from_index(inst.net.num_edges() - 1);
+        plan.plans[0].positions[dep + 1] = vec![far];
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"speed"), "{report}");
+    }
+
+    #[test]
+    fn presence_before_departure_is_detected() {
+        let (inst, mut plan) = solved();
+        // Train 3 departs at step 2; make it appear at step 0.
+        assert_eq!(inst.trains[2].dep_step, 2);
+        plan.plans[2].positions[0] = vec![inst.trains[2].origin_edges[0]];
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"presence"), "{report}");
+    }
+
+    #[test]
+    fn vanishing_without_arrival_is_detected() {
+        let (inst, mut plan) = solved();
+        // Erase train 0 from some mid-plan step before its arrival.
+        let arrival = plan.plans[0]
+            .arrival_step(&inst.trains[0].goal_edges)
+            .expect("arrives");
+        assert!(arrival > 1);
+        plan.plans[0].positions[1].clear();
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"presence"), "{report}");
+    }
+
+    #[test]
+    fn shared_segment_is_detected() {
+        let (inst, mut plan) = solved();
+        // Copy train 1's position onto train 0 at a step where both run.
+        let t = 3;
+        let stolen = plan.plans[1].positions[t].clone();
+        assert!(!stolen.is_empty());
+        plan.plans[0].positions[t] = stolen;
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"shared"), "{report}");
+    }
+
+    #[test]
+    fn parked_train_moving_is_detected() {
+        let (inst, mut plan) = solved();
+        // Train 3 (index 2) parks at station C; teleport it back to its
+        // origin afterwards.
+        let arrival = plan.plans[2]
+            .arrival_step(&inst.trains[2].goal_edges)
+            .expect("arrives");
+        let last = inst.t_max - 1;
+        assert!(arrival < last);
+        plan.plans[2].positions[last] = vec![inst.trains[2].origin_edges[0]];
+        let report = validate(&inst, &plan, true);
+        let ks = kinds(&report);
+        assert!(
+            ks.contains(&"park") || ks.contains(&"speed"),
+            "expected park/speed violation: {report}"
+        );
+    }
+
+    #[test]
+    fn missed_arrival_is_detected() {
+        let (inst, mut plan) = solved();
+        // Strip train 0's goal occupation entirely and keep it circling at
+        // its origin (which also breaks other rules, but arrival must be
+        // among them).
+        let origin = inst.trains[0].origin_edges[0];
+        for t in inst.trains[0].dep_step..inst.t_max {
+            plan.plans[0].positions[t] = vec![origin];
+        }
+        let report = validate(&inst, &plan, true);
+        assert!(kinds(&report).contains(&"arrival"), "{report}");
+    }
+}

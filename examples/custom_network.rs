@@ -1,0 +1,92 @@
+//! Building a custom railway scenario from scratch with the public API:
+//! a small single-track branch line with one passing loop, two opposing
+//! trains, and all three design tasks.
+//!
+//! Run with: `cargo run --release --example custom_network`
+
+use etcs::prelude::*;
+
+fn main() -> Result<(), etcs::NetworkError> {
+    // 1. Topology: Westhaven — loop station Midford — Easton.
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+    let westhaven_end = b.node();
+    let p1 = b.node();
+    let p2 = b.node();
+    let p3 = b.node();
+    let easton_end = b.node();
+
+    let west_track = b.track(westhaven_end, p1, km(0.5), "Westhaven");
+    let link_w = b.track(p1, p2, km(2.0), "west link");
+    let loop_a = b.track(p2, p3, km(1.0), "Midford a");
+    let loop_b = b.track(p2, p3, km(1.0), "Midford b");
+    let link_e = b.track(p3, easton_end, km(2.5), "east link");
+
+    // 2. TTD sections (the existing trackside detection).
+    b.ttd("TTD-W", [west_track, link_w]);
+    b.ttd("TTD-Ma", [loop_a]);
+    b.ttd("TTD-Mb", [loop_b]);
+    b.ttd("TTD-E", [link_e]);
+
+    // 3. Stations.
+    let westhaven = b.station("Westhaven", [west_track], true);
+    let _midford = b.station("Midford", [loop_a, loop_b], false);
+    // Easton is reached via the east link's last segment; model it as its
+    // own short track for a crisp arrival condition.
+    let network = b.build()?;
+
+    // 4. Two opposing trains; the eastbound one terminates at Midford.
+    let schedule = Schedule::new(vec![
+        TrainRun::new(
+            Train::new("Eastbound", Meters(300), KmPerHour(120)),
+            westhaven,
+            _midford,
+            Seconds::ZERO,
+            Some(Seconds::parse_hms("0:03:00").expect("valid")),
+        ),
+        TrainRun::new(
+            Train::new("Second eastbound", Meters(300), KmPerHour(120)),
+            westhaven,
+            _midford,
+            Seconds::from_minutes(1),
+            Some(Seconds::parse_hms("0:04:00").expect("valid")),
+        ),
+    ]);
+
+    let scenario = Scenario {
+        name: "Branch line".into(),
+        network,
+        schedule,
+        r_s: km(0.5),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(5),
+    };
+    scenario.validate()?;
+
+    let config = EncoderConfig::default();
+    let instance = Instance::new(&scenario)?;
+    println!(
+        "custom scenario: {} segments, {} border candidates, {} steps",
+        instance.net.num_edges(),
+        instance.net.border_candidates().len(),
+        scenario.t_max()
+    );
+
+    // Verification, generation, optimisation.
+    let (v, _) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
+    println!("pure TTD: {}", if v.is_feasible() { "feasible" } else { "infeasible" });
+
+    let (g, _) = generate(&scenario, &config)?;
+    match &g {
+        DesignOutcome::Solved { plan, costs } => {
+            println!("generation: {} border(s), layout {}", costs[0], plan.layout);
+        }
+        DesignOutcome::Infeasible => println!("generation: infeasible"),
+    }
+
+    let (o, _) = optimize(&scenario, &config)?;
+    if let DesignOutcome::Solved { costs, .. } = o {
+        println!("optimisation: complete in {} steps with {} border(s)", costs[0], costs[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! VSS layout generation across all four case studies (the paper's second
+//! design task), comparing the generated layouts with the trivial
+//! "border everywhere" answer the paper discusses.
+//!
+//! Run with: `cargo run --release --example layout_generation`
+
+use etcs::prelude::*;
+
+fn main() -> Result<(), etcs::NetworkError> {
+    let config = EncoderConfig::default();
+    for scenario in fixtures::all() {
+        let instance = Instance::new(&scenario)?;
+        let pure_sections = VssLayout::pure_ttd().section_count(&instance.net);
+        let full_sections = VssLayout::full(&instance.net).section_count(&instance.net);
+        println!("=== {} ===", scenario.name);
+        println!(
+            "pure TTD: {pure_sections} sections; finest VSS: {full_sections} sections"
+        );
+
+        let (outcome, report) = generate(&scenario, &config)?;
+        match outcome {
+            DesignOutcome::Solved { plan, costs } => {
+                println!(
+                    "minimal repair: {} virtual border(s) -> {} sections, solved in {:.2} s \
+                     with {} solver calls",
+                    costs[0],
+                    plan.section_count(&instance),
+                    report.runtime.as_secs_f64(),
+                    report.solver_calls,
+                );
+                let borders: Vec<String> = plan
+                    .layout
+                    .borders()
+                    .iter()
+                    .map(|n| format!("v{}", n.0))
+                    .collect();
+                println!("borders at: {}", borders.join(", "));
+                // Double-check with the verification task.
+                let (check, _) = verify(&scenario, &plan.layout, &config)?;
+                assert!(check.is_feasible(), "generated layout must verify");
+                println!("re-verification with the generated layout: feasible ✓");
+            }
+            DesignOutcome::Infeasible => {
+                println!("no VSS layout can realise this schedule within the horizon");
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

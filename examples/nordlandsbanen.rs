@@ -1,0 +1,83 @@
+//! The real-life-inspired Nordlandsbanen case study: 58 stations and 822 km
+//! from Trondheim to Bodø, with crossing loops, opposing day trains and
+//! freights. Runs all three design tasks and prints a line-occupancy view.
+//!
+//! Run with: `cargo run --release --example nordlandsbanen`
+
+use etcs::prelude::*;
+
+fn main() -> Result<(), etcs::NetworkError> {
+    let scenario = fixtures::nordlandsbanen();
+    let config = EncoderConfig::default();
+    let instance = Instance::new(&scenario)?;
+
+    println!("=== {} ===", scenario.name);
+    println!(
+        "{} stations, {:.0} km of track, {} segments at r_s = {} km, {} TTD sections",
+        scenario.network.stations().len(),
+        scenario.network.total_length().as_km(),
+        instance.net.num_edges(),
+        scenario.r_s.as_km(),
+        scenario.network.ttds().len(),
+    );
+    println!(
+        "{} trains over {} steps of {} each\n",
+        scenario.schedule.len(),
+        scenario.t_max(),
+        scenario.r_t
+    );
+
+    let (outcome, report) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
+    println!(
+        "verification (pure TTD): {} in {:.2} s",
+        if outcome.is_feasible() { "feasible" } else { "INFEASIBLE" },
+        report.runtime.as_secs_f64()
+    );
+
+    let (outcome, report) = generate(&scenario, &config)?;
+    let plan = outcome.plan().expect("VSS repairs the timetable");
+    println!(
+        "generation: {} virtual borders, {} sections, {:.2} s",
+        plan.layout.num_borders(),
+        plan.section_count(&instance),
+        report.runtime.as_secs_f64()
+    );
+
+    // Where did the borders go? Group them by the TTD they subdivide.
+    println!("\nsubdivided TTD sections:");
+    let net = &instance.net;
+    let mut by_ttd: std::collections::BTreeMap<&str, usize> = Default::default();
+    for &node in plan.layout.borders() {
+        let edge = net.edges_at(node)[0];
+        let ttd = net.segment(edge).ttd;
+        *by_ttd
+            .entry(&scenario.network.ttds()[ttd.index()].name)
+            .or_default() += 1;
+    }
+    for (ttd, count) in by_ttd {
+        println!("  {ttd}: +{count} border(s)");
+    }
+
+    println!("\ntimetable as executed (arrival at destination):");
+    for (run, arrival) in scenario
+        .schedule
+        .runs()
+        .iter()
+        .zip(plan.arrival_steps(&instance))
+    {
+        let dest = &scenario.network.stations()[run.destination.index()].name;
+        match arrival {
+            Some(step) => println!(
+                "  {:<14} -> {:<10} at {}",
+                run.train.name,
+                dest,
+                scenario.time_of(step)
+            ),
+            None => println!("  {:<14} -> {:<10} never arrives", run.train.name, dest),
+        }
+    }
+
+    let validation = etcs::sim::validate(&instance, plan, true);
+    println!("\nindependent validation: {validation}");
+    Ok(())
+}

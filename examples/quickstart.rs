@@ -1,0 +1,81 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Reproduces Example 2 of the paper: the Fig. 1b schedule deadlocks on
+//! pure TTD operation, a generated VSS layout repairs it, and schedule
+//! optimisation completes the scenario faster still.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use etcs::prelude::*;
+
+fn main() -> Result<(), etcs::NetworkError> {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let instance = Instance::new(&scenario)?;
+
+    println!("=== {} ===", scenario.name);
+    println!(
+        "network: {} TTDs, {} segments at r_s = {} km; {} trains over {} steps of {}\n",
+        scenario.network.ttds().len(),
+        instance.net.num_edges(),
+        scenario.r_s.as_km(),
+        scenario.schedule.len(),
+        scenario.t_max(),
+        scenario.r_t,
+    );
+
+    // Task 1: verification on the pure TTD layout.
+    let pure = VssLayout::pure_ttd();
+    let (outcome, report) = verify(&scenario, &pure, &config)?;
+    println!(
+        "verification on pure TTD: {} ({} clauses, {:.3} s)",
+        if outcome.is_feasible() { "feasible" } else { "INFEASIBLE — the paper's deadlock" },
+        report.stats.clauses,
+        report.runtime.as_secs_f64(),
+    );
+
+    // Task 2: VSS layout generation.
+    let (designed, report) = generate(&scenario, &config)?;
+    let plan = designed.plan().expect("a VSS layout repairs the schedule");
+    println!(
+        "generation: {} virtual border(s) -> {} sections total ({:.3} s)",
+        plan.layout.num_borders(),
+        plan.section_count(&instance),
+        report.runtime.as_secs_f64(),
+    );
+    for (name, arrival) in scenario
+        .schedule
+        .runs()
+        .iter()
+        .map(|r| r.train.name.clone())
+        .zip(plan.arrival_steps(&instance))
+    {
+        match arrival {
+            Some(step) => println!("  {name}: arrives at {}", scenario.time_of(step)),
+            None => println!("  {name}: never arrives"),
+        }
+    }
+
+    // The independent simulator cross-checks the solver's plan.
+    let validation = etcs::sim::validate(&instance, plan, true);
+    println!("independent validation: {validation}");
+
+    // Task 3: schedule optimisation.
+    let (optimised, report) = optimize(&scenario, &config)?;
+    if let DesignOutcome::Solved { plan, costs } = &optimised {
+        println!(
+            "optimisation: {} steps (was {}), {} border(s), {:.3} s",
+            costs[0],
+            scenario.t_max(),
+            costs[1],
+            report.runtime.as_secs_f64(),
+        );
+        let open = Instance::new(&scenario.without_arrivals())?;
+        println!("optimised layout: {}", plan.layout);
+        println!(
+            "independent validation: {}",
+            etcs::sim::validate(&open, plan, false)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! # etcs — automatic design and verification for ETCS Level 3
+//!
+//! A from-scratch Rust reproduction of *Towards Automatic Design and
+//! Verification for Level 3 of the European Train Control System*
+//! (Wille, Peham, Przigoda & Przigoda, DATE 2021).
+//!
+//! ETCS Level 3 replaces fixed trackside train detection (TTD) blocks with
+//! *Virtual Subsections* (VSS). This workspace provides the paper's three
+//! design tasks as a library:
+//!
+//! * [`verify`] — check a train schedule against a TTD/VSS layout,
+//! * [`generate`] — synthesise a minimal set of VSS borders making a
+//!   schedule feasible,
+//! * [`optimize`] — co-design layout and train movements for the fastest
+//!   possible completion,
+//!
+//! together with the full substrate stack: a CDCL SAT solver with MaxSAT
+//! optimisation ([`sat`]), railway network modelling and discretisation
+//! ([`network`]), and an independent plan validator plus a fixed-block
+//! dispatcher baseline ([`sim`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use etcs::prelude::*;
+//!
+//! // The paper's running example (Fig. 1): 4 TTDs, 4 trains, 5 minutes.
+//! let scenario = fixtures::running_example();
+//! let config = EncoderConfig::default();
+//!
+//! // 1. With pure TTD operation the schedule deadlocks.
+//! let (outcome, _) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
+//! assert!(!outcome.is_feasible());
+//!
+//! // 2. A single virtual border repairs it …
+//! let (designed, _) = generate(&scenario, &config)?;
+//! let plan = designed.plan().expect("feasible with VSS");
+//!
+//! // … and the independent simulator agrees the plan is operable.
+//! let instance = Instance::new(&scenario)?;
+//! assert!(etcs::sim::validate(&instance, plan, true).is_valid());
+//! # Ok::<(), etcs::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use etcs_core::{
+    border_tradeoff, diagnose, encode, generate, optimize, optimize_arrivals,
+    optimize_with_budget, verify, DesignOutcome, Diagnosis, TradeoffPoint,
+    EncoderConfig, Encoding, EncodingStats, ExitPolicy, Instance, LayoutExplorer, SolvedPlan,
+    TaskKind, TaskReport, TrainPlan, TrainSpec, VerifyOutcome,
+};
+pub use etcs_network::{
+    fixtures, parse_scenario, write_scenario, DiscreteNet, EdgeId, KmPerHour, Meters,
+    NetworkBuilder, NetworkError, NodeId, NodeKind, ParseScenarioError, RailwayNetwork, Scenario,
+    Schedule, Seconds, Station, StationId, Track, TrackId, Train, TrainId, TrainRun, Ttd, TtdId,
+    VssLayout,
+};
+
+/// The SAT solving substrate (CDCL, cardinality encodings, MaxSAT).
+pub mod sat {
+    pub use etcs_sat::*;
+}
+
+/// Railway network modelling and the bundled case studies.
+pub mod network {
+    pub use etcs_network::*;
+}
+
+/// Independent plan validation and the fixed-block dispatcher baseline.
+pub mod sim {
+    pub use etcs_sim::*;
+}
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::{
+        diagnose, fixtures, generate, optimize, optimize_arrivals, verify, DesignOutcome,
+        Diagnosis, EncoderConfig, Instance, LayoutExplorer, NetworkBuilder, Scenario, Schedule,
+        Train, TrainRun, VerifyOutcome, VssLayout,
+    };
+    pub use crate::{KmPerHour, Meters, Seconds};
+}

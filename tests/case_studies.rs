@@ -1,0 +1,143 @@
+//! Integration tests over all four Table I case studies: the paper's
+//! qualitative claims must hold on every network.
+
+use etcs::prelude::*;
+use etcs::sim;
+
+fn config() -> EncoderConfig {
+    EncoderConfig::default()
+}
+
+/// The paper's Table I shape, per scenario:
+/// verification UNSAT, generation SAT with more sections, optimisation SAT
+/// with at most the generation's completion time.
+fn assert_table_one_shape(scenario: &Scenario) {
+    let inst = Instance::new(scenario).expect("valid scenario");
+    let pure = VssLayout::pure_ttd();
+
+    let (v, _) = verify(scenario, &pure, &config()).expect("well-formed");
+    assert!(
+        !v.is_feasible(),
+        "{}: verification on pure TTD must be UNSAT",
+        scenario.name
+    );
+
+    let (g, _) = generate(scenario, &config()).expect("well-formed");
+    let DesignOutcome::Solved { plan: gen_plan, costs: gen_costs } = g else {
+        panic!("{}: generation must succeed", scenario.name);
+    };
+    assert!(gen_costs[0] >= 1, "{}: at least one border", scenario.name);
+    assert!(
+        gen_plan.section_count(&inst) > pure.section_count(&inst.net),
+        "{}: generation adds sections",
+        scenario.name
+    );
+    let report = sim::validate(&inst, &gen_plan, true);
+    assert!(report.is_valid(), "{}: {report}", scenario.name);
+
+    let (o, _) = optimize(scenario, &config()).expect("well-formed");
+    let DesignOutcome::Solved { plan: opt_plan, costs: opt_costs } = o else {
+        panic!("{}: optimisation must succeed", scenario.name);
+    };
+    let gen_steps = gen_plan.completion_steps(&inst);
+    assert!(
+        opt_costs[0] as usize <= gen_steps,
+        "{}: optimisation ({}) no worse than generation ({gen_steps})",
+        scenario.name,
+        opt_costs[0]
+    );
+    let open_inst = Instance::new(&scenario.without_arrivals()).expect("valid");
+    let report = sim::validate(&open_inst, &opt_plan, false);
+    assert!(report.is_valid(), "{}: {report}", scenario.name);
+}
+
+#[test]
+fn running_example_has_table_one_shape() {
+    assert_table_one_shape(&fixtures::running_example());
+}
+
+#[test]
+fn simple_layout_has_table_one_shape() {
+    assert_table_one_shape(&fixtures::simple_layout());
+}
+
+#[test]
+fn complex_layout_has_table_one_shape() {
+    assert_table_one_shape(&fixtures::complex_layout());
+}
+
+#[test]
+fn nordlandsbanen_has_table_one_shape() {
+    assert_table_one_shape(&fixtures::nordlandsbanen());
+}
+
+#[test]
+fn full_vss_layouts_subsume_generated_ones() {
+    // Any schedule feasible under some layout is feasible under the finest
+    // layout (more borders can only help).
+    for scenario in [fixtures::running_example(), fixtures::complex_layout()] {
+        let inst = Instance::new(&scenario).expect("valid");
+        let (v, _) =
+            verify(&scenario, &VssLayout::full(&inst.net), &config()).expect("well-formed");
+        assert!(v.is_feasible(), "{}: full VSS must admit the schedule", scenario.name);
+    }
+}
+
+#[test]
+fn nominal_variable_counts_are_in_the_papers_range() {
+    // Table I reports 654 / 3910 / 14025 / 21156 nominal variables; the
+    // reconstructed networks land within the same order of magnitude.
+    let expectations = [
+        ("Running Example", 100, 2_000),
+        ("Simple Layout", 1_000, 10_000),
+        ("Complex Layout", 3_000, 30_000),
+        ("Nordlandsbanen", 10_000, 100_000),
+    ];
+    for (scenario, (name, lo, hi)) in fixtures::all().iter().zip(expectations) {
+        assert_eq!(scenario.name, name);
+        let inst = Instance::new(scenario).expect("valid");
+        let vars = inst.nominal_var_count();
+        assert!(
+            (lo..hi).contains(&vars),
+            "{name}: nominal variable count {vars} outside [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn optimisation_ignores_arrival_deadlines() {
+    // optimize() must not be constrained by the schedule's arrivals: its
+    // result equals running it on the deadline-free scenario.
+    let scenario = fixtures::running_example();
+    let (a, _) = optimize(&scenario, &config()).expect("well-formed");
+    let (b, _) = optimize(&scenario.without_arrivals(), &config()).expect("well-formed");
+    let (DesignOutcome::Solved { costs: ca, .. }, DesignOutcome::Solved { costs: cb, .. }) =
+        (a, b)
+    else {
+        panic!("both must solve");
+    };
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn verification_accepts_the_optimised_layout_with_relaxed_deadlines() {
+    // Pin the optimised layout, relax every deadline to the horizon: the
+    // verification task must accept.
+    let scenario = fixtures::running_example();
+    let (o, _) = optimize(&scenario, &config()).expect("well-formed");
+    let layout = o.plan().expect("solved").layout.clone();
+    let mut relaxed = scenario.clone();
+    relaxed.schedule = Schedule::new(
+        scenario
+            .schedule
+            .runs()
+            .iter()
+            .map(|r| TrainRun {
+                arrival: Some(relaxed.horizon),
+                ..r.clone()
+            })
+            .collect(),
+    );
+    let (v, _) = verify(&relaxed, &layout, &config()).expect("well-formed");
+    assert!(v.is_feasible());
+}

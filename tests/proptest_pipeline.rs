@@ -1,0 +1,100 @@
+//! End-to-end property test: for randomly generated line scenarios, every
+//! plan the SAT pipeline produces must pass the independent operational
+//! validator, and the task answers must be mutually consistent.
+//!
+//! This is the strongest correctness argument in the workspace: the
+//! encoder (`etcs-core`) and the validator (`etcs-sim`) implement the
+//! paper's rules independently, so an encoding bug would surface as a
+//! validation failure on some random topology.
+
+use etcs::network::generator::{single_track_line, LineConfig};
+use etcs::prelude::*;
+use etcs::sim;
+use proptest::prelude::*;
+
+fn small_line() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..5,    // stations
+        0usize..3,    // loop_every
+        1usize..3,    // trains per direction
+        any::<u64>(), // seed
+    )
+        .prop_map(|(stations, loop_every, trains, seed)| {
+            single_track_line(&LineConfig {
+                stations,
+                loop_every,
+                link_m: 1000,
+                trains_per_direction: trains,
+                headway: Seconds::from_minutes(2),
+                r_s: Meters(500),
+                r_t: Seconds(30),
+                horizon: Seconds::from_minutes(10),
+                seed,
+                ..LineConfig::default()
+            })
+        })
+}
+
+proptest! {
+    // Each case runs a full SAT pipeline; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_plans_pass_independent_validation(scenario in small_line()) {
+        let config = EncoderConfig::default();
+        let inst = Instance::new(&scenario).expect("generated scenarios are valid");
+        let (outcome, _) = generate(&scenario, &config).expect("well-formed");
+        if let Some(plan) = outcome.plan() {
+            let report = sim::validate(&inst, plan, true);
+            prop_assert!(report.is_valid(), "{}:\n{report}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn optimized_plans_pass_independent_validation(scenario in small_line()) {
+        let config = EncoderConfig::default();
+        let open = scenario.without_arrivals();
+        let inst = Instance::new(&open).expect("valid");
+        let (outcome, _) = optimize(&scenario, &config).expect("well-formed");
+        if let Some(plan) = outcome.plan() {
+            let report = sim::validate(&inst, plan, false);
+            prop_assert!(report.is_valid(), "{}:\n{report}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn generation_monotone_in_layout(scenario in small_line()) {
+        // If generation succeeds, the generated layout verifies, and so
+        // does the finest layout.
+        let config = EncoderConfig::default();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &config).expect("well-formed");
+        if let Some(plan) = outcome.plan() {
+            let (check, _) = verify(&scenario, &plan.layout, &config).expect("well-formed");
+            prop_assert!(check.is_feasible(), "generated layout must verify");
+            let (full, _) =
+                verify(&scenario, &VssLayout::full(&inst.net), &config).expect("well-formed");
+            prop_assert!(full.is_feasible(), "finest layout must also verify");
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_answers(scenario in small_line()) {
+        let pruned = EncoderConfig::default();
+        let unpruned = EncoderConfig { prune_to_goal: false, ..pruned };
+        let (a, _) = verify(&scenario, &VssLayout::pure_ttd(), &pruned).expect("well-formed");
+        let (b, _) = verify(&scenario, &VssLayout::pure_ttd(), &unpruned).expect("well-formed");
+        prop_assert_eq!(a.is_feasible(), b.is_feasible(), "pruning must be sound");
+    }
+
+    #[test]
+    fn optimization_cost_matches_decoded_completion(scenario in small_line()) {
+        let config = EncoderConfig::default();
+        let open = scenario.without_arrivals();
+        let inst = Instance::new(&open).expect("valid");
+        let (outcome, _) = optimize(&scenario, &config).expect("well-formed");
+        if let DesignOutcome::Solved { plan, costs } = outcome {
+            prop_assert_eq!(costs[0] as usize, plan.completion_steps(&inst));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Integration test for the shipped `.rail` sample scenario: parse it from
+//! disk and run the full design pipeline on it.
+
+use etcs::prelude::*;
+use etcs::{parse_scenario, write_scenario};
+
+fn load_sample() -> Scenario {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/branch_line.rail");
+    let text = std::fs::read_to_string(path).expect("sample scenario ships with the repo");
+    parse_scenario(&text).expect("sample scenario parses")
+}
+
+#[test]
+fn sample_scenario_parses_and_validates() {
+    let s = load_sample();
+    assert_eq!(s.name, "Branch line");
+    assert_eq!(s.network.stations().len(), 2);
+    assert_eq!(s.network.ttds().len(), 4);
+    assert_eq!(s.schedule.len(), 2);
+    s.validate().expect("valid");
+}
+
+#[test]
+fn sample_scenario_roundtrips() {
+    let s = load_sample();
+    let text = write_scenario(&s);
+    let back = parse_scenario(&text).expect("roundtrip parses");
+    assert_eq!(back.network, s.network);
+    assert_eq!(back.schedule, s.schedule);
+}
+
+#[test]
+fn sample_scenario_runs_the_design_pipeline() {
+    let s = load_sample();
+    let config = EncoderConfig::default();
+    let inst = Instance::new(&s).expect("valid");
+
+    // Both intercity trains terminate at the two-track Midford loop, one
+    // minute apart — that works even on pure TTDs (each takes one track).
+    let (v, _) = verify(&s, &VssLayout::pure_ttd(), &config).expect("well-formed");
+    assert!(v.is_feasible());
+    let plan = v.plan().expect("feasible");
+    assert!(etcs::sim::validate(&inst, plan, true).is_valid());
+
+    // Optimisation still finds the earliest completion.
+    let (o, _) = optimize(&s, &config).expect("well-formed");
+    let DesignOutcome::Solved { costs, .. } = o else {
+        panic!("optimisation succeeds");
+    };
+    assert!(costs[0] as usize <= s.t_max());
+}
