@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repository gate: formatting, lints, tests. Run from the workspace root.
+#
+#   sh ci/check.sh
+#
+# Mirrors what CI enforces; keep it dependency-free (rustup components
+# only) so it also works in offline containers.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

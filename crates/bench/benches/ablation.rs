@@ -8,7 +8,8 @@
 //! * monolithic `Σ_t ¬done^t` cardinality objective vs. the
 //!   shrinking-horizon search the tasks use by default.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use etcs_bench::harness::Criterion;
+use etcs_bench::{criterion_group, criterion_main};
 use etcs_core::{encode, generate, optimize, EncoderConfig, Instance, TaskKind};
 use etcs_network::fixtures;
 use etcs_sat::{maxsat, Strategy};
@@ -83,8 +84,7 @@ fn ablation(c: &mut Criterion) {
             let inst = Instance::new(&open).expect("valid");
             let mut enc = encode(&inst, &default, &TaskKind::Optimize);
             let obj = enc.step_objective.clone().expect("optimize builds it");
-            let outcome =
-                maxsat::minimize(&mut enc.solver, &obj, &[], Strategy::LinearSatUnsat);
+            let outcome = maxsat::minimize(&mut enc.solver, &obj, &[], Strategy::LinearSatUnsat);
             assert!(outcome.optimal().is_some());
         })
     });

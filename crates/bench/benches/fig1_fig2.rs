@@ -11,7 +11,8 @@
 //! The decoded "figures" (layouts and arrival tables) are printed once
 //! before measurement so a bench run doubles as figure regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use etcs_bench::harness::Criterion;
+use etcs_bench::{criterion_group, criterion_main};
 use etcs_core::{generate, optimize, verify, DesignOutcome, EncoderConfig, Instance};
 use etcs_network::{fixtures, VssLayout};
 
@@ -26,7 +27,11 @@ fn print_story() {
     let (v, _) = verify(&scenario, &VssLayout::pure_ttd(), &config()).expect("ok");
     println!(
         "verification: {}",
-        if v.is_feasible() { "feasible" } else { "infeasible (paper: deadlock)" }
+        if v.is_feasible() {
+            "feasible"
+        } else {
+            "infeasible (paper: deadlock)"
+        }
     );
 
     println!("── Fig. 1a enriched: generated VSS layout ──");

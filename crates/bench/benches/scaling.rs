@@ -4,7 +4,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etcs_bench::harness::{BenchmarkId, Criterion};
+use etcs_bench::{criterion_group, criterion_main};
 use etcs_core::{generate, optimize, verify, EncoderConfig};
 use etcs_network::generator::{single_track_line, LineConfig};
 use etcs_network::{Meters, Seconds, VssLayout};
@@ -43,9 +44,7 @@ fn scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("stations/verify", stations),
             &scenario,
-            |b, s| {
-                b.iter(|| verify(s, &VssLayout::pure_ttd(), &config()).expect("well-formed"))
-            },
+            |b, s| b.iter(|| verify(s, &VssLayout::pure_ttd(), &config()).expect("well-formed")),
         );
         group.bench_with_input(
             BenchmarkId::new("stations/optimize", stations),

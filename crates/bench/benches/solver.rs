@@ -2,7 +2,8 @@
 //! the Z3 engine the paper used: random 3-SAT around the phase transition,
 //! pigeonhole UNSAT proofs, cardinality encodings and MaxSAT optimisation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use etcs_bench::harness::{BatchSize, Criterion};
+use etcs_bench::{criterion_group, criterion_main};
 use etcs_sat::{maxsat, CnfSink, Lit, Objective, Solver, Strategy, Totalizer, Var};
 
 /// Deterministic xorshift stream for reproducible instances.
@@ -36,7 +37,11 @@ fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Solver {
 fn pigeonhole(n: usize) -> Solver {
     let mut s = Solver::new();
     let p: Vec<Vec<Lit>> = (0..n)
-        .map(|_| (0..n - 1).map(|_| CnfSink::new_var(&mut s).positive()).collect())
+        .map(|_| {
+            (0..n - 1)
+                .map(|_| CnfSink::new_var(&mut s).positive())
+                .collect()
+        })
         .collect();
     for row in &p {
         s.add_clause(row.iter().copied());
@@ -85,8 +90,9 @@ fn solver_benches(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut s = Solver::new();
-                let lits: Vec<Lit> =
-                    (0..200).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+                let lits: Vec<Lit> = (0..200)
+                    .map(|_| CnfSink::new_var(&mut s).positive())
+                    .collect();
                 (s, lits)
             },
             |(mut s, lits)| Totalizer::build(&mut s, lits),
@@ -97,9 +103,7 @@ fn solver_benches(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut s = random_3sat(60, 180, 0xCAFE);
-                let obj = Objective::count_of(
-                    (0..30).map(|i| Var::from_index(i).positive()),
-                );
+                let obj = Objective::count_of((0..30).map(|i| Var::from_index(i).positive()));
                 (s.solve().is_sat().then_some(()), s, obj)
             },
             |(_, mut s, obj)| maxsat::minimize(&mut s, &obj, &[], Strategy::LinearSatUnsat),

@@ -5,7 +5,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use etcs_bench::harness::Criterion;
+use etcs_bench::{criterion_group, criterion_main};
 use etcs_core::{generate, optimize, verify, EncoderConfig};
 use etcs_network::{fixtures, Scenario, VssLayout};
 

@@ -2,6 +2,8 @@
 //! Table I (all four case studies × three design tasks) and the Fig. 1/2
 //! running-example story.
 
+pub mod harness;
+
 use std::fmt;
 use std::time::Duration;
 

@@ -57,7 +57,11 @@ fn main() {
             let (o, r) = verify(&scenario, &layout, &cfg).expect("well-formed");
             println!(
                 "verify({}): feasible={} vars={} clauses={} time={:.3}s",
-                if task == "verify" { "pure TTD" } else { "full VSS" },
+                if task == "verify" {
+                    "pure TTD"
+                } else {
+                    "full VSS"
+                },
                 o.is_feasible(),
                 r.stats.solver_vars,
                 r.stats.clauses,

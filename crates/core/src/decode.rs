@@ -1,8 +1,8 @@
 //! Decoding SAT models back into designer artefacts: VSS layouts and
 //! per-train movement plans.
 
-use etcs_sat::Model;
 use etcs_network::{EdgeId, NodeId, VssLayout};
+use etcs_sat::Model;
 
 use crate::encoder::VarMap;
 use crate::instance::Instance;
@@ -71,8 +71,7 @@ impl SolvedPlan {
                         (0..inst.net.num_edges())
                             .map(EdgeId::from_index)
                             .filter(|&e| {
-                                vars.occ_lit(tr, t, e)
-                                    .is_some_and(|l| model.lit_is_true(l))
+                                vars.occ_lit(tr, t, e).is_some_and(|l| model.lit_is_true(l))
                             })
                             .collect()
                     })

@@ -8,8 +8,8 @@
 //! shrunk to a *minimal* conflict set (deleting any member makes the rest
 //! feasible).
 
-use etcs_sat::{Lit, SatResult};
 use etcs_network::{NetworkError, Scenario, TrainId, VssLayout};
+use etcs_sat::{Lit, SatResult};
 
 use crate::encoder::{encode, EncoderConfig, TaskKind};
 use crate::instance::Instance;
@@ -119,10 +119,61 @@ pub fn diagnose(
     Ok(Diagnosis::Conflict { trains, names })
 }
 
+/// A single-track line where a slow leader makes a tight follower deadline
+/// unachievable — a genuine deadline conflict, not a structural deadlock.
+/// Shared with the certification tests.
+#[cfg(test)]
+pub(crate) fn follower_scenario() -> Scenario {
+    use etcs_network::{KmPerHour, Meters, NetworkBuilder, Schedule, Seconds, Train, TrainRun};
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+    let a_end = b.node();
+    let a_end2 = b.node();
+    let p1 = b.node();
+    let p2 = b.node();
+    let b_end = b.node();
+    let sta_a = b.track(a_end, p1, km(0.5), "A1");
+    let sta_a2 = b.track(a_end2, p1, km(0.5), "A2");
+    let link = b.track(p1, p2, km(2.0), "link");
+    let sta_b = b.track(p2, b_end, km(0.5), "B");
+    b.ttd("TTD-A1", [sta_a]);
+    b.ttd("TTD-A2", [sta_a2]);
+    b.ttd("TTD-L", [link]);
+    b.ttd("TTD-B", [sta_b]);
+    let st_a = b.station("A", [sta_a, sta_a2], true);
+    let st_b = b.station("B", [sta_b], true);
+    let network = b.build().expect("valid");
+    let schedule = Schedule::new(vec![
+        TrainRun::new(
+            Train::new("Slow leader", Meters(200), KmPerHour(60)),
+            st_a,
+            st_b,
+            Seconds::ZERO,
+            // Tight enough that the leader cannot yield to the follower.
+            Some(Seconds(210)),
+        ),
+        TrainRun::new(
+            Train::new("Tight follower", Meters(200), KmPerHour(120)),
+            st_a,
+            st_b,
+            Seconds(60),
+            Some(Seconds(150)),
+        ),
+    ]);
+    Scenario {
+        name: "Follower".into(),
+        network,
+        schedule,
+        r_s: km(0.5),
+        r_t: Seconds(30),
+        horizon: Seconds(600),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use etcs_network::{fixtures, Scenario};
+    use etcs_network::fixtures;
 
     fn config() -> EncoderConfig {
         EncoderConfig::default()
@@ -144,56 +195,6 @@ mod tests {
         let scenario = fixtures::running_example();
         let d = diagnose(&scenario, &VssLayout::pure_ttd(), &config()).expect("ok");
         assert_eq!(d, Diagnosis::Structural);
-    }
-
-    /// A single-track line where a slow leader makes a tight follower
-    /// deadline unachievable — a genuine deadline conflict, not a
-    /// structural deadlock.
-    fn follower_scenario() -> Scenario {
-        use etcs_network::{KmPerHour, Meters, NetworkBuilder, Schedule, Seconds, Train, TrainRun};
-        let km = Meters::from_km;
-        let mut b = NetworkBuilder::new();
-        let a_end = b.node();
-        let a_end2 = b.node();
-        let p1 = b.node();
-        let p2 = b.node();
-        let b_end = b.node();
-        let sta_a = b.track(a_end, p1, km(0.5), "A1");
-        let sta_a2 = b.track(a_end2, p1, km(0.5), "A2");
-        let link = b.track(p1, p2, km(2.0), "link");
-        let sta_b = b.track(p2, b_end, km(0.5), "B");
-        b.ttd("TTD-A1", [sta_a]);
-        b.ttd("TTD-A2", [sta_a2]);
-        b.ttd("TTD-L", [link]);
-        b.ttd("TTD-B", [sta_b]);
-        let st_a = b.station("A", [sta_a, sta_a2], true);
-        let st_b = b.station("B", [sta_b], true);
-        let network = b.build().expect("valid");
-        let schedule = Schedule::new(vec![
-            TrainRun::new(
-                Train::new("Slow leader", Meters(200), KmPerHour(60)),
-                st_a,
-                st_b,
-                Seconds::ZERO,
-                // Tight enough that the leader cannot yield to the follower.
-                Some(Seconds(210)),
-            ),
-            TrainRun::new(
-                Train::new("Tight follower", Meters(200), KmPerHour(120)),
-                st_a,
-                st_b,
-                Seconds(60),
-                Some(Seconds(150)),
-            ),
-        ]);
-        Scenario {
-            name: "Follower".into(),
-            network,
-            schedule,
-            r_s: km(0.5),
-            r_t: Seconds(30),
-            horizon: Seconds(600),
-        }
     }
 
     #[test]
@@ -244,8 +245,7 @@ mod tests {
                 })
                 .collect(),
         );
-        let (outcome, _) =
-            crate::verify(&relaxed, &VssLayout::pure_ttd(), &config()).expect("ok");
+        let (outcome, _) = crate::verify(&relaxed, &VssLayout::pure_ttd(), &config()).expect("ok");
         assert!(outcome.is_feasible());
     }
 

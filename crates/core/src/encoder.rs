@@ -22,12 +22,15 @@
 // Index-coupled loops over parallel tables are intentional here.
 #![allow(clippy::needless_range_loop)]
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use etcs_sat::{CnfSink, Lit, Objective, Solver, Var};
 use etcs_network::{EdgeId, NodeId, NodeKind, VssLayout};
+use etcs_sat::{CnfSink, DratProof, Lit, Objective, Solver, Var};
 
 use crate::instance::{ExitPolicy, Instance};
+use crate::trace::{EncodingTrace, TracedSolver};
 
 /// Tunable encoder behaviour; defaults reproduce the paper's formulation.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +45,15 @@ pub struct EncoderConfig {
     /// Also require every newly occupied segment to be within reach of the
     /// previous position (physically implied; strengthens propagation).
     pub symmetric_movement: bool,
+    /// Mirror the emitted formula plus full provenance (variable labels,
+    /// constraint groups, gates, objective references) into
+    /// [`Encoding::trace`] so the `etcs-lint` audit can inspect it. Costs
+    /// memory and time proportional to the encoding; off by default.
+    pub trace: bool,
+    /// Install a DRAT proof sink on the solver before the first clause so
+    /// UNSAT verdicts can be certified against the traced formula (see
+    /// [`Encoding::proof`]). Off by default.
+    pub proof: bool,
 }
 
 impl Default for EncoderConfig {
@@ -50,6 +62,8 @@ impl Default for EncoderConfig {
             prune_to_goal: true,
             allow_immediate_reoccupation: false,
             symmetric_movement: true,
+            trace: false,
+            proof: false,
         }
     }
 }
@@ -134,6 +148,12 @@ pub struct Encoding {
     /// schedule order; assuming a selector enforces that train's arrival
     /// deadline. Empty for the other tasks.
     pub deadline_selectors: Vec<Lit>,
+    /// The formula mirror + provenance (only with [`EncoderConfig::trace`]).
+    pub trace: Option<EncodingTrace>,
+    /// Shared handle to the DRAT proof the solver appends to (only with
+    /// [`EncoderConfig::proof`]). After an UNSAT solve, check it against
+    /// `trace.formula.clauses()` — the mirror is the proof's axiom set.
+    pub proof: Option<Rc<RefCell<DratProof>>>,
 }
 
 /// Builds the encoding for an instance and task.
@@ -145,7 +165,7 @@ struct Encoder<'a> {
     inst: &'a Instance,
     config: &'a EncoderConfig,
     task: &'a TaskKind,
-    solver: Solver,
+    solver: TracedSolver,
     border: Vec<Option<Var>>,
     occ: Vec<Vec<Vec<Option<Var>>>>,
     visited: Vec<Vec<Option<Lit>>>,
@@ -166,7 +186,7 @@ impl<'a> Encoder<'a> {
             inst,
             config,
             task,
-            solver: Solver::new(),
+            solver: TracedSolver::new(config.trace, config.proof),
             border: Vec::new(),
             occ: Vec::new(),
             visited: Vec::new(),
@@ -199,11 +219,10 @@ impl<'a> Encoder<'a> {
         let deadline_selectors = self.encode_task_goals();
         self.seed_decision_order();
 
-        let border_objective = Objective::count_of(
-            self.border
-                .iter()
-                .filter_map(|v| v.map(Var::positive)),
-        );
+        let border_objective =
+            Objective::count_of(self.border.iter().filter_map(|v| v.map(Var::positive)));
+        self.solver
+            .mark_objective(self.border.iter().filter_map(|v| v.map(Var::positive)));
         let (step_objective, step_cost_offset, all_done) =
             if matches!(self.task, TaskKind::Optimize) {
                 self.build_step_objective()
@@ -211,15 +230,16 @@ impl<'a> Encoder<'a> {
                 (None, 0, Vec::new())
             };
 
+        let (solver, trace, proof) = self.solver.finish();
         let stats = EncodingStats {
             border_vars: self.border.iter().filter(|v| v.is_some()).count(),
             occupies_vars,
             nominal_vars: self.inst.nominal_var_count(),
-            solver_vars: self.solver.num_vars(),
-            clauses: self.solver.num_clauses(),
+            solver_vars: solver.num_vars(),
+            clauses: solver.num_clauses(),
         };
         Encoding {
-            solver: self.solver,
+            solver,
             vars: VarMap {
                 border: self.border,
                 occ: self.occ,
@@ -232,6 +252,8 @@ impl<'a> Encoder<'a> {
             step_cost_offset,
             all_done,
             deadline_selectors,
+            trace,
+            proof,
         }
     }
 
@@ -244,9 +266,14 @@ impl<'a> Encoder<'a> {
         self.border = vec![None; net.num_nodes()];
         for n in net.border_candidates() {
             let v = CnfSink::new_var(&mut self.solver);
+            self.solver
+                .tag_var(v, || format!("border[node={}]", n.index()));
             self.border[n.index()] = Some(v);
         }
         if let TaskKind::Verify(layout) | TaskKind::Diagnose(layout) = self.task {
+            if !net.border_candidates().is_empty() {
+                self.solver.begin_group(|| "border-fix".to_owned());
+            }
             for n in net.border_candidates() {
                 let v = self.border[n.index()].expect("candidate has a variable");
                 if layout.borders().contains(&n) {
@@ -279,7 +306,11 @@ impl<'a> Encoder<'a> {
                 let active = self.inst.active_edges(tr, t, self.config.prune_to_goal);
                 let mut row: Vec<Option<Var>> = vec![None; num_edges];
                 for &e in &active {
-                    row[e.index()] = Some(CnfSink::new_var(&mut self.solver));
+                    let v = CnfSink::new_var(&mut self.solver);
+                    let name = &tr.name;
+                    self.solver
+                        .tag_var(v, || format!("occ[{name},t={t},seg={}]", e.index()));
+                    row[e.index()] = Some(v);
                 }
                 per_train.push(row);
                 active_train.push(active);
@@ -306,11 +337,18 @@ impl<'a> Encoder<'a> {
     fn encode_shape(&mut self, tr: usize) {
         let spec = &self.inst.trains[tr];
         let length = spec.length;
+        if spec.dep_step >= self.inst.t_max {
+            return;
+        }
+        {
+            let name = &self.inst.trains[tr].name;
+            self.solver.begin_group(|| format!("shape[{name}]"));
+        }
         if !self.chain_cache.contains_key(&length) {
             let chains = self.inst.net.chains(length);
             self.chain_cache.insert(length, chains);
         }
-        for t in spec.dep_step..self.inst.t_max {
+        for t in self.inst.trains[tr].dep_step..self.inst.t_max {
             if length == 1 {
                 self.encode_shape_single(tr, t);
             } else {
@@ -322,22 +360,26 @@ impl<'a> Encoder<'a> {
     /// Length-1 trains: the occupancy variables are the chain selectors.
     fn encode_shape_single(&mut self, tr: usize, t: usize) {
         let spec = &self.inst.trains[tr];
+        let dep = spec.dep_step;
         let lits: Vec<Lit> = self.active[tr][t]
             .iter()
             .filter_map(|&e| self.occ_lit(tr, t, e))
             .collect();
         etcs_sat::card::at_most_one_sequential(&mut self.solver, &lits);
-        self.presence_clause(tr, t, &lits);
-        if t == spec.dep_step {
-            // The departure chain must touch the origin station.
-            let origin: Vec<Lit> = spec
+        // At departure the at-least side sharpens to the origin edges (the
+        // train must start at its origin); emitting the weaker full-row
+        // clause alongside would be immediately self-subsumed.
+        let at_least: Vec<Lit> = if t == dep {
+            self.inst.trains[tr]
                 .origin_edges
                 .clone()
                 .iter()
                 .filter_map(|&e| self.occ_lit(tr, t, e))
-                .collect();
-            self.solver.add_clause(origin);
-        }
+                .collect()
+        } else {
+            lits.clone()
+        };
+        self.presence_clause(tr, t, &at_least, &lits);
     }
 
     /// Longer trains: one selector per candidate chain.
@@ -371,34 +413,43 @@ impl<'a> Encoder<'a> {
                 covering.entry(e).or_default().push(sel);
             }
         }
-        // Occupied edges must be covered by the selected chain.
+        // Occupied edges must be covered by the selected chain. For Park
+        // trains, an edge every candidate chain covers needs no clause: the
+        // presence clause over all selectors subsumes it.
+        let park = self.inst.trains[tr].exit == ExitPolicy::Park;
         for &e in &self.active[tr][t] {
+            let cov = covering.get(&e).map(|v| v.as_slice()).unwrap_or(&[]);
+            if park && cov.len() == selectors.len() {
+                continue;
+            }
             let occ = self.occ_lit(tr, t, e).expect("active edge has a variable");
             let mut clause = vec![!occ];
-            clause.extend(covering.get(&e).map(|v| v.as_slice()).unwrap_or(&[]));
+            clause.extend_from_slice(cov);
             self.solver.add_clause(clause);
         }
         etcs_sat::card::at_most_one_sequential(&mut self.solver, &selectors);
-        self.presence_clause(tr, t, &selectors);
+        self.presence_clause(tr, t, &selectors, &selectors);
     }
 
     /// "Present unless done": Park trains are always present after
     /// departure; Leave trains may be done instead. Also ties `done` to
-    /// absence for Leave trains.
-    fn presence_clause(&mut self, tr: usize, t: usize, selectors: &[Lit]) {
+    /// absence for Leave trains. `at_least` is the at-least-one side (a
+    /// subset of `all` — sharpened to the origin edges at departure); the
+    /// done-exclusivity side always ranges over `all`.
+    fn presence_clause(&mut self, tr: usize, t: usize, at_least: &[Lit], all: &[Lit]) {
         let spec = &self.inst.trains[tr];
         match spec.exit {
             ExitPolicy::Park => {
-                self.solver.add_clause(selectors.iter().copied());
+                self.solver.add_clause(at_least.iter().copied());
             }
             ExitPolicy::Leave => {
                 // done[t] is allocated later in encode_completion; allocate
                 // eagerly here via the done table.
                 let done = self.done_lit_or_alloc(tr, t);
                 let mut clause = vec![done];
-                clause.extend_from_slice(selectors);
+                clause.extend_from_slice(at_least);
                 self.solver.add_clause(clause);
-                for &sel in selectors {
+                for &sel in all {
                     self.solver.add_clause([!done, !sel]);
                 }
             }
@@ -409,8 +460,7 @@ impl<'a> Encoder<'a> {
     fn done_lit_or_alloc(&mut self, tr: usize, t: usize) -> Lit {
         if self.done.len() <= tr {
             self.done.resize(self.inst.trains.len(), Vec::new());
-            self.visited
-                .resize(self.inst.trains.len(), Vec::new());
+            self.visited.resize(self.inst.trains.len(), Vec::new());
         }
         if self.done[tr].is_empty() {
             self.done[tr] = vec![None; self.inst.t_max];
@@ -420,6 +470,11 @@ impl<'a> Encoder<'a> {
             return l;
         }
         let l = CnfSink::new_var(&mut self.solver).positive();
+        {
+            let name = &self.inst.trains[tr].name;
+            self.solver
+                .tag_var(l.var(), || format!("done[{name},t={t}]"));
+        }
         self.done[tr][t] = Some(l);
         l
     }
@@ -433,31 +488,58 @@ impl<'a> Encoder<'a> {
         let speed = spec.speed;
         let dep = spec.dep_step;
         let leave = spec.exit == ExitPolicy::Leave;
+        let single = spec.length == 1;
+        if dep >= self.inst.t_max.saturating_sub(1) {
+            return;
+        }
+        {
+            let name = &self.inst.trains[tr].name;
+            self.solver.begin_group(|| format!("movement[{name}]"));
+        }
         for t in dep..self.inst.t_max.saturating_sub(1) {
             let current = self.active[tr][t].clone();
             let next = self.active[tr][t + 1].clone();
             for &e in &current {
                 let occ_e = self.occ_lit(tr, t, e).expect("active");
+                let reach: Vec<Lit> = next
+                    .iter()
+                    .filter_map(|&f| {
+                        (self.inst.dist(e, f)? <= speed)
+                            .then(|| self.occ_lit(tr, t + 1, f))
+                            .flatten()
+                    })
+                    .collect();
+                // When every next-step position is reachable from `e`, the
+                // presence clause at t+1 subsumes this one — skip it.
+                if single && reach.len() == next.len() {
+                    continue;
+                }
                 let mut clause = vec![!occ_e];
                 if leave {
                     clause.push(self.done_lit_or_alloc(tr, t + 1));
                 }
-                clause.extend(next.iter().filter_map(|&f| {
-                    (self.inst.dist(e, f)? <= speed)
-                        .then(|| self.occ_lit(tr, t + 1, f))
-                        .flatten()
-                }));
+                clause.extend(reach);
                 self.solver.add_clause(clause);
             }
             if self.config.symmetric_movement {
                 for &f in &next {
                     let occ_f = self.occ_lit(tr, t + 1, f).expect("active");
+                    let back: Vec<Lit> = current
+                        .iter()
+                        .filter_map(|&e| {
+                            (self.inst.dist(e, f)? <= speed)
+                                .then(|| self.occ_lit(tr, t, e))
+                                .flatten()
+                        })
+                        .collect();
+                    // Same subsumption, against the presence clause at t —
+                    // but only for Park trains: the Leave presence clause
+                    // carries a `done` literal this clause does not.
+                    if single && !leave && back.len() == current.len() {
+                        continue;
+                    }
                     let mut clause = vec![!occ_f];
-                    clause.extend(current.iter().filter_map(|&e| {
-                        (self.inst.dist(e, f)? <= speed)
-                            .then(|| self.occ_lit(tr, t, e))
-                            .flatten()
-                    }));
+                    clause.extend(back);
                     self.solver.add_clause(clause);
                 }
             }
@@ -470,6 +552,10 @@ impl<'a> Encoder<'a> {
 
     fn encode_separation(&mut self) {
         let num_trains = self.inst.trains.len();
+        if num_trains < 2 {
+            return;
+        }
+        self.solver.begin_group(|| "separation".to_owned());
         for t in 0..self.inst.t_max {
             for i in 0..num_trains {
                 for j in (i + 1)..num_trains {
@@ -539,6 +625,10 @@ impl<'a> Encoder<'a> {
     /// the paper's flat formulation but an order of magnitude smaller.
     fn encode_collision(&mut self) {
         let num_trains = self.inst.trains.len();
+        if num_trains < 2 {
+            return; // nothing to collide with
+        }
+        self.solver.begin_group(|| "collision".to_owned());
         for mover in 0..num_trains {
             let speed = self.inst.trains[mover].speed;
             for t in self.inst.trains[mover].dep_step..self.inst.t_max.saturating_sub(1) {
@@ -596,9 +686,28 @@ impl<'a> Encoder<'a> {
         let occ_f = self.occ_lit(mover, t + 1, f).expect("active");
         let path = self.path_cache[&key].clone();
         for g in path {
-            let s = *sweep
-                .entry(g)
-                .or_insert_with(|| CnfSink::new_var(&mut self.solver).positive());
+            // A sweep variable only earns its keep if some other train could
+            // be on `g` around the move; otherwise the exclusivity side
+            // would never materialise and the ternary clauses dangle.
+            let contested = (0..self.inst.trains.len()).any(|other| {
+                other != mover
+                    && (self.occ[other][t][g.index()].is_some()
+                        || self.occ[other][t + 1][g.index()].is_some())
+            });
+            if !contested {
+                continue;
+            }
+            let s = match sweep.get(&g) {
+                Some(&s) => s,
+                None => {
+                    let s = CnfSink::new_var(&mut self.solver).positive();
+                    self.solver.tag_var(s.var(), || {
+                        format!("sweep[train={mover},t={t},seg={}]", g.index())
+                    });
+                    sweep.insert(g, s);
+                    s
+                }
+            };
             self.solver.add_clause([!occ_e, !occ_f, s]);
         }
     }
@@ -606,6 +715,23 @@ impl<'a> Encoder<'a> {
     // ------------------------------------------------------------------
     // Completion: visited / done machinery and Park freezing
     // ------------------------------------------------------------------
+
+    /// `true` if the movement constraint alone pins train `tr` on edge `e`
+    /// at step `t`: `e` stays active at `t + 1` and is the only position
+    /// the train can reach from it within `speed`.
+    fn pinned_in_place(&self, tr: usize, t: usize, e: EdgeId, speed: u32) -> bool {
+        self.occ_lit(tr, t + 1, e).is_some()
+            && self.active[tr][t + 1]
+                .iter()
+                .all(|&f| f == e || !matches!(self.inst.dist(e, f), Some(d) if d <= speed))
+    }
+
+    /// `true` if step `t` emits at least one Park freeze clause for `tr`.
+    fn step_needs_freeze(&self, tr: usize, t: usize, speed: u32) -> bool {
+        self.active[tr][t]
+            .iter()
+            .any(|&e| !self.pinned_in_place(tr, t, e, speed))
+    }
 
     fn encode_completion(&mut self, tr: usize) {
         let spec = self.inst.trains[tr].clone();
@@ -622,10 +748,36 @@ impl<'a> Encoder<'a> {
                 self.visited[tr] = vec![None; self.inst.t_max];
             }
         }
+        self.solver
+            .begin_group(|| format!("completion[{}]", spec.name));
+
+        // The visited chain only needs to reach the last step any other
+        // constraint reads: the task-goal step, plus (Park) the freeze
+        // clauses at t_max - 2 and (Optimize) the per-step objective at
+        // every step. Gates past that point would dangle.
+        let final_step = self.inst.t_max - 1;
+        let goal_step = match self.task {
+            TaskKind::Optimize => final_step,
+            _ => spec.deadline_step.unwrap_or(final_step),
+        }
+        .clamp(dep, final_step);
+        let last_visited = match spec.exit {
+            ExitPolicy::Park => {
+                // Extend the chain past the goal step only while freeze
+                // clauses still reference it: at a step where the movement
+                // constraint alone pins every active edge in place, no
+                // freeze clause is emitted and a gate there would dangle.
+                (goal_step..final_step)
+                    .rev()
+                    .find(|&t| self.step_needs_freeze(tr, t, spec.speed))
+                    .unwrap_or(goal_step)
+            }
+            ExitPolicy::Leave => goal_step,
+        };
 
         // visited[t] ↔ goal occupied at t ∨ visited[t-1]
         let mut prev: Option<Lit> = None;
-        for t in dep..self.inst.t_max {
+        for t in dep..=last_visited {
             let mut inputs: Vec<Lit> = spec
                 .goal_edges
                 .iter()
@@ -635,6 +787,11 @@ impl<'a> Encoder<'a> {
                 inputs.push(p);
             }
             let v = self.solver.or_gate(&inputs);
+            {
+                let name = &spec.name;
+                self.solver
+                    .tag_var(v.var(), || format!("visited[{name},t={t}]"));
+            }
             self.visited[tr][t] = Some(v);
             prev = Some(v);
         }
@@ -642,13 +799,19 @@ impl<'a> Encoder<'a> {
         match spec.exit {
             ExitPolicy::Park => {
                 // done ≡ visited; once visited, the train freezes in place.
-                for t in dep..self.inst.t_max {
+                for t in dep..=last_visited {
                     self.done[tr][t] = self.visited[tr][t];
                 }
-                for t in dep..self.inst.t_max - 1 {
+                for t in dep..=last_visited.min(final_step.saturating_sub(1)) {
                     let vis = self.visited[tr][t].expect("allocated above");
                     for &e in &self.active[tr][t].clone() {
                         let occ_now = self.occ_lit(tr, t, e).expect("active");
+                        if self.pinned_in_place(tr, t, e, spec.speed) {
+                            // The movement clause already forces the train
+                            // to stay on `e`; the freeze clause would be
+                            // subsumed by it.
+                            continue;
+                        }
                         match self.occ_lit(tr, t + 1, e) {
                             Some(occ_next) => {
                                 self.solver.add_clause([!vis, !occ_now, occ_next]);
@@ -669,7 +832,16 @@ impl<'a> Encoder<'a> {
                     let d_now = self.done_lit_or_alloc(tr, t);
                     let d_next = self.done_lit_or_alloc(tr, t + 1);
                     self.solver.implies(d_now, d_next);
-                    // Onset requires having just been at the goal.
+                    // Onset requires having just been at the goal — unless
+                    // the whole cone at `t` lies inside the goal station, in
+                    // which case the presence clause at `t` already implies
+                    // it (and would subsume this clause).
+                    let at_goal_anyway = self.active[tr][t]
+                        .iter()
+                        .all(|e| spec.goal_edges.contains(e));
+                    if at_goal_anyway {
+                        continue;
+                    }
                     let mut clause = vec![!d_next, d_now];
                     clause.extend(
                         spec.goal_edges
@@ -690,6 +862,9 @@ impl<'a> Encoder<'a> {
         let enforce_deadlines = !matches!(self.task, TaskKind::Optimize);
         let diagnose = matches!(self.task, TaskKind::Diagnose(_));
         let mut selectors = Vec::new();
+        if !self.inst.trains.is_empty() {
+            self.solver.begin_group(|| "task-goal".to_owned());
+        }
         for tr in 0..self.inst.trains.len() {
             let spec = self.inst.trains[tr].clone();
             let final_step = self.inst.t_max - 1;
@@ -704,6 +879,11 @@ impl<'a> Encoder<'a> {
                 // Guarded arrival: assuming the selector enforces it, so an
                 // unsat core over the selectors names the clashing trains.
                 let sel = CnfSink::new_var(&mut self.solver).positive();
+                {
+                    let name = &self.inst.trains[tr].name;
+                    self.solver
+                        .tag_var(sel.var(), || format!("deadline-sel[{name}]"));
+                }
                 self.solver.implies(sel, vis);
                 selectors.push(sel);
             } else {
@@ -766,16 +946,24 @@ impl<'a> Encoder<'a> {
             .unwrap_or(0);
         let mut cost_lits: Vec<Lit> = Vec::new();
         let mut all_done: Vec<Option<Lit>> = vec![None; self.inst.t_max];
+        self.solver.begin_group(|| "step-objective".to_owned());
         for t in max_dep..self.inst.t_max {
             let done_lits: Vec<Lit> = (0..self.inst.trains.len())
                 .map(|tr| self.done[tr][t].expect("done allocated after departure"))
                 .collect();
             let gate = self.solver.and_gate(&done_lits);
+            self.solver
+                .tag_var(gate.var(), || format!("all-done[t={t}]"));
             all_done[t] = Some(gate);
             cost_lits.push(!gate);
         }
+        self.solver.mark_objective(cost_lits.iter().copied());
         // Steps strictly before the last departure can never be all-done.
-        (Some(Objective::count_of(cost_lits)), max_dep as u64, all_done)
+        (
+            Some(Objective::count_of(cost_lits)),
+            max_dep as u64,
+            all_done,
+        )
     }
 }
 
@@ -819,6 +1007,58 @@ mod tests {
         );
         assert!(pruned.stats.occupies_vars < unpruned.stats.occupies_vars);
         assert!(pruned.stats.occupies_vars <= pruned.stats.nominal_vars);
+    }
+
+    #[test]
+    fn traced_encodings_are_lint_clean() {
+        let inst = Instance::new(&fixtures::running_example()).expect("valid");
+        let config = EncoderConfig {
+            trace: true,
+            ..EncoderConfig::default()
+        };
+        for task in [
+            TaskKind::Generate,
+            TaskKind::Verify(etcs_network::VssLayout::pure_ttd()),
+            TaskKind::Diagnose(etcs_network::VssLayout::pure_ttd()),
+        ] {
+            let enc = encode(&inst, &config, &task);
+            let trace = enc.trace.expect("tracing on");
+            assert_eq!(trace.formula.num_vars(), enc.solver.num_vars());
+            // The solver simplifies at level 0 (drops satisfied clauses,
+            // moves units to the trail), so the mirror records at least as
+            // many clauses as stay live in the solver.
+            assert!(trace.formula.num_clauses() >= enc.solver.num_clauses());
+            let findings = trace.lint();
+            assert!(
+                findings.is_empty(),
+                "clean {task:?} encoding must have zero findings:\n{}",
+                etcs_lint::render_report(&findings)
+            );
+        }
+    }
+
+    #[test]
+    fn traced_optimize_encoding_is_lint_clean() {
+        let scenario = fixtures::running_example().without_arrivals();
+        let inst = Instance::new(&scenario).expect("valid");
+        let config = EncoderConfig {
+            trace: true,
+            ..EncoderConfig::default()
+        };
+        let enc = encode(&inst, &config, &TaskKind::Optimize);
+        let findings = enc.trace.expect("tracing on").lint();
+        assert!(
+            findings.is_empty(),
+            "clean Optimize encoding must have zero findings:\n{}",
+            etcs_lint::render_report(&findings)
+        );
+    }
+
+    #[test]
+    fn untraced_encoding_carries_no_trace() {
+        let inst = Instance::new(&fixtures::running_example()).expect("valid");
+        let enc = encode(&inst, &EncoderConfig::default(), &TaskKind::Generate);
+        assert!(enc.trace.is_none() && enc.proof.is_none());
     }
 
     #[test]
@@ -911,12 +1151,8 @@ mod shape_tests {
             },
         ];
         for config in variants {
-            let (v, _) = verify(
-                &scenario,
-                &etcs_network::VssLayout::pure_ttd(),
-                &config,
-            )
-            .expect("well-formed");
+            let (v, _) = verify(&scenario, &etcs_network::VssLayout::pure_ttd(), &config)
+                .expect("well-formed");
             assert!(!v.is_feasible(), "verdict must not depend on {config:?}");
         }
     }

@@ -8,8 +8,8 @@
 //! design-space exploration GUI, or the `ablation` bench) costs a fraction
 //! of independent [`crate::verify`] calls.
 
-use etcs_sat::{Lit, SatResult};
 use etcs_network::{NetworkError, NodeId, Scenario, VssLayout};
+use etcs_sat::{Lit, SatResult};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind};
@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn essential_borders_of_the_generated_layout() {
         let scenario = fixtures::running_example();
-        let (outcome, _) =
-            crate::generate(&scenario, &EncoderConfig::default()).expect("ok");
+        let (outcome, _) = crate::generate(&scenario, &EncoderConfig::default()).expect("ok");
         let layout = outcome.plan().expect("feasible").layout.clone();
         let mut ex = explorer();
         let essential = ex.essential_borders(&layout).expect("layout admits");

@@ -1,9 +1,7 @@
 //! Problem instances: a scenario lifted onto the discrete grid, with all
 //! per-train data and distance tables the encoder needs.
 
-use etcs_network::{
-    DiscreteNet, EdgeId, NetworkError, Scenario, TrainId,
-};
+use etcs_network::{DiscreteNet, EdgeId, NetworkError, Scenario, TrainId};
 
 /// What happens when a train completes its run (pinned-down semantics the
 //  paper leaves informal; see DESIGN.md §3).

@@ -27,9 +27,11 @@
 //! # Ok::<(), etcs_network::NetworkError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod certify;
 mod decode;
 mod diagnose;
 mod encoder;
@@ -37,13 +39,19 @@ mod explorer;
 mod instance;
 mod objectives;
 mod tasks;
+mod trace;
 mod tradeoff;
 
+pub use certify::{
+    diagnose_certified, generate_certified, optimize_certified, verify_certified, Certification,
+    CertifiedVerdict, CertifyError,
+};
 pub use decode::{SolvedPlan, TrainPlan};
 pub use diagnose::{diagnose, Diagnosis};
+pub use encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind, VarMap};
 pub use explorer::LayoutExplorer;
-pub use objectives::optimize_arrivals;
-pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};
-pub use encoder::{encode, Encoding, EncoderConfig, EncodingStats, TaskKind, VarMap};
 pub use instance::{ExitPolicy, Instance, TrainSpec};
+pub use objectives::optimize_arrivals;
 pub use tasks::{generate, optimize, verify, DesignOutcome, TaskReport, VerifyOutcome};
+pub use trace::EncodingTrace;
+pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};

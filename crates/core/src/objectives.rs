@@ -10,8 +10,8 @@
 
 use std::time::Instant;
 
-use etcs_sat::{maxsat, Lit, Objective, Strategy};
 use etcs_network::{NetworkError, Scenario};
+use etcs_sat::{maxsat, Lit, Objective, Strategy};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, TaskKind};

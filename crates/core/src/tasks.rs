@@ -3,8 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use etcs_sat::{maxsat, SatResult, Strategy};
 use etcs_network::{NetworkError, Scenario, VssLayout};
+use etcs_sat::{maxsat, SatResult, Strategy};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, EncodingStats, TaskKind};
@@ -278,8 +278,7 @@ mod tests {
     #[test]
     fn running_example_generation_finds_a_layout() {
         let scenario = fixtures::running_example();
-        let (outcome, _) =
-            generate(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("well-formed");
         match outcome {
             DesignOutcome::Solved { plan, costs } => {
                 assert!(costs[0] >= 1, "at least one virtual border is needed");
@@ -307,10 +306,8 @@ mod tests {
     #[test]
     fn running_example_optimization_beats_generation() {
         let scenario = fixtures::running_example();
-        let (gen_outcome, _) =
-            generate(&scenario, &EncoderConfig::default()).expect("well-formed");
-        let (opt_outcome, _) =
-            optimize(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let (gen_outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("well-formed");
+        let (opt_outcome, _) = optimize(&scenario, &EncoderConfig::default()).expect("well-formed");
         let inst = Instance::new(&scenario).expect("valid");
         let gen_steps = gen_outcome
             .plan()

@@ -1,0 +1,243 @@
+//! Encoding trace: a [`Formula`] mirror of everything the encoder emits,
+//! plus [`Provenance`] for the lint subsystem and optional DRAT proof
+//! logging for certification.
+//!
+//! The encoder builds against [`TracedSolver`], which forwards every
+//! variable allocation and clause to the wrapped [`Solver`] and — when
+//! tracing is on — mirrors them into an [`EncodingTrace`]. The mirror is
+//! index-aligned with the solver (same variable order, same clause order),
+//! so the traced formula *is* the axiom set of any DRAT proof the solver
+//! emits, and lint findings can be mapped straight back to solver
+//! variables.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use etcs_lint::{Finding, Provenance};
+use etcs_sat::{CnfSink, DratProof, Formula, Lit, Solver, Var};
+
+/// The inspectable mirror of a built encoding.
+#[derive(Debug, Default)]
+pub struct EncodingTrace {
+    /// The exact clause list loaded into the solver, in emission order.
+    pub formula: Formula,
+    /// Variable, clause-group, objective and gate origin metadata.
+    pub provenance: Provenance,
+}
+
+impl EncodingTrace {
+    /// Audits the traced formula with full encoder provenance.
+    pub fn lint(&self) -> Vec<Finding> {
+        etcs_lint::audit(&self.formula, Some(&self.provenance))
+    }
+}
+
+/// Solver wrapper the encoder builds against.
+///
+/// Forwards to the wrapped [`Solver`]; optionally mirrors into an
+/// [`EncodingTrace`] and/or installs a DRAT [`ProofSink`]
+/// (`etcs_sat::ProofSink`) before the first clause so UNSAT verdicts can
+/// be certified against the traced formula.
+#[derive(Debug)]
+pub(crate) struct TracedSolver {
+    solver: Solver,
+    proof: Option<Rc<RefCell<DratProof>>>,
+    trace: Option<EncodingTrace>,
+    group: Option<usize>,
+    var_context: Option<String>,
+}
+
+impl TracedSolver {
+    /// Creates a fresh solver; `trace` enables the formula mirror,
+    /// `proof` installs a DRAT sink (kept alive via the returned handle
+    /// in [`TracedSolver::finish`]).
+    pub fn new(trace: bool, proof: bool) -> Self {
+        let mut solver = Solver::new();
+        let proof = proof.then(|| {
+            let sink = Rc::new(RefCell::new(DratProof::new()));
+            solver.set_proof_sink(Box::new(Rc::clone(&sink)));
+            sink
+        });
+        TracedSolver {
+            solver,
+            proof,
+            trace: trace.then(EncodingTrace::default),
+            group: None,
+            var_context: None,
+        }
+    }
+
+    /// Declares a constraint group; subsequent clauses are tagged with it
+    /// and untagged variables inherit it as allocation context. No-op when
+    /// tracing is off (the label closure is never evaluated).
+    pub fn begin_group(&mut self, name: impl FnOnce() -> String) {
+        if let Some(tr) = &mut self.trace {
+            let name = name();
+            self.var_context = Some(name.clone());
+            self.group = Some(tr.provenance.declare_group(name));
+        }
+    }
+
+    /// Tags a variable's origin (lazily; no-op when tracing is off).
+    pub fn tag_var(&mut self, v: Var, label: impl FnOnce() -> String) {
+        if let Some(tr) = &mut self.trace {
+            tr.provenance.tag_var(v, label());
+        }
+    }
+
+    /// Marks literals as objective-referenced (exempt from the
+    /// unconstrained-variable lint).
+    pub fn mark_objective(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        if let Some(tr) = &mut self.trace {
+            for l in lits {
+                tr.provenance.mark_objective_var(l.var());
+            }
+        }
+    }
+
+    /// Adds a clause (iterator form, mirroring [`Solver::add_clause`]).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        if self.trace.is_some() {
+            let v: Vec<Lit> = lits.into_iter().collect();
+            self.add_clause_from(&v);
+        } else {
+            self.solver.add_clause(lits);
+        }
+    }
+
+    pub fn boost_activity(&mut self, v: Var, amount: f64) {
+        self.solver.boost_activity(v, amount);
+    }
+
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        self.solver.set_phase(v, phase);
+    }
+
+    /// Dismantles the wrapper into the solver, the trace and the proof
+    /// handle.
+    #[allow(clippy::type_complexity)]
+    pub fn finish(
+        self,
+    ) -> (
+        Solver,
+        Option<EncodingTrace>,
+        Option<Rc<RefCell<DratProof>>>,
+    ) {
+        (self.solver, self.trace, self.proof)
+    }
+}
+
+impl CnfSink for TracedSolver {
+    fn new_var(&mut self) -> Var {
+        let v = Solver::new_var(&mut self.solver);
+        if let Some(tr) = &mut self.trace {
+            let mirrored = tr.formula.new_var();
+            debug_assert_eq!(v, mirrored, "solver and mirror must stay index-aligned");
+            let label = match &self.var_context {
+                Some(ctx) => format!("aux[{ctx}]"),
+                None => "aux".to_owned(),
+            };
+            tr.provenance.tag_var(v, label);
+        }
+        v
+    }
+
+    fn add_clause_from(&mut self, lits: &[Lit]) {
+        self.solver.add_clause(lits.iter().copied());
+        if let Some(tr) = &mut self.trace {
+            let idx = tr.formula.num_clauses();
+            tr.formula.add_clause_from(lits);
+            if let Some(g) = self.group {
+                tr.provenance.tag_clause(idx, g);
+            }
+        }
+    }
+
+    // Gate construction is overridden (same emitted clauses as the default
+    // implementations) so the trace records gate extents for the
+    // unreferenced-gate lint.
+
+    fn and_gate(&mut self, inputs: &[Lit]) -> Lit {
+        let start = self.trace.as_ref().map(|t| t.formula.num_clauses());
+        let y = self.new_var().positive();
+        for &i in inputs {
+            self.add_clause_from(&[!y, i]);
+        }
+        let mut clause: Vec<Lit> = inputs.iter().map(|&i| !i).collect();
+        clause.push(y);
+        self.add_clause_from(&clause);
+        if let Some(start) = start {
+            let tr = self.trace.as_mut().expect("trace checked above");
+            let end = tr.formula.num_clauses();
+            tr.provenance.tag_gate(y.var(), start..end);
+        }
+        y
+    }
+
+    fn or_gate(&mut self, inputs: &[Lit]) -> Lit {
+        let start = self.trace.as_ref().map(|t| t.formula.num_clauses());
+        let y = self.new_var().positive();
+        for &i in inputs {
+            self.add_clause_from(&[y, !i]);
+        }
+        let mut clause: Vec<Lit> = inputs.to_vec();
+        clause.push(!y);
+        self.add_clause_from(&clause);
+        if let Some(start) = start {
+            let tr = self.trace.as_mut().expect("trace checked above");
+            let end = tr.formula.num_clauses();
+            tr.provenance.tag_gate(y.var(), start..end);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_sat::SatResult;
+
+    #[test]
+    fn mirror_stays_index_aligned() {
+        let mut ts = TracedSolver::new(true, false);
+        ts.begin_group(|| "g".to_owned());
+        let a = CnfSink::new_var(&mut ts).positive();
+        let b = CnfSink::new_var(&mut ts).positive();
+        ts.add_clause([a, b]);
+        let y = ts.or_gate(&[a, b]);
+        ts.add_clause([!y, a]);
+        let (solver, trace, proof) = ts.finish();
+        assert!(proof.is_none());
+        let trace = trace.expect("tracing was on");
+        assert_eq!(trace.formula.num_vars(), solver.num_vars());
+        assert_eq!(trace.formula.num_clauses(), solver.num_clauses());
+        assert_eq!(trace.provenance.gates().len(), 1);
+        assert_eq!(trace.provenance.clause_group(0), Some(0));
+    }
+
+    #[test]
+    fn proof_certifies_against_the_mirror() {
+        let mut ts = TracedSolver::new(true, true);
+        let a = CnfSink::new_var(&mut ts).positive();
+        ts.add_clause([a]);
+        ts.add_clause([!a]);
+        let (mut solver, trace, proof) = ts.finish();
+        assert!(matches!(solver.solve(), SatResult::Unsat { .. }));
+        let trace = trace.expect("tracing was on");
+        let proof = proof.expect("proof logging was on");
+        etcs_sat::check_drat(trace.formula.clauses(), &proof.borrow(), &[])
+            .expect("mirror is the axiom set");
+    }
+
+    #[test]
+    fn untraced_wrapper_is_transparent() {
+        let mut ts = TracedSolver::new(false, false);
+        ts.begin_group(|| unreachable!("label must not be evaluated untraced"));
+        let a = CnfSink::new_var(&mut ts).positive();
+        ts.tag_var(a.var(), || unreachable!());
+        ts.add_clause([a]);
+        let (mut solver, trace, proof) = ts.finish();
+        assert!(trace.is_none() && proof.is_none());
+        assert!(solver.solve().is_sat());
+    }
+}

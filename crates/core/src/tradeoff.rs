@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use etcs_sat::{CnfSink, SatResult, Totalizer};
 use etcs_network::{NetworkError, Scenario};
+use etcs_sat::{CnfSink, SatResult, Totalizer};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, EncodingStats, TaskKind};
@@ -56,9 +56,7 @@ pub fn optimize_with_budget(
         .unwrap_or(0);
     let max_deadline = inst.t_max - 1;
 
-    let probe = |inst: &mut Instance,
-                     d: usize|
-     -> (Option<SolvedPlan>, EncodingStats) {
+    let probe = |inst: &mut Instance, d: usize| -> (Option<SolvedPlan>, EncodingStats) {
         inst.set_uniform_deadline(d);
         let mut enc = encode(inst, config, &TaskKind::Generate);
         // Cap the border count.

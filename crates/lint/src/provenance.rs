@@ -1,0 +1,126 @@
+//! Encoder-supplied metadata that anchors lint findings to the model.
+//!
+//! The lint checks themselves only need a clause list, but a bare "variable
+//! 4711 is never constrained" is useless to an encoding author. A
+//! [`Provenance`] carries what the encoder knew at emission time — a label
+//! per variable (train / time step / segment), a named *constraint group*
+//! per clause, which variables an objective references, and which variables
+//! are Tseitin gate outputs — so findings can name the construct at fault.
+
+use etcs_sat::Var;
+use std::ops::Range;
+
+/// A Tseitin gate: an output variable plus the contiguous range of clause
+/// indices that define it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// The gate's output variable.
+    pub output: Var,
+    /// Indices (into the formula's clause list) of the defining clauses.
+    pub clauses: Range<usize>,
+}
+
+/// Origin metadata for a formula, built alongside it by the encoder.
+///
+/// Every part is optional: untagged variables and clauses simply produce
+/// less specific findings. Indices must align with the audited formula
+/// (variable index ↔ label slot, clause index ↔ group slot).
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    var_labels: Vec<Option<String>>,
+    objective_vars: Vec<bool>,
+    clause_groups: Vec<Option<usize>>,
+    groups: Vec<String>,
+    gates: Vec<Gate>,
+}
+
+impl Provenance {
+    /// Creates empty provenance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a named constraint group and returns its id.
+    pub fn declare_group(&mut self, name: impl Into<String>) -> usize {
+        self.groups.push(name.into());
+        self.groups.len() - 1
+    }
+
+    /// Number of declared groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Name of a group, if declared.
+    pub fn group_name(&self, group: usize) -> Option<&str> {
+        self.groups.get(group).map(String::as_str)
+    }
+
+    /// Attaches a human-readable origin label to a variable.
+    pub fn tag_var(&mut self, v: Var, label: impl Into<String>) {
+        let idx = v.index();
+        if self.var_labels.len() <= idx {
+            self.var_labels.resize(idx + 1, None);
+        }
+        self.var_labels[idx] = Some(label.into());
+    }
+
+    /// The origin label of a variable, if tagged.
+    pub fn var_label(&self, v: Var) -> Option<&str> {
+        self.var_labels.get(v.index())?.as_deref()
+    }
+
+    /// Marks a variable as referenced by an objective function (such
+    /// variables are exempt from the unconstrained-variable lint).
+    pub fn mark_objective_var(&mut self, v: Var) {
+        let idx = v.index();
+        if self.objective_vars.len() <= idx {
+            self.objective_vars.resize(idx + 1, false);
+        }
+        self.objective_vars[idx] = true;
+    }
+
+    /// `true` if the variable is referenced by an objective.
+    pub fn is_objective_var(&self, v: Var) -> bool {
+        self.objective_vars.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Assigns a clause (by index in the formula) to a declared group.
+    pub fn tag_clause(&mut self, clause: usize, group: usize) {
+        if self.clause_groups.len() <= clause {
+            self.clause_groups.resize(clause + 1, None);
+        }
+        self.clause_groups[clause] = Some(group);
+    }
+
+    /// The group of a clause, if tagged.
+    pub fn clause_group(&self, clause: usize) -> Option<usize> {
+        self.clause_groups.get(clause).copied().flatten()
+    }
+
+    /// Records a Tseitin gate (output variable + defining clause range).
+    pub fn tag_gate(&mut self, output: Var, clauses: Range<usize>) {
+        self.gates.push(Gate { output, clauses });
+    }
+
+    /// The recorded gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Renders a variable with its origin label when available.
+    pub fn describe_var(&self, v: Var) -> String {
+        match self.var_label(v) {
+            Some(label) => format!("x{} ({label})", v.index()),
+            None => format!("x{}", v.index()),
+        }
+    }
+
+    /// Renders a clause index with its group name when available.
+    pub fn describe_clause(&self, clause: usize) -> String {
+        match self.clause_group(clause).and_then(|g| self.group_name(g)) {
+            Some(name) => format!("clause {clause} (group `{name}`)"),
+            None => format!("clause {clause}"),
+        }
+    }
+}

@@ -7,7 +7,6 @@
 //! encoding needs: `chains(l)`, `reachable(e, v)`, `between(e, f)` and
 //! `paths(e, f, v)`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::error::NetworkError;
@@ -24,7 +23,7 @@ id_type!(
 );
 
 /// Classification of a segment-graph node.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum NodeKind {
     /// Degree-1 node at the edge of the modelled network (trains enter and
     /// leave here).
@@ -38,7 +37,7 @@ pub enum NodeKind {
 }
 
 /// One segment of the discretised network.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Segment {
     /// One endpoint.
     pub a: NodeId,
@@ -71,7 +70,7 @@ pub struct Segment {
 /// assert_eq!(disc.num_nodes(), 4);
 /// # Ok::<(), etcs_network::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DiscreteNet {
     r_s: Meters,
     kinds: Vec<NodeKind>,
@@ -306,9 +305,7 @@ impl DiscreteNet {
     pub fn shared_node(&self, e: EdgeId, f: EdgeId) -> Option<NodeId> {
         let se = self.segment(e);
         let sf = self.segment(f);
-        [se.a, se.b]
-            .into_iter()
-            .find(|n| *n == sf.a || *n == sf.b)
+        [se.a, se.b].into_iter().find(|n| *n == sf.a || *n == sf.b)
     }
 
     /// Diagnostic name of an edge (`track[i]`).
@@ -444,9 +441,7 @@ impl DiscreteNet {
         let mut nodes = Vec::new();
         let mut cur = f;
         while let Some(p) = parent[cur.index()] {
-            let shared = self
-                .shared_node(cur, p)
-                .expect("BFS parents are adjacent");
+            let shared = self.shared_node(cur, p).expect("BFS parents are adjacent");
             nodes.push(shared);
             cur = p;
         }

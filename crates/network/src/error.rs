@@ -101,10 +101,6 @@ mod tests {
             }
         )
         .contains("t1"));
-        assert!(format!(
-            "{}",
-            NetworkError::CyclicTtd { ttd: "TTD3".into() }
-        )
-        .contains("TTD3"));
+        assert!(format!("{}", NetworkError::CyclicTtd { ttd: "TTD3".into() }).contains("TTD3"));
     }
 }

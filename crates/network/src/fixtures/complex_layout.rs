@@ -9,8 +9,8 @@
 //! cannot clear each other in time; VSS borders subdivide the loops and
 //! the corridor.
 
-use crate::schedule::{Schedule, TrainRun};
 use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
 use crate::topology::NetworkBuilder;
 use crate::train::Train;
 use crate::units::{KmPerHour, Meters, Seconds};

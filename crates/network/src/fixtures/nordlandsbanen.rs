@@ -9,8 +9,8 @@
 //! 822 km. Remote stretches share long TTD sections, mirroring the paper's
 //! 51 pure-TTD sections.
 
-use crate::schedule::{Schedule, TrainRun};
 use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
 use crate::topology::{NetworkBuilder, TrackId};
 use crate::train::Train;
 use crate::units::{KmPerHour, Meters, Seconds};
@@ -101,7 +101,9 @@ const LINK_BUDGET_KM: u64 = 822 - 2 * 5 - 10 * 10 - 46 * 5;
 fn link_lengths_km() -> Vec<u64> {
     const NUM_LINKS: u64 = 57;
     let mut seed = 0x5eed_ba5e_u64 | 1;
-    let raw: Vec<u64> = (0..NUM_LINKS).map(|_| 1 + xorshift(&mut seed) % 3).collect();
+    let raw: Vec<u64> = (0..NUM_LINKS)
+        .map(|_| 1 + xorshift(&mut seed) % 3)
+        .collect();
     let raw_sum: u64 = raw.iter().sum();
     let mut lengths: Vec<u64> = raw
         .iter()
@@ -214,10 +216,34 @@ pub fn nordlandsbanen() -> Scenario {
     // The freights leave first; the faster day trains catch up mid-line
     // and must overtake at crossing loops.
     let schedule = Schedule::new(vec![
-        TrainRun::new(freight("Freight North"), trondheim, mo, min(0), Some(min(315))),
-        TrainRun::new(freight("Freight South"), bodo, mosjoen, min(0), Some(min(315))),
-        TrainRun::new(day_train("Day North"), trondheim, bodo, min(30), Some(min(320))),
-        TrainRun::new(day_train("Day South"), bodo, trondheim, min(30), Some(min(320))),
+        TrainRun::new(
+            freight("Freight North"),
+            trondheim,
+            mo,
+            min(0),
+            Some(min(315)),
+        ),
+        TrainRun::new(
+            freight("Freight South"),
+            bodo,
+            mosjoen,
+            min(0),
+            Some(min(315)),
+        ),
+        TrainRun::new(
+            day_train("Day North"),
+            trondheim,
+            bodo,
+            min(30),
+            Some(min(320)),
+        ),
+        TrainRun::new(
+            day_train("Day South"),
+            bodo,
+            trondheim,
+            min(30),
+            Some(min(320)),
+        ),
     ]);
 
     Scenario {

@@ -6,8 +6,8 @@
 //! (verification is UNSAT); a single additional VSS border makes it
 //! feasible; further borders let the optimiser cut the completion time.
 
-use crate::schedule::{Schedule, TrainRun};
 use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
 use crate::topology::NetworkBuilder;
 use crate::train::Train;
 use crate::units::{KmPerHour, Meters, Seconds};

@@ -9,8 +9,8 @@
 //! subdivide the loop tracks (and links), letting a whole convoy stack on
 //! one loop track while the opposing convoy passes.
 
-use crate::schedule::{Schedule, TrainRun};
 use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
 use crate::topology::NetworkBuilder;
 use crate::train::Train;
 use crate::units::{KmPerHour, Meters, Seconds};

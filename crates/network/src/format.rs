@@ -49,7 +49,11 @@ pub struct ParseScenarioError {
 
 impl std::fmt::Display for ParseScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "scenario parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "scenario parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -108,8 +112,7 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
             }
             "horizon" => {
                 horizon = Some(
-                    Seconds::parse_hms(rest)
-                        .map_err(|e| err(format!("invalid horizon: {e}")))?,
+                    Seconds::parse_hms(rest).map_err(|e| err(format!("invalid horizon: {e}")))?,
                 );
             }
             "node" => {
@@ -135,8 +138,11 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let length: u64 = len
                     .parse()
                     .map_err(|_| err(format!("invalid track length `{len}`")))?;
+                // Node names may themselves contain dashes (`westhaven-end`),
+                // so the separator is a dash surrounded by whitespace.
                 let (a, b) = ends
-                    .split_once('-')
+                    .split_once(" - ")
+                    .or_else(|| ends.split_once('-'))
                     .ok_or_else(|| err("track endpoints need `a - b`".into()))?;
                 let a = nodes
                     .get(a.trim())
@@ -151,14 +157,13 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let (tname, members) = rest
                     .split_once(':')
                     .ok_or_else(|| err("ttd needs `name : tracks…`".into()))?;
-                let members = parse_track_list(members, &tracks)
-                    .map_err(&err)?;
+                let members = parse_track_list(members, &tracks).map_err(&err)?;
                 builder.ttd(tname.trim(), members);
             }
             "station" => {
-                let (sname, spec) = rest
-                    .split_once(':')
-                    .ok_or_else(|| err("station needs `name : boundary|interior tracks…`".into()))?;
+                let (sname, spec) = rest.split_once(':').ok_or_else(|| {
+                    err("station needs `name : boundary|interior tracks…`".into())
+                })?;
                 let spec = spec.trim();
                 let (kind, members) = spec
                     .split_once(char::is_whitespace)
@@ -221,7 +226,13 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                     .transpose()
                     .map_err(|e| err(format!("invalid arrival: {e}")))?;
                 *run_slot = runs.len();
-                runs.push(TrainRun::new(train.clone(), origin, dest, departure, arrival));
+                runs.push(TrainRun::new(
+                    train.clone(),
+                    origin,
+                    dest,
+                    departure,
+                    arrival,
+                ));
             }
             "stop" => {
                 // <train> : <station> [arr <time>]
@@ -256,10 +267,12 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
         line: 0,
         message: format!("missing `{what}` directive"),
     };
-    let network = builder.build().map_err(|e: NetworkError| ParseScenarioError {
-        line: 0,
-        message: format!("network validation failed: {e}"),
-    })?;
+    let network = builder
+        .build()
+        .map_err(|e: NetworkError| ParseScenarioError {
+            line: 0,
+            message: format!("network validation failed: {e}"),
+        })?;
     let scenario = Scenario {
         name,
         network,
@@ -382,8 +395,7 @@ mod tests {
     fn all_fixtures_roundtrip() {
         for original in fixtures::all() {
             let text = write_scenario(&original);
-            let parsed = parse_scenario(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", original.name));
+            let parsed = parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}", original.name));
             assert_eq!(parsed.name, original.name);
             assert_eq!(parsed.r_s, original.r_s);
             assert_eq!(parsed.r_t, original.r_t);
@@ -485,7 +497,8 @@ ttd T : missing
 
     #[test]
     fn missing_resolution_is_reported() {
-        let text = "scenario X\nrt 30\nhorizon 0:01:00\nnode a\nnode b\ntrack t : a - b 500\nttd T : t\n";
+        let text =
+            "scenario X\nrt 30\nhorizon 0:01:00\nnode a\nnode b\ntrack t : a - b 500\nttd T : t\n";
         let e = parse_scenario(text).expect_err("fails");
         assert!(e.message.contains("rs"));
     }

@@ -164,22 +164,14 @@ pub fn single_track_line(cfg: &LineConfig) -> Scenario {
     for k in 0..cfg.trains_per_direction {
         let dep = Seconds(cfg.headway.as_u64() * k as u64);
         runs.push(TrainRun::new(
-            Train::new(
-                format!("East {k}"),
-                Meters(cfg.train_m),
-                cfg.speed,
-            ),
+            Train::new(format!("East {k}"), Meters(cfg.train_m), cfg.speed),
             first,
             last,
             dep,
             None,
         ));
         runs.push(TrainRun::new(
-            Train::new(
-                format!("West {k}"),
-                Meters(cfg.train_m),
-                cfg.speed,
-            ),
+            Train::new(format!("West {k}"), Meters(cfg.train_m), cfg.speed),
             last,
             first,
             dep,
@@ -188,7 +180,10 @@ pub fn single_track_line(cfg: &LineConfig) -> Scenario {
     }
 
     Scenario {
-        name: format!("line-{}st-{}tr-seed{}", cfg.stations, cfg.trains_per_direction, cfg.seed),
+        name: format!(
+            "line-{}st-{}tr-seed{}",
+            cfg.stations, cfg.trains_per_direction, cfg.seed
+        ),
         network,
         schedule: Schedule::new(runs),
         r_s: cfg.r_s,

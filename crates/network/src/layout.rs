@@ -4,7 +4,6 @@
 //! borders (they carry physical axle counters); a [`VssLayout`] records the
 //! *additional* virtual borders placed at interior nodes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -28,7 +27,7 @@ use crate::discrete::{DiscreteNet, EdgeId, NodeId, NodeKind};
 /// assert_eq!(VssLayout::full(&disc).section_count(&disc), 3);
 /// # Ok::<(), etcs_network::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VssLayout {
     borders: BTreeSet<NodeId>,
 }

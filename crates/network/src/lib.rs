@@ -24,6 +24,7 @@
 //! # Ok::<(), etcs_network::NetworkError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

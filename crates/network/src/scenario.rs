@@ -1,8 +1,6 @@
 //! Scenarios: a network, a schedule and the discretisation resolutions,
 //! bundled as one case study (the unit of Table I in the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::discrete::DiscreteNet;
 use crate::error::NetworkError;
 use crate::schedule::Schedule;
@@ -23,7 +21,7 @@ use crate::units::{Meters, Seconds};
 /// assert_eq!(scenario.t_max(), 11); // 5 min at 30 s per step, inclusive
 /// assert_eq!(scenario.schedule.len(), 4);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Case-study name (used by the benchmark harness).
     pub name: String,
@@ -46,7 +44,10 @@ impl Scenario {
     ///
     /// Panics if `r_t` is zero.
     pub fn t_max(&self) -> usize {
-        assert!(self.r_t.as_u64() > 0, "temporal resolution must be positive");
+        assert!(
+            self.r_t.as_u64() > 0,
+            "temporal resolution must be positive"
+        );
         (self.horizon.as_u64() / self.r_t.as_u64()) as usize + 1
     }
 

@@ -5,15 +5,13 @@
 //! tasks) a required arrival time. The optimisation task drops the arrival
 //! times and lets the solver find the earliest ones.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NetworkError;
 use crate::topology::{RailwayNetwork, StationId};
 use crate::train::{Train, TrainId};
 use crate::units::Seconds;
 
 /// One scheduled train movement.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TrainRun {
     /// The train being moved.
     pub train: Train,
@@ -81,7 +79,7 @@ impl TrainRun {
 /// schedule.validate(&net)?;
 /// # Ok::<(), etcs_network::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Schedule {
     runs: Vec<TrainRun>,
 }
@@ -122,7 +120,12 @@ impl Schedule {
 
     /// The latest arrival deadline, if every run has one.
     pub fn latest_arrival(&self) -> Option<Seconds> {
-        self.runs.iter().map(|r| r.arrival).collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.runs
+            .iter()
+            .map(|r| r.arrival)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 
     /// Drops all arrival deadlines (turning a verification schedule into an

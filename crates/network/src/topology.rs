@@ -7,7 +7,6 @@
 //! [`crate::DiscreteNet`] turns it into the segment graph `G = (V, E)` of
 //! Section III-A.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::error::NetworkError;
@@ -25,8 +24,6 @@ macro_rules! id_type {
             Ord,
             Hash,
             Debug,
-            ::serde::Serialize,
-            ::serde::Deserialize,
         )]
         pub struct $name(pub u32);
 
@@ -73,7 +70,7 @@ id_type!(
 pub(crate) use id_type;
 
 /// A physical track of the macroscopic topology.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Track {
     /// One end of the track.
     pub from: TopoNodeId,
@@ -86,7 +83,7 @@ pub struct Track {
 }
 
 /// A TTD section: a named set of tracks.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ttd {
     /// Human-readable name (unique within the network).
     pub name: String,
@@ -95,7 +92,7 @@ pub struct Ttd {
 }
 
 /// A station: a named set of tracks where trains may start, stop or end.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Station {
     /// Human-readable name (unique within the network).
     pub name: String,
@@ -125,7 +122,7 @@ pub struct Station {
 /// assert_eq!(net.tracks().len(), 1);
 /// # Ok::<(), etcs_network::NetworkError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RailwayNetwork {
     num_nodes: usize,
     tracks: Vec<Track>,
@@ -241,7 +238,11 @@ impl NetworkBuilder {
     }
 
     /// Declares a TTD section over the given tracks.
-    pub fn ttd(&mut self, name: impl Into<String>, tracks: impl IntoIterator<Item = TrackId>) -> TtdId {
+    pub fn ttd(
+        &mut self,
+        name: impl Into<String>,
+        tracks: impl IntoIterator<Item = TrackId>,
+    ) -> TtdId {
         let id = TtdId::from_index(self.ttds.len());
         self.ttds.push(Ttd {
             name: name.into(),

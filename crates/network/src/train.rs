@@ -1,6 +1,5 @@
 //! Trains and their physical parameters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::topology::id_type;
@@ -24,7 +23,7 @@ id_type!(
 /// // … and covers 3 segments per 30-second step.
 /// assert_eq!(t.discrete_speed(Meters(500), Seconds(30)), 3);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Train {
     /// Human-readable name (unique within a scenario).
     pub name: String,

@@ -4,7 +4,6 @@
 //! resolution `r_t`; mixing up metres, kilometres, seconds and steps is the
 //! classic failure mode of such code, so every quantity gets a newtype.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
@@ -18,9 +17,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 /// assert_eq!(track.as_u64(), 1500);
 /// assert_eq!(format!("{track}"), "1500 m");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Meters(pub u64);
 
 impl Meters {
@@ -107,9 +104,7 @@ impl fmt::Display for Meters {
 /// // 180 km/h over 30 s covers 1.5 km.
 /// assert_eq!(v.distance_in(Seconds(30)), Meters::from_km(1.5));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct KmPerHour(pub u32);
 
 impl KmPerHour {
@@ -142,9 +137,7 @@ impl fmt::Display for KmPerHour {
 /// assert_eq!(t, Seconds(270));
 /// assert_eq!(format!("{t}"), "0:04:30");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Seconds(pub u64);
 
 impl Seconds {
@@ -212,7 +205,13 @@ impl Mul<u64> for Seconds {
 
 impl fmt::Display for Seconds {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{:02}:{:02}", self.0 / 3600, (self.0 % 3600) / 60, self.0 % 60)
+        write!(
+            f,
+            "{}:{:02}:{:02}",
+            self.0 / 3600,
+            (self.0 % 3600) / 60,
+            self.0 % 60
+        )
     }
 }
 
@@ -225,7 +224,11 @@ pub struct ParseTimeError {
 
 impl fmt::Display for ParseTimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid time syntax `{}` (expected H:MM:SS or M:SS)", self.input)
+        write!(
+            f,
+            "invalid time syntax `{}` (expected H:MM:SS or M:SS)",
+            self.input
+        )
     }
 }
 

@@ -7,166 +7,183 @@ use etcs_network::{
     parse_scenario, write_scenario, DiscreteNet, EdgeId, Meters, NodeKind, Scenario, Seconds,
     VssLayout,
 };
-use proptest::prelude::*;
+use etcs_testkit::{cases, Rng};
 
-fn line_config() -> impl Strategy<Value = LineConfig> {
-    (
-        2usize..7,       // stations
-        0usize..3,       // loop_every
-        1u64..5,         // link_m multiplier (×500 m)
-        1usize..3,       // trains per direction
-        any::<u64>(),    // seed
-    )
-        .prop_map(|(stations, loop_every, link, trains, seed)| LineConfig {
-            stations,
-            loop_every,
-            link_m: link * 500,
-            trains_per_direction: trains,
-            headway: Seconds::from_minutes(2),
-            r_s: Meters(500),
-            r_t: Seconds(30),
-            horizon: Seconds::from_minutes(10),
-            seed,
-            ..LineConfig::default()
-        })
+fn line_config(rng: &mut Rng) -> LineConfig {
+    LineConfig {
+        stations: rng.range(2, 7),
+        loop_every: rng.below(3),
+        link_m: rng.range(1, 5) as u64 * 500,
+        trains_per_direction: rng.range(1, 3),
+        headway: Seconds::from_minutes(2),
+        r_s: Meters(500),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(10),
+        seed: rng.next_u64(),
+        ..LineConfig::default()
+    }
 }
 
-fn discretised() -> impl Strategy<Value = (Scenario, DiscreteNet)> {
-    line_config().prop_map(|cfg| {
-        let s = single_track_line(&cfg);
-        let d = s.discretise().expect("generated lines discretise");
-        (s, d)
-    })
+fn discretised(rng: &mut Rng) -> (Scenario, DiscreteNet) {
+    let s = single_track_line(&line_config(rng));
+    let d = s.discretise().expect("generated lines discretise");
+    (s, d)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scenarios_validate_and_roundtrip((s, _) in discretised()) {
+#[test]
+fn scenarios_validate_and_roundtrip() {
+    cases(64, |rng| {
+        let (s, _) = discretised(rng);
         s.validate().expect("generated schedule is valid");
         let text = write_scenario(&s);
         let back = parse_scenario(&text).expect("roundtrip parses");
-        prop_assert_eq!(back.network, s.network);
-        prop_assert_eq!(back.schedule, s.schedule);
-    }
+        assert_eq!(back.network, s.network);
+        assert_eq!(back.schedule, s.schedule);
+    });
+}
 
-    #[test]
-    fn chains_of_length_one_are_exactly_the_edges((_, d) in discretised()) {
+#[test]
+fn chains_of_length_one_are_exactly_the_edges() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
         let chains = d.chains(1);
-        prop_assert_eq!(chains.len(), d.num_edges());
+        assert_eq!(chains.len(), d.num_edges());
         for c in chains {
-            prop_assert_eq!(c.len(), 1);
+            assert_eq!(c.len(), 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn chains_are_connected_simple_paths((_, d) in discretised(), l in 2usize..4) {
+#[test]
+fn chains_are_connected_simple_paths() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
+        let l = rng.range(2, 4);
         for c in d.chains(l) {
-            prop_assert_eq!(c.len(), l);
+            assert_eq!(c.len(), l);
             for w in c.windows(2) {
-                prop_assert!(d.shared_node(w[0], w[1]).is_some(), "chain gap: {:?}", c);
+                assert!(d.shared_node(w[0], w[1]).is_some(), "chain gap: {c:?}");
             }
             let mut sorted = c.clone();
             sorted.sort();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), c.len(), "chain repeats an edge");
+            assert_eq!(sorted.len(), c.len(), "chain repeats an edge");
         }
-    }
+    });
+}
 
-    #[test]
-    fn reachability_is_symmetric_and_monotone((_, d) in discretised(), v in 0u32..5) {
+#[test]
+fn reachability_is_symmetric_and_monotone() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
+        let v = rng.below(5) as u32;
         for e in (0..d.num_edges()).map(EdgeId::from_index) {
             let r = d.reachable(e, v);
-            prop_assert!(r.contains(&e), "reachable must include the edge itself");
+            assert!(r.contains(&e), "reachable must include the edge itself");
             for &f in &r {
-                prop_assert!(
+                assert!(
                     d.reachable(f, v).contains(&e),
                     "reachability not symmetric: {e} vs {f}"
                 );
             }
             let bigger = d.reachable(e, v + 1);
             for &f in &r {
-                prop_assert!(bigger.contains(&f), "reachable not monotone in v");
+                assert!(bigger.contains(&f), "reachable not monotone in v");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn between_is_consistent_with_distances((_, d) in discretised()) {
+#[test]
+fn between_is_consistent_with_distances() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
         for e in (0..d.num_edges()).map(EdgeId::from_index) {
             for f in (0..d.num_edges()).map(EdgeId::from_index) {
                 if e >= f {
                     continue;
                 }
                 match d.between(e, f) {
-                    None => prop_assert_ne!(d.segment(e).ttd, d.segment(f).ttd),
+                    None => assert_ne!(d.segment(e).ttd, d.segment(f).ttd),
                     Some(nodes) => {
-                        prop_assert_eq!(d.segment(e).ttd, d.segment(f).ttd);
+                        assert_eq!(d.segment(e).ttd, d.segment(f).ttd);
                         // The number of crossed nodes equals the hop count
                         // within the TTD.
                         let ttd = d.segment(e).ttd;
                         let dist = d.bfs_edges(e, |g| d.segment(g).ttd == ttd)[f.index()]
                             .expect("same TTD is connected");
-                        prop_assert_eq!(nodes.len() as u32, dist);
+                        assert_eq!(nodes.len() as u32, dist);
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn path_edges_triangle_property((_, d) in discretised(), v in 1u32..5) {
+#[test]
+fn path_edges_triangle_property() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
+        let v = rng.range(1, 5) as u32;
         for e in (0..d.num_edges()).map(EdgeId::from_index) {
             for f in (0..d.num_edges()).map(EdgeId::from_index) {
                 let path = d.path_edges(e, f, v);
                 match d.edge_distances(e)[f.index()] {
                     Some(dist) if dist <= v => {
-                        prop_assert!(path.contains(&e));
-                        prop_assert!(path.contains(&f));
+                        assert!(path.contains(&e));
+                        assert!(path.contains(&f));
                     }
-                    _ => prop_assert!(path.is_empty(), "no route within v, path must be empty"),
+                    _ => assert!(path.is_empty(), "no route within v, path must be empty"),
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn sections_partition_edges_for_random_layouts(
-        (_, d) in discretised(),
-        picks in proptest::collection::vec(any::<u16>(), 0..6),
-    ) {
+#[test]
+fn sections_partition_edges_for_random_layouts() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
+        let num_picks = rng.below(6);
+        let picks = rng.vec(num_picks, |rng| rng.below(u16::MAX as usize + 1));
         let candidates = d.border_candidates();
         let layout: VssLayout = picks
             .iter()
             .filter(|_| !candidates.is_empty())
-            .map(|&p| candidates[p as usize % candidates.len()])
+            .map(|&p| candidates[p % candidates.len()])
             .collect();
         let sections = layout.sections(&d);
         let mut all: Vec<EdgeId> = sections.iter().flatten().copied().collect();
         all.sort();
         all.dedup();
-        prop_assert_eq!(all.len(), d.num_edges(), "sections must partition the edges");
+        assert_eq!(
+            all.len(),
+            d.num_edges(),
+            "sections must partition the edges"
+        );
         // Section count grows monotonically with borders (each new border
         // can only split).
-        prop_assert!(layout.section_count(&d) >= VssLayout::pure_ttd().section_count(&d));
-        prop_assert!(layout.section_count(&d) <= VssLayout::full(&d).section_count(&d));
-    }
+        assert!(layout.section_count(&d) >= VssLayout::pure_ttd().section_count(&d));
+        assert!(layout.section_count(&d) <= VssLayout::full(&d).section_count(&d));
+    });
+}
 
-    #[test]
-    fn node_kinds_cover_every_node((_, d) in discretised()) {
+#[test]
+fn node_kinds_cover_every_node() {
+    cases(64, |rng| {
+        let (_, d) = discretised(rng);
         let boundary = (0..d.num_nodes())
             .filter(|&i| d.node_kind(etcs_network::NodeId::from_index(i)) == NodeKind::Boundary)
             .count();
         let candidates = d.border_candidates().len();
         let forced = d.forced_borders().len();
-        prop_assert_eq!(boundary + candidates + forced, d.num_nodes());
+        assert_eq!(boundary + candidates + forced, d.num_nodes());
         // Boundary nodes have degree one.
         for i in 0..d.num_nodes() {
             let n = etcs_network::NodeId::from_index(i);
             if d.node_kind(n) == NodeKind::Boundary {
-                prop_assert_eq!(d.edges_at(n).len(), 1);
+                assert_eq!(d.edges_at(n).len(), 1);
             }
         }
-    }
+    });
 }

@@ -20,7 +20,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -72,13 +76,14 @@ pub fn parse_dimacs(input: &str) -> Result<Formula, ParseDimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let nv: usize = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: lineno,
-                    message: "missing or invalid variable count".into(),
-                })?;
+            let nv: usize =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "missing or invalid variable count".into(),
+                    })?;
             declared_vars = Some(nv);
             for _ in 0..nv {
                 formula.new_var();

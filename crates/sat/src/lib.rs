@@ -14,6 +14,9 @@
 //!   counter, [`Totalizer`]);
 //! * [`Objective`] / [`maxsat`] — exact linear and lexicographic
 //!   minimisation via assumable unary bounds;
+//! * [`proof`] — DRAT proof logging ([`ProofSink`], [`DratProof`]) and an
+//!   independent backward RUP checker ([`check_drat`]), so UNSAT verdicts
+//!   can be certified without trusting the solver;
 //! * [`parse_dimacs`] / [`write_dimacs`] — DIMACS interoperability.
 //!
 //! The paper's reference implementation drives Z3; this crate substitutes an
@@ -42,6 +45,7 @@
 //! assert_eq!(optimum.cost, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -52,6 +56,7 @@ mod dimacs;
 pub mod maxsat;
 mod model;
 mod pb;
+pub mod proof;
 mod solver;
 mod stats;
 mod types;
@@ -60,11 +65,12 @@ pub use card::Totalizer;
 pub use cnf::{CnfSink, Formula};
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
 pub use maxsat::{
-    minimize, minimize_lex, minimize_lex_full, BudgetExhausted, LexOptimumResult,
-    OptimizeOutcome, OptimumResult, Strategy,
+    minimize, minimize_lex, minimize_lex_full, BudgetExhausted, LexOptimumResult, OptimizeOutcome,
+    OptimumResult, Strategy,
 };
 pub use model::Model;
 pub use pb::{Objective, ObjectiveCounter};
+pub use proof::{check_drat, CheckOutcome, DratProof, ProofError, ProofSink, ProofStep};
 pub use solver::{luby, SatResult, Solver};
 pub use stats::Stats;
 pub use types::{LBool, Lit, Var};

@@ -321,7 +321,9 @@ mod tests {
     /// min #true over 5 free vars with a hard "at least 2 true" ⇒ optimum 2.
     fn at_least_two_instance() -> (Solver, Objective) {
         let mut s = Solver::new();
-        let xs: Vec<Lit> = (0..5).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+        let xs: Vec<Lit> = (0..5)
+            .map(|_| CnfSink::new_var(&mut s).positive())
+            .collect();
         let t = crate::card::Totalizer::build(&mut s, xs.clone());
         let al = t.at_least(2).expect("bound exists");
         s.assert_true(al);
@@ -413,7 +415,9 @@ mod tests {
         // 3 vars, hard: at least 2 true. Obj1: min count(x0,x1,x2) ⇒ 2.
         // Obj2: min count(x0) ⇒ with cost1 pinned at 2, x0 can be false.
         let mut s = Solver::new();
-        let xs: Vec<Lit> = (0..3).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+        let xs: Vec<Lit> = (0..3)
+            .map(|_| CnfSink::new_var(&mut s).positive())
+            .collect();
         let t = crate::card::Totalizer::build(&mut s, xs.clone());
         s.assert_true(t.at_least(2).expect("bound"));
         let o1 = Objective::count_of(xs.clone());

@@ -31,10 +31,7 @@ impl Model {
     /// completing unassigned variables with `false`.
     pub(crate) fn from_assignments(assigns: &[LBool]) -> Self {
         Model {
-            values: assigns
-                .iter()
-                .map(|v| matches!(v, LBool::True))
-                .collect(),
+            values: assigns.iter().map(|v| matches!(v, LBool::True)).collect(),
         }
     }
 

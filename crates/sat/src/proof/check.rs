@@ -1,0 +1,567 @@
+//! Backward RUP/DRAT proof checking.
+//!
+//! [`check_drat`] validates a [`DratProof`] against the axiom clauses it was
+//! recorded over: the `target` clause (the empty clause for a plain
+//! refutation, the negated-core clause for an assumption-based one) must be
+//! a reverse-unit-propagation (RUP) consequence of the final clause set, and
+//! every lemma feeding that derivation must in turn be RUP with respect to
+//! the clause set in force when it was added.
+//!
+//! The implementation is the standard backward-checking algorithm: a forward
+//! pass resolves clause identities (additions and deletions), the target is
+//! checked against the final set, and the proof is then replayed in reverse
+//! — `Add` events deactivate their clause and re-verify it if it was marked
+//! as an antecedent, `Delete` events reactivate theirs. Only lemmas the
+//! refutation actually depends on are re-checked, which keeps validation far
+//! cheaper than the search that produced the proof.
+
+use super::{DratProof, ProofStep};
+use crate::types::{LBool, Lit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Proof rejected by [`check_drat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// The target clause does not follow from the final clause set by unit
+    /// propagation.
+    TargetNotRup,
+    /// A lemma the refutation depends on is not RUP at its insertion point.
+    LemmaNotRup {
+        /// 0-based index of the offending step in the proof.
+        step: usize,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::TargetNotRup => {
+                write!(f, "target clause is not RUP w.r.t. the final clause set")
+            }
+            ProofError::LemmaNotRup { step } => {
+                write!(
+                    f,
+                    "proof step {step}: lemma is not RUP at its insertion point"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Statistics from a successful [`check_drat`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Number of `Add` steps in the proof.
+    pub lemmas: usize,
+    /// Number of lemmas the refutation depended on (and that were therefore
+    /// re-verified); the rest were skipped as irrelevant.
+    pub checked_lemmas: usize,
+}
+
+/// Validates `proof` as a DRAT certificate that `target` follows from
+/// `axioms`.
+///
+/// * For a refutation without assumptions, pass `&[]` as `target` (the empty
+///   clause).
+/// * For an assumption-based UNSAT verdict with failed core `{a₁, …, aₙ}`,
+///   pass the clause `[¬a₁, …, ¬aₙ]`.
+///
+/// Deletions of clauses not currently active are ignored (standard DRAT
+/// checker behaviour); deletions of active clauses take full effect, so a
+/// proof that derives a lemma from an already-deleted clause is rejected.
+pub fn check_drat(
+    axioms: &[Vec<Lit>],
+    proof: &DratProof,
+    target: &[Lit],
+) -> Result<CheckOutcome, ProofError> {
+    Checker::build(axioms, proof, target).run(proof, target)
+}
+
+/// A clause inside the checker.
+struct CClause {
+    /// Sorted, deduplicated literals (clause identity).
+    lits: Vec<Lit>,
+    active: bool,
+    /// Marked when some validated derivation used this clause.
+    needed: bool,
+}
+
+/// Forward-pass resolution of a proof step to a clause index.
+#[derive(Clone, Copy)]
+enum Event {
+    Add(usize),
+    Delete(usize),
+    /// Deletion of a clause that was not active — ignored.
+    Skip,
+}
+
+struct Checker {
+    clauses: Vec<CClause>,
+    /// Indices of length-≥2 clauses watching each literal (never pruned;
+    /// inactive clauses are skipped during traversal).
+    watches: Vec<Vec<usize>>,
+    /// Indices of unit clauses (enqueued at the start of every RUP check).
+    unit_idxs: Vec<usize>,
+    /// Indices of empty clauses (an active one makes any check succeed).
+    empty_idxs: Vec<usize>,
+    assigns: Vec<LBool>,
+    /// Clause that propagated each variable (`None` for check assumptions).
+    reasons: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    events: Vec<Event>,
+}
+
+impl Checker {
+    fn build(axioms: &[Vec<Lit>], proof: &DratProof, target: &[Lit]) -> Self {
+        let num_vars = axioms
+            .iter()
+            .flatten()
+            .chain(proof.steps().iter().flat_map(|s| match s {
+                ProofStep::Add(l) | ProofStep::Delete(l) => l.iter(),
+            }))
+            .chain(target.iter())
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut checker = Checker {
+            clauses: Vec::with_capacity(axioms.len() + proof.len()),
+            watches: vec![Vec::new(); num_vars * 2],
+            unit_idxs: Vec::new(),
+            empty_idxs: Vec::new(),
+            assigns: vec![LBool::Undef; num_vars],
+            reasons: vec![None; num_vars],
+            trail: Vec::new(),
+            events: Vec::with_capacity(proof.len()),
+        };
+        let mut by_key: HashMap<Vec<Lit>, Vec<usize>> = HashMap::new();
+        for axiom in axioms {
+            let idx = checker.insert(axiom);
+            by_key
+                .entry(checker.clauses[idx].lits.clone())
+                .or_default()
+                .push(idx);
+        }
+        for step in proof.steps() {
+            let event = match step {
+                ProofStep::Add(lits) => {
+                    let idx = checker.insert(lits);
+                    by_key
+                        .entry(checker.clauses[idx].lits.clone())
+                        .or_default()
+                        .push(idx);
+                    Event::Add(idx)
+                }
+                ProofStep::Delete(lits) => {
+                    let key = normalize(lits);
+                    match by_key
+                        .get(&key)
+                        .and_then(|idxs| idxs.iter().copied().find(|&i| checker.clauses[i].active))
+                    {
+                        Some(idx) => {
+                            checker.clauses[idx].active = false;
+                            Event::Delete(idx)
+                        }
+                        None => Event::Skip,
+                    }
+                }
+            };
+            checker.events.push(event);
+        }
+        checker
+    }
+
+    fn insert(&mut self, lits: &[Lit]) -> usize {
+        let lits = normalize(lits);
+        let idx = self.clauses.len();
+        match lits.len() {
+            0 => self.empty_idxs.push(idx),
+            1 => self.unit_idxs.push(idx),
+            _ => {
+                self.watches[lits[0].index()].push(idx);
+                self.watches[lits[1].index()].push(idx);
+            }
+        }
+        self.clauses.push(CClause {
+            lits,
+            active: true,
+            needed: false,
+        });
+        idx
+    }
+
+    fn run(mut self, proof: &DratProof, target: &[Lit]) -> Result<CheckOutcome, ProofError> {
+        // The target must be RUP against the final clause set.
+        match self.rup_antecedents(target) {
+            Some(used) => self.mark_needed(&used),
+            None => return Err(ProofError::TargetNotRup),
+        }
+        // Backward pass: undo each event; re-verify needed lemmas against
+        // the clause set in force just before their insertion.
+        let mut lemmas = 0usize;
+        let mut checked = 0usize;
+        for step in (0..self.events.len()).rev() {
+            match self.events[step] {
+                Event::Delete(idx) => self.clauses[idx].active = true,
+                Event::Skip => {}
+                Event::Add(idx) => {
+                    lemmas += 1;
+                    self.clauses[idx].active = false;
+                    if !self.clauses[idx].needed {
+                        continue;
+                    }
+                    checked += 1;
+                    let lits = std::mem::take(&mut self.clauses[idx].lits);
+                    let result = self.rup_antecedents(&lits);
+                    self.clauses[idx].lits = lits;
+                    match result {
+                        Some(used) => self.mark_needed(&used),
+                        None => return Err(ProofError::LemmaNotRup { step }),
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            lemmas,
+            proof
+                .steps()
+                .iter()
+                .filter(|s| matches!(s, ProofStep::Add(_)))
+                .count()
+        );
+        Ok(CheckOutcome {
+            lemmas,
+            checked_lemmas: checked,
+        })
+    }
+
+    fn mark_needed(&mut self, idxs: &[usize]) {
+        for &i in idxs {
+            self.clauses[i].needed = true;
+        }
+    }
+
+    /// RUP check of `clause` against the currently active set: asserts the
+    /// negation of every literal, unit-propagates, and on conflict returns
+    /// the clause indices the derivation used (`None` if no conflict arises,
+    /// i.e. the clause is not RUP).
+    ///
+    /// The assignment is fully rolled back before returning.
+    fn rup_antecedents(&mut self, clause: &[Lit]) -> Option<Vec<usize>> {
+        debug_assert!(self.trail.is_empty());
+        let result = self.rup_inner(clause);
+        // Roll back.
+        for &p in &self.trail {
+            self.assigns[p.var().index()] = LBool::Undef;
+            self.reasons[p.var().index()] = None;
+        }
+        self.trail.clear();
+        result
+    }
+
+    fn rup_inner(&mut self, clause: &[Lit]) -> Option<Vec<usize>> {
+        if let Some(&idx) = self.empty_idxs.iter().find(|&&i| self.clauses[i].active) {
+            return Some(vec![idx]);
+        }
+        // Level-0 facts of the active set.
+        for i in 0..self.unit_idxs.len() {
+            let idx = self.unit_idxs[i];
+            if !self.clauses[idx].active {
+                continue;
+            }
+            let u = self.clauses[idx].lits[0];
+            match self.enqueue(u, Some(idx)) {
+                Ok(()) => {}
+                Err(conflicting_var) => {
+                    return Some(self.antecedents_from(&[u], conflicting_var, Some(idx)));
+                }
+            }
+        }
+        // Negation of the candidate clause.
+        for &l in clause {
+            match self.enqueue(!l, None) {
+                Ok(()) => {}
+                Err(conflicting_var) => {
+                    return Some(self.antecedents_from(&[!l], conflicting_var, None));
+                }
+            }
+        }
+        let conflict = self.propagate()?;
+        let seeds = self.clauses[conflict].lits.clone();
+        Some(self.antecedents_from(&seeds, usize::MAX, Some(conflict)))
+    }
+
+    /// Assigns `p` true. `Err(var)` if `p` is already false — a conflict with
+    /// the existing assignment of `var`.
+    fn enqueue(&mut self, p: Lit, reason: Option<usize>) -> Result<(), usize> {
+        let v = p.var().index();
+        match self.lit_value(p) {
+            LBool::True => Ok(()),
+            LBool::False => Err(v),
+            LBool::Undef => {
+                self.assigns[v] = LBool::from_bool(p.is_positive());
+                self.reasons[v] = reason;
+                self.trail.push(p);
+                Ok(())
+            }
+        }
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Two-watched-literal unit propagation over the active clauses; returns
+    /// the conflicting clause index, or `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<usize> {
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let p = self.trail[qhead];
+            qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watchers: while i < ws.len() {
+                let cidx = ws[i];
+                if !self.clauses[cidx].active {
+                    // Keep the entry: the clause may be reactivated later in
+                    // the backward pass.
+                    i += 1;
+                    continue;
+                }
+                // Move the falsified watched literal to slot 1.
+                if self.clauses[cidx].lits[0] == false_lit {
+                    self.clauses[cidx].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cidx].lits[1], false_lit);
+                let first = self.clauses[cidx].lits[0];
+                if self.lit_value(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Search for a replacement watch.
+                for k in 2..self.clauses[cidx].lits.len() {
+                    let cand = self.clauses[cidx].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[cand.index()].push(cidx);
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cidx);
+                    break;
+                }
+                let v = first.var().index();
+                self.assigns[v] = LBool::from_bool(first.is_positive());
+                self.reasons[v] = Some(cidx);
+                self.trail.push(first);
+                i += 1;
+            }
+            self.watches[false_lit.index()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Collects the clause indices in the implication-graph ancestry of a
+    /// conflict: `extra` (the conflicting clause, if any) plus the reasons of
+    /// every variable reachable from `seeds` / `conflicting_var`.
+    fn antecedents_from(
+        &self,
+        seeds: &[Lit],
+        conflicting_var: usize,
+        extra: Option<usize>,
+    ) -> Vec<usize> {
+        let mut used: Vec<usize> = extra.into_iter().collect();
+        let mut visited = vec![false; self.assigns.len()];
+        let mut queue: Vec<usize> = seeds.iter().map(|l| l.var().index()).collect();
+        if conflicting_var != usize::MAX {
+            queue.push(conflicting_var);
+        }
+        while let Some(v) = queue.pop() {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            if let Some(r) = self.reasons[v] {
+                used.push(r);
+                queue.extend(self.clauses[r].lits.iter().map(|l| l.var().index()));
+            }
+        }
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+}
+
+/// Sorted, deduplicated literal list — the clause identity used for
+/// deletion matching.
+fn normalize(lits: &[Lit]) -> Vec<Lit> {
+    let mut v = lits.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn l(n: i64) -> Lit {
+        Var::from_index((n.unsigned_abs() - 1) as usize).lit(n > 0)
+    }
+
+    fn clauses(spec: &[&[i64]]) -> Vec<Vec<Lit>> {
+        spec.iter()
+            .map(|c| c.iter().map(|&n| l(n)).collect())
+            .collect()
+    }
+
+    /// (a∨b)(¬a∨b)(a∨¬b)(¬a∨¬b) — the smallest UNSAT 2-SAT instance.
+    fn triangle() -> Vec<Vec<Lit>> {
+        clauses(&[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]])
+    }
+
+    fn proof_of(steps: &[ProofStep]) -> DratProof {
+        let mut p = DratProof::new();
+        for s in steps {
+            p.push(s.clone());
+        }
+        p
+    }
+
+    #[test]
+    fn valid_refutation_is_accepted() {
+        let proof = proof_of(&[ProofStep::Add(vec![l(2)]), ProofStep::Add(vec![])]);
+        let outcome = check_drat(&triangle(), &proof, &[]).expect("valid proof");
+        assert_eq!(outcome.lemmas, 2);
+        assert_eq!(outcome.checked_lemmas, 2);
+    }
+
+    #[test]
+    fn non_rup_lemma_is_rejected() {
+        // With only (a∨b), the unit lemma b is not RUP.
+        let axioms = clauses(&[&[1, 2]]);
+        let proof = proof_of(&[ProofStep::Add(vec![l(2)])]);
+        assert_eq!(
+            check_drat(&axioms, &proof, &[l(2)]),
+            Err(ProofError::LemmaNotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_refutation_is_rejected() {
+        // A satisfiable formula with an empty proof cannot certify UNSAT.
+        let axioms = clauses(&[&[1, 2]]);
+        let proof = DratProof::new();
+        assert_eq!(
+            check_drat(&axioms, &proof, &[]),
+            Err(ProofError::TargetNotRup)
+        );
+    }
+
+    #[test]
+    fn corrupted_proof_is_rejected() {
+        // Deleting (a∨¬b) breaks the final conflict: after the unit lemma b,
+        // only ¬a follows and no conflict arises.
+        let proof = proof_of(&[
+            ProofStep::Add(vec![l(2)]),
+            ProofStep::Delete(vec![l(1), l(-2)]),
+            ProofStep::Add(vec![]),
+        ]);
+        assert_eq!(
+            check_drat(&triangle(), &proof, &[]),
+            Err(ProofError::LemmaNotRup { step: 2 })
+        );
+    }
+
+    #[test]
+    fn deletion_of_unused_clause_is_harmless() {
+        // (a∨b) is not needed once the unit lemma b exists.
+        let proof = proof_of(&[
+            ProofStep::Add(vec![l(2)]),
+            ProofStep::Delete(vec![l(1), l(2)]),
+            ProofStep::Add(vec![]),
+        ]);
+        let outcome = check_drat(&triangle(), &proof, &[]).expect("valid proof");
+        assert_eq!(outcome.lemmas, 2);
+    }
+
+    #[test]
+    fn deletion_of_unknown_clause_is_ignored() {
+        let proof = proof_of(&[
+            ProofStep::Add(vec![l(2)]),
+            ProofStep::Delete(vec![l(1), l(2), l(-2)]),
+            ProofStep::Add(vec![]),
+        ]);
+        assert!(check_drat(&triangle(), &proof, &[]).is_ok());
+    }
+
+    #[test]
+    fn assumption_core_target_is_checked() {
+        // Axioms: a → b, b → c. Under assumptions {a, ¬c} the formula is
+        // UNSAT with core {a, ¬c}; the certified lemma is ¬a ∨ c — RUP
+        // without any proof steps.
+        let axioms = clauses(&[&[-1, 2], &[-2, 3]]);
+        let proof = DratProof::new();
+        let outcome = check_drat(&axioms, &proof, &[l(-1), l(3)]).expect("core lemma is RUP");
+        assert_eq!(outcome.lemmas, 0);
+        // A core that is not actually failing is rejected.
+        assert_eq!(
+            check_drat(&axioms, &proof, &[l(1)]),
+            Err(ProofError::TargetNotRup)
+        );
+    }
+
+    #[test]
+    fn irrelevant_lemmas_are_skipped() {
+        // The lemma over a fresh variable never feeds the refutation.
+        let mut axioms = triangle();
+        axioms.push(clauses(&[&[3, 4]]).remove(0));
+        let proof = proof_of(&[
+            ProofStep::Add(vec![l(2)]),
+            ProofStep::Add(vec![l(3), l(4), l(2)]),
+            ProofStep::Add(vec![]),
+        ]);
+        let outcome = check_drat(&axioms, &proof, &[]).expect("valid proof");
+        assert_eq!(outcome.lemmas, 3);
+        assert_eq!(outcome.checked_lemmas, 2);
+    }
+
+    #[test]
+    fn duplicate_clause_instances_delete_one_at_a_time() {
+        // Two copies of (a); deleting one keeps the other usable.
+        let axioms = clauses(&[&[1], &[1], &[-1]]);
+        let proof = proof_of(&[ProofStep::Delete(vec![l(1)]), ProofStep::Add(vec![])]);
+        assert!(check_drat(&axioms, &proof, &[]).is_ok());
+        // Deleting both copies removes the conflict entirely.
+        let proof2 = proof_of(&[
+            ProofStep::Delete(vec![l(1)]),
+            ProofStep::Delete(vec![l(1)]),
+            ProofStep::Add(vec![]),
+        ]);
+        assert!(check_drat(&axioms, &proof2, &[]).is_err());
+    }
+
+    #[test]
+    fn tautological_axioms_are_tolerated() {
+        let mut axioms = triangle();
+        axioms.push(clauses(&[&[1, -1]]).remove(0));
+        let proof = proof_of(&[ProofStep::Add(vec![l(2)]), ProofStep::Add(vec![])]);
+        assert!(check_drat(&axioms, &proof, &[]).is_ok());
+    }
+}

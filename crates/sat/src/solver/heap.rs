@@ -139,8 +139,8 @@ mod tests {
         for i in 0..5 {
             h.insert(v(i), &activity);
         }
-        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity).map(Var::index))
-            .collect();
+        let order: Vec<usize> =
+            std::iter::from_fn(|| h.pop_max(&activity).map(Var::index)).collect();
         assert_eq!(order, vec![1, 3, 2, 4, 0]);
     }
 

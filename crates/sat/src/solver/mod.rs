@@ -18,6 +18,7 @@ pub use restart::luby;
 
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::model::Model;
+use crate::proof::ProofSink;
 use crate::stats::Stats;
 use crate::types::{LBool, Lit, Var};
 use heap::VarHeap;
@@ -116,8 +117,16 @@ pub struct Solver {
     /// Trail length at the last level-0 simplification; the satisfied-clause
     /// scan is skipped while no new level-0 facts have been derived.
     last_simplify_trail: usize,
+    /// Trail length up to which level-0 facts have been emitted to the proof
+    /// as explicit unit lemmas. Satisfied-clause elimination may delete the
+    /// clauses those facts were propagated from, so the facts must be pinned
+    /// as lemmas first or later derivations stop being RUP for the checker.
+    proof_units: usize,
     conflict_budget: Option<u64>,
     default_phase: bool,
+    /// Optional DRAT proof logger. `None` (the default) keeps all emission
+    /// paths behind a single branch, so solving without a proof is free.
+    proof: Option<Box<dyn ProofSink>>,
 }
 
 impl Default for Solver {
@@ -148,8 +157,55 @@ impl Solver {
             stats: Stats::default(),
             reduce_limit: 2000,
             last_simplify_trail: 0,
+            proof_units: 0,
             conflict_budget: None,
             default_phase: false,
+            proof: None,
+        }
+    }
+
+    /// Installs a DRAT proof sink. Must be called **before any clauses are
+    /// added**: level-0 simplifications performed while loading are part of
+    /// the certificate, and a sink installed later would miss them.
+    ///
+    /// With a sink installed, every learnt clause (and every clause produced
+    /// by level-0 simplification) is emitted as an addition, and every
+    /// discarded clause as a deletion, in the order the solver performs them.
+    /// When the formula is refuted without assumptions the emitted proof ends
+    /// with the empty clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clauses have already been added.
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ProofSink>) {
+        assert!(
+            self.num_clauses() == 0 && self.trail.is_empty() && self.ok,
+            "proof sink must be installed before any clauses are added"
+        );
+        self.proof = Some(sink);
+    }
+
+    /// Removes and returns the proof sink, disabling further logging.
+    pub fn take_proof_sink(&mut self) -> Option<Box<dyn ProofSink>> {
+        self.proof.take()
+    }
+
+    /// `true` while a proof sink is installed.
+    pub fn is_proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.add_clause(lits);
+        }
+    }
+
+    #[inline]
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.delete_clause(lits);
         }
     }
 
@@ -248,6 +304,11 @@ impl Solver {
         }
         lits.sort_unstable();
         lits.dedup();
+        let original = if self.proof.is_some() {
+            Some(lits.clone())
+        } else {
+            None
+        };
         // Tautology / level-0 simplification.
         let mut write = 0;
         for read in 0..lits.len() {
@@ -265,6 +326,14 @@ impl Solver {
             }
         }
         lits.truncate(write);
+        // Stripping level-0 falsified literals produced a stronger clause: it
+        // is RUP (the dropped literals' negations are propagation-derivable),
+        // so certify the stripped clause and retire the original — the
+        // proof's active set must mirror the clause database.
+        if let Some(orig) = original.filter(|o| o.len() != lits.len()) {
+            self.proof_add(&lits);
+            self.proof_delete(&orig);
+        }
         match lits.len() {
             0 => {
                 self.ok = false;
@@ -273,6 +342,7 @@ impl Solver {
             1 => {
                 self.enqueue(lits[0], None);
                 if self.propagate().is_some() {
+                    self.proof_add(&[]);
                     self.ok = false;
                     false
                 } else {
@@ -318,6 +388,7 @@ impl Solver {
         }
         debug_assert_eq!(self.decision_level(), 0);
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return SatResult::Unsat { core: Vec::new() };
         }
@@ -600,10 +671,7 @@ impl Solver {
         out.extend(learnt);
 
         // LBD = number of distinct decision levels in the clause.
-        let mut lvls: Vec<u32> = out
-            .iter()
-            .map(|l| self.levels[l.var().index()])
-            .collect();
+        let mut lvls: Vec<u32> = out.iter().map(|l| self.levels[l.var().index()]).collect();
         lvls.sort_unstable();
         lvls.dedup();
         let lbd = lvls.len() as u32;
@@ -684,11 +752,13 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return SearchOutcome::Unsat(Vec::new());
                 }
                 let (learnt, bt_level, lbd) = self.analyze(conflict);
                 self.cancel_until(bt_level);
+                self.proof_add(&learnt);
                 if learnt.len() == 1 {
                     debug_assert_eq!(bt_level, 0);
                     self.enqueue(learnt[0], None);
@@ -750,7 +820,14 @@ impl Solver {
     /// since the last call, so restarts stay cheap.
     fn simplify_and_maybe_reduce(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
-        debug_assert_eq!(self.qhead, self.trail.len());
+        // A unit clause learnt on the restart-triggering conflict is enqueued
+        // but not yet propagated when the restart fires; settle it before
+        // housekeeping (it may even reveal level-0 unsatisfiability).
+        if self.propagate().is_some() {
+            self.proof_add(&[]);
+            self.ok = false;
+            return;
+        }
         // Reasons of level-0 assignments are never inspected again.
         for &p in &self.trail {
             self.reasons[p.var().index()] = None;
@@ -778,6 +855,7 @@ impl Solver {
         for u in units {
             match self.lit_value(u) {
                 LBool::False => {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return;
                 }
@@ -786,6 +864,7 @@ impl Solver {
             }
         }
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return;
         }
@@ -796,9 +875,26 @@ impl Solver {
     /// Returns the recovered unit literals, or `None` on a level-0 conflict
     /// (an empty clause).
     fn remove_satisfied(&mut self) -> Option<Vec<Lit>> {
+        // Pin every new level-0 fact as an explicit unit lemma before any
+        // clause it was propagated from is deleted: a clause that implied
+        // the fact contains it, is therefore satisfied, and is about to be
+        // removed — without the unit lemma, later derivations relying on
+        // the fact would no longer be RUP for the proof checker.
+        if self.proof.is_some() {
+            for i in self.proof_units..self.trail.len() {
+                let l = self.trail[i];
+                self.proof_add(&[l]);
+            }
+            self.proof_units = self.trail.len();
+        }
         let refs: Vec<ClauseRef> = self.db.iter_refs().collect();
         let mut units: Vec<Lit> = Vec::new();
         for r in refs {
+            let original = if self.proof.is_some() {
+                Some(self.db.get(r).lits().to_vec())
+            } else {
+                None
+            };
             let mut satisfied = false;
             let mut k = 0;
             while k < self.db.get(r).len() {
@@ -815,8 +911,21 @@ impl Solver {
                 }
             }
             if satisfied {
+                if let Some(orig) = original {
+                    self.proof_delete(&orig);
+                }
                 self.db.delete(r);
                 continue;
+            }
+            // Literal stripping strengthened the clause: certify the
+            // stripped version (RUP via the level-0 facts) and retire the
+            // original. For recovered units (and the empty clause) the
+            // strengthened lemma stays in the proof's active set even though
+            // the database slot is released.
+            if let Some(orig) = original.filter(|o| o.len() != self.db.get(r).len()) {
+                let now = self.db.get(r).lits().to_vec();
+                self.proof_add(&now);
+                self.proof_delete(&orig);
             }
             match self.db.get(r).len() {
                 0 => {
@@ -840,14 +949,20 @@ impl Solver {
         learnt.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
-            ca.lbd
-                .cmp(&cb.lbd)
-                .then(cb.activity.partial_cmp(&ca.activity).unwrap_or(std::cmp::Ordering::Equal))
+            ca.lbd.cmp(&cb.lbd).then(
+                cb.activity
+                    .partial_cmp(&ca.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let keep = learnt.len() / 2;
         for &r in learnt.iter().skip(keep) {
             if self.db.get(r).lbd <= 2 {
                 continue;
+            }
+            if self.proof.is_some() {
+                let lits = self.db.get(r).lits().to_vec();
+                self.proof_delete(&lits);
             }
             self.db.delete(r);
             self.stats.deleted_clauses += 1;

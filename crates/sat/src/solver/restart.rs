@@ -50,8 +50,8 @@ mod tests {
     #[test]
     fn matches_known_prefix() {
         let expected = [
-            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
-            2, 4, 8, 16,
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+            4, 8, 16,
         ];
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(luby(i as u64 + 1), e, "mismatch at index {}", i + 1);

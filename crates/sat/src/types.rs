@@ -160,8 +160,7 @@ impl fmt::Display for Lit {
 }
 
 /// Tri-state assignment value used inside the solver and in [`crate::Model`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
 pub enum LBool {
     /// Assigned true.
     True,
@@ -203,7 +202,6 @@ impl LBool {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

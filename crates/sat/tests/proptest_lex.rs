@@ -1,17 +1,25 @@
 //! Property-based test: lexicographic MaxSAT against brute-force
-//! enumeration on small random instances.
+//! enumeration on small random instances (deterministic `etcs-testkit`
+//! seeds).
 
-use etcs_sat::{maxsat, CnfSink, Formula, Objective, Solver, Strategy as OptStrategy, Var};
-use proptest::prelude::*;
+use etcs_sat::{maxsat, CnfSink, Objective, Solver, Strategy as OptStrategy, Var};
+use etcs_testkit::{cases, Rng};
 
-fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
-    (3..=6usize).prop_flat_map(|nv| {
-        let clause = proptest::collection::vec(
-            (1..=nv as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
-            1..=3,
-        );
-        proptest::collection::vec(clause, 1..=12).prop_map(move |cs| (nv, cs))
-    })
+fn random_cnf(rng: &mut Rng) -> (usize, Vec<Vec<i32>>) {
+    let nv = rng.range(3, 7);
+    let nc = rng.range(1, 13);
+    let clauses = rng.vec(nc, |rng| {
+        let len = rng.range(1, 4);
+        rng.vec(len, |rng| {
+            let v = rng.range(1, nv + 1) as i32;
+            if rng.bool() {
+                v
+            } else {
+                -v
+            }
+        })
+    });
+    (nv, clauses)
 }
 
 fn build(nv: usize, clauses: &[Vec<i32>]) -> (Solver, Vec<Var>) {
@@ -29,12 +37,7 @@ fn build(nv: usize, clauses: &[Vec<i32>]) -> (Solver, Vec<Var>) {
 
 /// Brute-force lexicographic optimum of (min #true in `a`, min #true in `b`)
 /// subject to the clauses; `None` if unsatisfiable.
-fn brute_lex(
-    nv: usize,
-    clauses: &[Vec<i32>],
-    a: &[usize],
-    b: &[usize],
-) -> Option<(u32, u32)> {
+fn brute_lex(nv: usize, clauses: &[Vec<i32>], a: &[usize], b: &[usize]) -> Option<(u32, u32)> {
     (0..(1u64 << nv))
         .filter(|&mask| {
             clauses.iter().all(|c| {
@@ -49,22 +52,20 @@ fn brute_lex(
             })
         })
         .map(|mask| {
-            let count = |set: &[usize]| set.iter().filter(|&&v| mask & (1 << v) != 0).count() as u32;
+            let count =
+                |set: &[usize]| set.iter().filter(|&&v| mask & (1 << v) != 0).count() as u32;
             (count(a), count(b))
         })
         .min()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn lexicographic_matches_brute_force(
-        (nv, clauses) in cnf_strategy(),
-        sel in proptest::collection::vec(0usize..3, 6),
-    ) {
+#[test]
+fn lexicographic_matches_brute_force() {
+    cases(128, |rng| {
+        let (nv, clauses) = random_cnf(rng);
         // Partition variables into objective A (sel = 0), objective B
         // (sel = 1), free (sel = 2).
+        let sel = rng.vec(6, |rng| rng.below(3));
         let a_vars: Vec<usize> = (0..nv).filter(|&v| sel[v] == 0).collect();
         let b_vars: Vec<usize> = (0..nv).filter(|&v| sel[v] == 1).collect();
         let expected = brute_lex(nv, &clauses, &a_vars, &b_vars);
@@ -80,18 +81,17 @@ proptest! {
         .expect("no budget configured");
         match (result, expected) {
             (Some(r), Some((ea, eb))) => {
-                prop_assert_eq!((r.costs[0] as u32, r.costs[1] as u32), (ea, eb));
+                assert_eq!((r.costs[0] as u32, r.costs[1] as u32), (ea, eb));
                 // The model achieves the reported costs.
-                prop_assert_eq!(obj_a.eval(&r.model) as u32, ea);
-                prop_assert_eq!(obj_b.eval(&r.model) as u32, eb);
+                assert_eq!(obj_a.eval(&r.model) as u32, ea);
+                assert_eq!(obj_b.eval(&r.model) as u32, eb);
             }
             (None, None) => {}
-            (got, want) => prop_assert!(
-                false,
+            (got, want) => panic!(
                 "solver and brute force disagree: got {:?}, want {:?}",
                 got.map(|r| r.costs.clone()),
                 want
             ),
         }
-    }
+    });
 }

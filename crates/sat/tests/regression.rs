@@ -225,7 +225,9 @@ fn php_unsat_cores_are_accurate_under_selectors() {
     let n = 4usize; // 4 pigeons, 3 holes
     let mut s = Solver::new();
     let p: Vec<Vec<Lit>> = (0..n).map(|_| vars(&mut s, n - 1)).collect();
-    let selectors: Vec<Lit> = (0..n).map(|_| CnfSink::new_var(&mut s).positive()).collect();
+    let selectors: Vec<Lit> = (0..n)
+        .map(|_| CnfSink::new_var(&mut s).positive())
+        .collect();
     for (row, &sel) in p.iter().zip(&selectors) {
         let mut clause = vec![!sel];
         clause.extend(row.iter().copied());

@@ -59,7 +59,9 @@ impl fmt::Display for PlanStats {
                 "  {:<16} dep {} arr {} ({} moving, {} waiting)",
                 t.name,
                 t.departure,
-                t.arrival.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+                t.arrival
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 t.travel_steps
                     .map(|s| s.saturating_sub(t.wait_steps).to_string())
                     .unwrap_or_else(|| "-".into()),
@@ -157,7 +159,12 @@ pub fn render_timeline_for(inst: &Instance, plan: &SolvedPlan, edges: &[EdgeId])
     }
     let _ = writeln!(out);
     for &e in edges {
-        let _ = write!(out, "{:>width$} ", inst.net.edge_name(e), width = name_width);
+        let _ = write!(
+            out,
+            "{:>width$} ",
+            inst.net.edge_name(e),
+            width = name_width
+        );
         for t in 0..inst.t_max {
             match occupancy.get(&(e, t)) {
                 Some(tr) => {

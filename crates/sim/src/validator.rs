@@ -115,7 +115,11 @@ impl fmt::Display for Violation {
                 "train {train} occupies {actual} segments at step {step}, needs {expected}"
             ),
             Violation::TooFast { train, step } => {
-                write!(f, "train {train} exceeds its speed between steps {step} and {}", step + 1)
+                write!(
+                    f,
+                    "train {train} exceeds its speed between steps {step} and {}",
+                    step + 1
+                )
             }
             Violation::PresenceBroken { train, step } => {
                 write!(f, "train {train} presence broken at step {step}")
@@ -124,7 +128,10 @@ impl fmt::Display for Violation {
                 write!(f, "train {train} does not depart from its origin")
             }
             Violation::ArrivalMissed { train, deadline } => {
-                write!(f, "train {train} misses its arrival deadline (step {deadline})")
+                write!(
+                    f,
+                    "train {train} misses its arrival deadline (step {deadline})"
+                )
             }
             Violation::ParkBroken { train, step } => {
                 write!(f, "parked train {train} moved at step {step}")
@@ -198,14 +205,18 @@ pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> 
             // Presence discipline.
             if t < spec.dep_step {
                 if !pos.is_empty() {
-                    report.violations.push(Violation::PresenceBroken { train: tr, step: t });
+                    report
+                        .violations
+                        .push(Violation::PresenceBroken { train: tr, step: t });
                 }
                 continue;
             }
             if pos.is_empty() {
                 match spec.exit {
                     ExitPolicy::Park => {
-                        report.violations.push(Violation::PresenceBroken { train: tr, step: t });
+                        report
+                            .violations
+                            .push(Violation::PresenceBroken { train: tr, step: t });
                     }
                     ExitPolicy::Leave => {
                         // Absence is only allowed after a goal visit.
@@ -227,7 +238,9 @@ pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> 
                     actual: pos.len(),
                 });
             } else if !is_chain(net, pos) {
-                report.violations.push(Violation::NotAChain { train: tr, step: t });
+                report
+                    .violations
+                    .push(Violation::NotAChain { train: tr, step: t });
             }
             if pos.iter().any(|e| spec.goal_edges.contains(e)) && arrived_at.is_none() {
                 arrived_at = Some(t);
@@ -236,7 +249,9 @@ pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> 
         // Departure at the origin.
         let dep_pos = &p.positions[spec.dep_step];
         if !dep_pos.iter().any(|e| spec.origin_edges.contains(e)) {
-            report.violations.push(Violation::DepartureMissed { train: tr });
+            report
+                .violations
+                .push(Violation::DepartureMissed { train: tr });
         }
         // Arrival.
         if enforce_deadlines {
@@ -266,12 +281,16 @@ pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> 
                     .any(|b| matches!(inst.dist(*a, *b), Some(d) if d <= spec.speed))
             };
             if !now.iter().all(|e| within(e, next)) || !next.iter().all(|f| within(f, now)) {
-                report.violations.push(Violation::TooFast { train: tr, step: t });
+                report
+                    .violations
+                    .push(Violation::TooFast { train: tr, step: t });
             }
             if spec.exit == ExitPolicy::Park {
                 if let Some(a) = arrived_at {
                     if t >= a && now != next {
-                        report.violations.push(Violation::ParkBroken { train: tr, step: t });
+                        report
+                            .violations
+                            .push(Violation::ParkBroken { train: tr, step: t });
                     }
                 }
             }

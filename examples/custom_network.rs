@@ -74,7 +74,14 @@ fn main() -> Result<(), etcs::NetworkError> {
 
     // Verification, generation, optimisation.
     let (v, _) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
-    println!("pure TTD: {}", if v.is_feasible() { "feasible" } else { "infeasible" });
+    println!(
+        "pure TTD: {}",
+        if v.is_feasible() {
+            "feasible"
+        } else {
+            "infeasible"
+        }
+    );
 
     let (g, _) = generate(&scenario, &config)?;
     match &g {
@@ -86,7 +93,10 @@ fn main() -> Result<(), etcs::NetworkError> {
 
     let (o, _) = optimize(&scenario, &config)?;
     if let DesignOutcome::Solved { costs, .. } = o {
-        println!("optimisation: complete in {} steps with {} border(s)", costs[0], costs[1]);
+        println!(
+            "optimisation: complete in {} steps with {} border(s)",
+            costs[0], costs[1]
+        );
     }
     Ok(())
 }

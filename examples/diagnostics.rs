@@ -20,7 +20,10 @@ fn main() -> Result<(), etcs::NetworkError> {
              (the paper's Example 2: all four TTDs end up blocked)"
         ),
         Diagnosis::Conflict { names, .. } => {
-            println!("diagnosis: conflicting arrival deadlines: {}", names.join(", "))
+            println!(
+                "diagnosis: conflicting arrival deadlines: {}",
+                names.join(", ")
+            )
         }
     }
 

@@ -13,9 +13,7 @@ fn main() -> Result<(), etcs::NetworkError> {
         let pure_sections = VssLayout::pure_ttd().section_count(&instance.net);
         let full_sections = VssLayout::full(&instance.net).section_count(&instance.net);
         println!("=== {} ===", scenario.name);
-        println!(
-            "pure TTD: {pure_sections} sections; finest VSS: {full_sections} sections"
-        );
+        println!("pure TTD: {pure_sections} sections; finest VSS: {full_sections} sections");
 
         let (outcome, report) = generate(&scenario, &config)?;
         match outcome {

@@ -30,7 +30,11 @@ fn main() -> Result<(), etcs::NetworkError> {
     let (outcome, report) = verify(&scenario, &VssLayout::pure_ttd(), &config)?;
     println!(
         "verification (pure TTD): {} in {:.2} s",
-        if outcome.is_feasible() { "feasible" } else { "INFEASIBLE" },
+        if outcome.is_feasible() {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        },
         report.runtime.as_secs_f64()
     );
 

@@ -29,7 +29,11 @@ fn main() -> Result<(), etcs::NetworkError> {
     let (outcome, report) = verify(&scenario, &pure, &config)?;
     println!(
         "verification on pure TTD: {} ({} clauses, {:.3} s)",
-        if outcome.is_feasible() { "feasible" } else { "INFEASIBLE — the paper's deadlock" },
+        if outcome.is_feasible() {
+            "feasible"
+        } else {
+            "INFEASIBLE — the paper's deadlock"
+        },
         report.stats.clauses,
         report.runtime.as_secs_f64(),
     );

@@ -38,13 +38,21 @@ fn main() -> Result<(), etcs::NetworkError> {
     );
 
     println!("\nimproved arrival times (the paper's Fig. 2b):");
-    for (run, arrival) in scenario.schedule.runs().iter().zip(plan.arrival_steps(&instance)) {
+    for (run, arrival) in scenario
+        .schedule
+        .runs()
+        .iter()
+        .zip(plan.arrival_steps(&instance))
+    {
         let improved = arrival.map(|s| scenario.time_of(s));
         let original = run.arrival;
         match (improved, original) {
             (Some(new), Some(old)) => {
                 let gain = old.as_u64().saturating_sub(new.as_u64());
-                println!("  {}: {} -> {} ({} s earlier)", run.train.name, old, new, gain);
+                println!(
+                    "  {}: {} -> {} ({} s earlier)",
+                    run.train.name, old, new, gain
+                );
             }
             (Some(new), None) => println!("  {}: {}", run.train.name, new),
             _ => println!("  {}: never arrives", run.train.name),

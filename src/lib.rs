@@ -15,9 +15,13 @@
 //!   possible completion,
 //!
 //! together with the full substrate stack: a CDCL SAT solver with MaxSAT
-//! optimisation ([`sat`]), railway network modelling and discretisation
-//! ([`network`]), and an independent plan validator plus a fixed-block
-//! dispatcher baseline ([`sim`]).
+//! optimisation and DRAT proof logging ([`sat`]), railway network modelling
+//! and discretisation ([`network`]), an independent plan validator plus a
+//! fixed-block dispatcher baseline ([`sim`]), and a CNF encoding lint
+//! ([`lint`]). Each design task also has a `*_certified` variant
+//! ([`verify_certified`] and friends) that lints the encoding and checks
+//! every answer — models against a mirrored formula, UNSAT verdicts against
+//! a DRAT proof replayed by an in-repo checker.
 //!
 //! ## Quick start
 //!
@@ -42,13 +46,15 @@
 //! # Ok::<(), etcs::NetworkError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use etcs_core::{
-    border_tradeoff, diagnose, encode, generate, optimize, optimize_arrivals,
-    optimize_with_budget, verify, DesignOutcome, Diagnosis, TradeoffPoint,
-    EncoderConfig, Encoding, EncodingStats, ExitPolicy, Instance, LayoutExplorer, SolvedPlan,
-    TaskKind, TaskReport, TrainPlan, TrainSpec, VerifyOutcome,
+    border_tradeoff, diagnose, diagnose_certified, encode, generate, generate_certified, optimize,
+    optimize_arrivals, optimize_certified, optimize_with_budget, verify, verify_certified,
+    Certification, CertifiedVerdict, CertifyError, DesignOutcome, Diagnosis, EncoderConfig,
+    Encoding, EncodingStats, EncodingTrace, ExitPolicy, Instance, LayoutExplorer, SolvedPlan,
+    TaskKind, TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
 };
 pub use etcs_network::{
     fixtures, parse_scenario, write_scenario, DiscreteNet, EdgeId, KmPerHour, Meters,
@@ -72,12 +78,18 @@ pub mod sim {
     pub use etcs_sim::*;
 }
 
+/// CNF encoding lint: structural audits over traced formulas.
+pub mod lint {
+    pub use etcs_lint::*;
+}
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::{
-        diagnose, fixtures, generate, optimize, optimize_arrivals, verify, DesignOutcome,
-        Diagnosis, EncoderConfig, Instance, LayoutExplorer, NetworkBuilder, Scenario, Schedule,
-        Train, TrainRun, VerifyOutcome, VssLayout,
+        diagnose, diagnose_certified, fixtures, generate, generate_certified, optimize,
+        optimize_arrivals, optimize_certified, verify, verify_certified, Certification,
+        CertifiedVerdict, DesignOutcome, Diagnosis, EncoderConfig, Instance, LayoutExplorer,
+        NetworkBuilder, Scenario, Schedule, Train, TrainRun, VerifyOutcome, VssLayout,
     };
     pub use crate::{KmPerHour, Meters, Seconds};
 }

@@ -23,7 +23,11 @@ fn assert_table_one_shape(scenario: &Scenario) {
     );
 
     let (g, _) = generate(scenario, &config()).expect("well-formed");
-    let DesignOutcome::Solved { plan: gen_plan, costs: gen_costs } = g else {
+    let DesignOutcome::Solved {
+        plan: gen_plan,
+        costs: gen_costs,
+    } = g
+    else {
         panic!("{}: generation must succeed", scenario.name);
     };
     assert!(gen_costs[0] >= 1, "{}: at least one border", scenario.name);
@@ -36,7 +40,11 @@ fn assert_table_one_shape(scenario: &Scenario) {
     assert!(report.is_valid(), "{}: {report}", scenario.name);
 
     let (o, _) = optimize(scenario, &config()).expect("well-formed");
-    let DesignOutcome::Solved { plan: opt_plan, costs: opt_costs } = o else {
+    let DesignOutcome::Solved {
+        plan: opt_plan,
+        costs: opt_costs,
+    } = o
+    else {
         panic!("{}: optimisation must succeed", scenario.name);
     };
     let gen_steps = gen_plan.completion_steps(&inst);
@@ -79,7 +87,11 @@ fn full_vss_layouts_subsume_generated_ones() {
         let inst = Instance::new(&scenario).expect("valid");
         let (v, _) =
             verify(&scenario, &VssLayout::full(&inst.net), &config()).expect("well-formed");
-        assert!(v.is_feasible(), "{}: full VSS must admit the schedule", scenario.name);
+        assert!(
+            v.is_feasible(),
+            "{}: full VSS must admit the schedule",
+            scenario.name
+        );
     }
 }
 
@@ -111,8 +123,7 @@ fn optimisation_ignores_arrival_deadlines() {
     let scenario = fixtures::running_example();
     let (a, _) = optimize(&scenario, &config()).expect("well-formed");
     let (b, _) = optimize(&scenario.without_arrivals(), &config()).expect("well-formed");
-    let (DesignOutcome::Solved { costs: ca, .. }, DesignOutcome::Solved { costs: cb, .. }) =
-        (a, b)
+    let (DesignOutcome::Solved { costs: ca, .. }, DesignOutcome::Solved { costs: cb, .. }) = (a, b)
     else {
         panic!("both must solve");
     };

@@ -10,60 +10,58 @@
 use etcs::network::generator::{single_track_line, LineConfig};
 use etcs::prelude::*;
 use etcs::sim;
-use proptest::prelude::*;
+use etcs_testkit::{cases, Rng};
 
-fn small_line() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..5,    // stations
-        0usize..3,    // loop_every
-        1usize..3,    // trains per direction
-        any::<u64>(), // seed
-    )
-        .prop_map(|(stations, loop_every, trains, seed)| {
-            single_track_line(&LineConfig {
-                stations,
-                loop_every,
-                link_m: 1000,
-                trains_per_direction: trains,
-                headway: Seconds::from_minutes(2),
-                r_s: Meters(500),
-                r_t: Seconds(30),
-                horizon: Seconds::from_minutes(10),
-                seed,
-                ..LineConfig::default()
-            })
-        })
+fn small_line(rng: &mut Rng) -> Scenario {
+    single_track_line(&LineConfig {
+        stations: rng.range(2, 5),
+        loop_every: rng.below(3),
+        link_m: 1000,
+        trains_per_direction: rng.range(1, 3),
+        headway: Seconds::from_minutes(2),
+        r_s: Meters(500),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(10),
+        seed: rng.next_u64(),
+        ..LineConfig::default()
+    })
 }
 
-proptest! {
-    // Each case runs a full SAT pipeline; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Each case runs a full SAT pipeline; keep the counts moderate.
 
-    #[test]
-    fn generated_plans_pass_independent_validation(scenario in small_line()) {
+#[test]
+fn generated_plans_pass_independent_validation() {
+    cases(24, |rng| {
+        let scenario = small_line(rng);
         let config = EncoderConfig::default();
         let inst = Instance::new(&scenario).expect("generated scenarios are valid");
         let (outcome, _) = generate(&scenario, &config).expect("well-formed");
         if let Some(plan) = outcome.plan() {
             let report = sim::validate(&inst, plan, true);
-            prop_assert!(report.is_valid(), "{}:\n{report}", scenario.name);
+            assert!(report.is_valid(), "{}:\n{report}", scenario.name);
         }
-    }
+    });
+}
 
-    #[test]
-    fn optimized_plans_pass_independent_validation(scenario in small_line()) {
+#[test]
+fn optimized_plans_pass_independent_validation() {
+    cases(24, |rng| {
+        let scenario = small_line(rng);
         let config = EncoderConfig::default();
         let open = scenario.without_arrivals();
         let inst = Instance::new(&open).expect("valid");
         let (outcome, _) = optimize(&scenario, &config).expect("well-formed");
         if let Some(plan) = outcome.plan() {
             let report = sim::validate(&inst, plan, false);
-            prop_assert!(report.is_valid(), "{}:\n{report}", scenario.name);
+            assert!(report.is_valid(), "{}:\n{report}", scenario.name);
         }
-    }
+    });
+}
 
-    #[test]
-    fn generation_monotone_in_layout(scenario in small_line()) {
+#[test]
+fn generation_monotone_in_layout() {
+    cases(24, |rng| {
+        let scenario = small_line(rng);
         // If generation succeeds, the generated layout verifies, and so
         // does the finest layout.
         let config = EncoderConfig::default();
@@ -71,30 +69,39 @@ proptest! {
         let (outcome, _) = generate(&scenario, &config).expect("well-formed");
         if let Some(plan) = outcome.plan() {
             let (check, _) = verify(&scenario, &plan.layout, &config).expect("well-formed");
-            prop_assert!(check.is_feasible(), "generated layout must verify");
+            assert!(check.is_feasible(), "generated layout must verify");
             let (full, _) =
                 verify(&scenario, &VssLayout::full(&inst.net), &config).expect("well-formed");
-            prop_assert!(full.is_feasible(), "finest layout must also verify");
+            assert!(full.is_feasible(), "finest layout must also verify");
         }
-    }
+    });
+}
 
-    #[test]
-    fn pruning_does_not_change_answers(scenario in small_line()) {
+#[test]
+fn pruning_does_not_change_answers() {
+    cases(24, |rng| {
+        let scenario = small_line(rng);
         let pruned = EncoderConfig::default();
-        let unpruned = EncoderConfig { prune_to_goal: false, ..pruned };
+        let unpruned = EncoderConfig {
+            prune_to_goal: false,
+            ..pruned
+        };
         let (a, _) = verify(&scenario, &VssLayout::pure_ttd(), &pruned).expect("well-formed");
         let (b, _) = verify(&scenario, &VssLayout::pure_ttd(), &unpruned).expect("well-formed");
-        prop_assert_eq!(a.is_feasible(), b.is_feasible(), "pruning must be sound");
-    }
+        assert_eq!(a.is_feasible(), b.is_feasible(), "pruning must be sound");
+    });
+}
 
-    #[test]
-    fn optimization_cost_matches_decoded_completion(scenario in small_line()) {
+#[test]
+fn optimization_cost_matches_decoded_completion() {
+    cases(24, |rng| {
+        let scenario = small_line(rng);
         let config = EncoderConfig::default();
         let open = scenario.without_arrivals();
         let inst = Instance::new(&open).expect("valid");
         let (outcome, _) = optimize(&scenario, &config).expect("well-formed");
         if let DesignOutcome::Solved { plan, costs } = outcome {
-            prop_assert_eq!(costs[0] as usize, plan.completion_steps(&inst));
+            assert_eq!(costs[0] as usize, plan.completion_steps(&inst));
         }
-    }
+    });
 }

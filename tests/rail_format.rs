@@ -35,11 +35,25 @@ fn sample_scenario_runs_the_design_pipeline() {
     let config = EncoderConfig::default();
     let inst = Instance::new(&s).expect("valid");
 
-    // Both intercity trains terminate at the two-track Midford loop, one
-    // minute apart — that works even on pure TTDs (each takes one track).
-    let (v, _) = verify(&s, &VssLayout::pure_ttd(), &config).expect("well-formed");
-    assert!(v.is_feasible());
-    let plan = v.plan().expect("feasible");
+    // Both intercity trains wait on the single Westhaven station track, so
+    // pure TTD operation deadlocks before either can depart — the paper's
+    // core motivation in miniature. The certified path proves it: the
+    // verdict ships with a DRAT proof the in-repo checker replays.
+    let (v, _, cert) =
+        etcs::verify_certified(&s, &VssLayout::pure_ttd(), &config).expect("well-formed");
+    assert!(!v.is_feasible());
+    assert!(matches!(
+        cert.verdict,
+        etcs::CertifiedVerdict::ProofChecked(_)
+    ));
+    assert_eq!(
+        diagnose(&s, &VssLayout::pure_ttd(), &config).expect("well-formed"),
+        Diagnosis::Structural
+    );
+
+    // Virtual subsections repair the deadlock.
+    let (g, _) = generate(&s, &config).expect("well-formed");
+    let plan = g.plan().expect("feasible with VSS");
     assert!(etcs::sim::validate(&inst, plan, true).is_valid());
 
     // Optimisation still finds the earliest completion.

@@ -114,7 +114,9 @@ fn train3_parks_at_station_c() {
     let (outcome, _) = generate(&scenario, &config()).expect("well-formed");
     let plan = outcome.plan().expect("feasible");
     let t3 = &plan.plans[2];
-    let arrival = t3.arrival_step(&inst.trains[2].goal_edges).expect("arrives");
+    let arrival = t3
+        .arrival_step(&inst.trains[2].goal_edges)
+        .expect("arrives");
     for t in arrival..inst.t_max {
         assert!(
             t3.positions[t]
