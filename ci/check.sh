@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> bench_optimize smoke (release, running example + convoy)"
+cargo run --release -q -p etcs-bench --bin bench_optimize -- \
+    --smoke --out target/BENCH_optimize_smoke.json
+
 echo "All checks passed."

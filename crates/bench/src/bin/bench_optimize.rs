@@ -1,0 +1,223 @@
+//! Head-to-head harness for the optimisation loops: from-scratch vs.
+//! incremental vs. portfolio, plus multi-core batch scaling.
+//!
+//! Writes machine-readable results to `BENCH_optimize.json` so the perf
+//! trajectory of the incremental rework is tracked from run to run.
+//!
+//! Usage: `bench_optimize [--smoke] [--out <path>]`
+//!
+//! `--smoke` restricts to the running example plus a tiny batch (seconds,
+//! not minutes) — this is what `ci/check.sh` runs in release mode.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etcs_core::{
+    optimize, optimize_all_with_threads, optimize_incremental, optimize_portfolio, DesignOutcome,
+    EncoderConfig, OptimizeMode, TaskReport,
+};
+use etcs_network::{fixtures, parse_scenario, Scenario};
+
+/// One optimisation run, flattened for JSON.
+struct RunResult {
+    wall_ms: f64,
+    solver_calls: usize,
+    conflicts: u64,
+    solve_calls: u64,
+    reused_learnts: u64,
+    reuse_rate: f64,
+    deadline_steps: Option<u64>,
+    borders: Option<u64>,
+}
+
+fn flatten(outcome: &DesignOutcome, report: &TaskReport, wall_ms: f64) -> RunResult {
+    let (deadline_steps, borders) = match outcome {
+        DesignOutcome::Solved { costs, .. } => (costs.first().copied(), costs.get(1).copied()),
+        DesignOutcome::Infeasible => (None, None),
+    };
+    RunResult {
+        wall_ms,
+        solver_calls: report.solver_calls,
+        conflicts: report.search.conflicts,
+        solve_calls: report.search.solve_calls,
+        reused_learnts: report.search.reused_learnts,
+        reuse_rate: report.search.learnt_reuse_rate(),
+        deadline_steps,
+        borders,
+    }
+}
+
+fn run(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    f: impl Fn(&Scenario, &EncoderConfig) -> (DesignOutcome, TaskReport),
+) -> RunResult {
+    let start = Instant::now();
+    let (outcome, report) = f(scenario, config);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    flatten(&outcome, &report, wall_ms)
+}
+
+fn json_run(out: &mut String, key: &str, r: &RunResult) {
+    let opt = |v: Option<u64>| v.map_or("null".to_owned(), |x| x.to_string());
+    let _ = write!(
+        out,
+        "      \"{key}\": {{\"wall_ms\": {:.2}, \"solver_calls\": {}, \"conflicts\": {}, \
+         \"solve_calls\": {}, \"reused_learnts\": {}, \"reuse_rate\": {:.4}, \
+         \"deadline_steps\": {}, \"borders\": {}}}",
+        r.wall_ms,
+        r.solver_calls,
+        r.conflicts,
+        r.solve_calls,
+        r.reused_learnts,
+        r.reuse_rate,
+        opt(r.deadline_steps),
+        opt(r.borders),
+    );
+}
+
+fn branch_line() -> Scenario {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/branch_line.rail"
+    );
+    let text = std::fs::read_to_string(path).expect("branch_line.rail ships with the repo");
+    parse_scenario(&text).expect("sample scenario parses")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_optimize.json".to_owned());
+    let config = EncoderConfig::default();
+
+    // Head-to-head fixtures. The convoy fixture is the multi-probe
+    // showcase (its optimum sits strictly above the completion lower
+    // bound); the paper case studies all accept an early probe. The
+    // equivalence test covers Nordlandsbanen, the tracked bench stays
+    // fast.
+    let head_to_head: Vec<Scenario> = if smoke {
+        vec![fixtures::running_example(), fixtures::convoy()]
+    } else {
+        vec![
+            fixtures::running_example(),
+            fixtures::simple_layout(),
+            fixtures::complex_layout(),
+            branch_line(),
+            fixtures::convoy(),
+        ]
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"optimize\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"fixtures\": [");
+    for (i, scenario) in head_to_head.iter().enumerate() {
+        eprintln!("== {} ==", scenario.name);
+        let scratch = run(scenario, &config, |s, c| {
+            optimize(s, c).expect("well-formed")
+        });
+        let incremental = run(scenario, &config, |s, c| {
+            optimize_incremental(s, c).expect("well-formed")
+        });
+        let portfolio = run(scenario, &config, |s, c| {
+            optimize_portfolio(s, c).expect("well-formed")
+        });
+        assert_eq!(
+            (scratch.deadline_steps, scratch.borders),
+            (incremental.deadline_steps, incremental.borders),
+            "incremental diverged from scratch on {}",
+            scenario.name
+        );
+        assert_eq!(
+            (scratch.deadline_steps, scratch.borders),
+            (portfolio.deadline_steps, portfolio.borders),
+            "portfolio diverged from scratch on {}",
+            scenario.name
+        );
+        let speedup = scratch.wall_ms / incremental.wall_ms.max(1e-9);
+        eprintln!(
+            "   scratch {:.1} ms | incremental {:.1} ms ({speedup:.2}x) | portfolio {:.1} ms",
+            scratch.wall_ms, incremental.wall_ms, portfolio.wall_ms
+        );
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", scenario.name);
+        json_run(&mut out, "scratch", &scratch);
+        out.push_str(",\n");
+        json_run(&mut out, "incremental", &incremental);
+        out.push_str(",\n");
+        json_run(&mut out, "portfolio", &portfolio);
+        out.push_str(",\n");
+        let _ = writeln!(
+            out,
+            "      \"speedup_incremental_vs_scratch\": {speedup:.2}"
+        );
+        let _ = write!(out, "    }}");
+        out.push_str(if i + 1 < head_to_head.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "  ],");
+
+    // Batch scaling: the same scenario set solved with 1 worker vs. one
+    // worker per core (incremental loop per scenario).
+    let batch: Vec<Scenario> = if smoke {
+        vec![fixtures::running_example(), fixtures::simple_layout()]
+    } else {
+        vec![
+            fixtures::running_example(),
+            fixtures::simple_layout(),
+            fixtures::complex_layout(),
+            branch_line(),
+            fixtures::convoy(),
+        ]
+    };
+    let threads_n = cores.min(batch.len()).max(2);
+    eprintln!(
+        "== batch: {} scenarios, 1 vs {threads_n} threads ==",
+        batch.len()
+    );
+    let t1 = Instant::now();
+    let serial = optimize_all_with_threads(&batch, &config, OptimizeMode::Incremental, 1);
+    let wall_1 = t1.elapsed().as_secs_f64() * 1e3;
+    let tn = Instant::now();
+    let parallel = optimize_all_with_threads(&batch, &config, OptimizeMode::Incremental, threads_n);
+    let wall_n = tn.elapsed().as_secs_f64() * 1e3;
+    for (a, b) in serial.iter().zip(&parallel) {
+        let a = a.as_ref().expect("well-formed");
+        let b = b.as_ref().expect("well-formed");
+        let cost = |o: &DesignOutcome| match o {
+            DesignOutcome::Solved { costs, .. } => Some(costs.clone()),
+            DesignOutcome::Infeasible => None,
+        };
+        assert_eq!(cost(&a.0), cost(&b.0), "thread count changed a result");
+    }
+    let speedup = wall_1 / wall_n.max(1e-9);
+    eprintln!("   1 thread {wall_1:.1} ms | {threads_n} threads {wall_n:.1} ms ({speedup:.2}x)");
+    let _ = writeln!(out, "  \"batch\": {{");
+    let names: Vec<String> = batch.iter().map(|s| format!("\"{}\"", s.name)).collect();
+    let _ = writeln!(out, "    \"scenarios\": [{}],", names.join(", "));
+    let _ = writeln!(out, "    \"loop\": \"incremental\",");
+    let _ = writeln!(out, "    \"threads_1_wall_ms\": {wall_1:.2},");
+    let _ = writeln!(out, "    \"threads_n\": {threads_n},");
+    let _ = writeln!(out, "    \"threads_n_wall_ms\": {wall_n:.2},");
+    let _ = writeln!(out, "    \"speedup\": {speedup:.2}");
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark results");
+    eprintln!("wrote {out_path}");
+}

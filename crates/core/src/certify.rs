@@ -187,6 +187,7 @@ pub fn verify_certified(
             stats,
             runtime: start.elapsed(),
             solver_calls: 1,
+            search: *enc.solver.stats(),
         },
         Certification {
             findings,
@@ -254,6 +255,7 @@ pub fn generate_certified(
             stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search: *enc.solver.stats(),
         },
         Certification {
             findings,
@@ -271,6 +273,16 @@ pub fn generate_certified(
 /// [`Certification::certified_unsat_probes`]); the final solution is
 /// model-checked against the stage-2 traced formula.
 ///
+/// This is the **explicit per-probe fallback** to the incremental loop of
+/// [`crate::optimize_incremental`]: certification deliberately re-encodes
+/// every probe from scratch. A DRAT refutation is checked against a fixed
+/// axiom set, and each deadline needs its *own* axiom set (the probe's
+/// traced formula) — on a shared incremental solver the probes' proofs
+/// would interleave in one log, and the Stage-2 MaxSAT counter clauses
+/// fall outside the traced axioms entirely. Re-encoding keeps every
+/// certificate self-contained at the cost of the cross-probe clause reuse
+/// the plain incremental path exploits.
+///
 /// # Errors
 ///
 /// Returns [`CertifyError`] if the scenario is malformed, any probe
@@ -285,27 +297,25 @@ pub fn optimize_certified(
     let cfg = certified_config(config);
     let mut calls = 0usize;
     let mut probes = 0usize;
+    let mut search = etcs_sat::Stats::default();
 
     // Stage 1 — shrinking-horizon search (see `optimize` for rationale),
     // with every UNSAT probe certified on the spot.
-    let lower = inst
-        .trains
-        .iter()
-        .map(|tr| inst.earliest_arrival(tr).unwrap_or(inst.t_max - 1))
-        .max()
-        .unwrap_or(0);
     let max_deadline = inst.t_max - 1;
+    let lower = inst.completion_lower_bound().min(max_deadline);
     let mut best_deadline = None;
     let mut last_infeasible: Option<(EncodingStats, Vec<Finding>, EncodingTrace, CheckOutcome)> =
         None;
-    for d in lower.min(max_deadline)..=max_deadline {
+    for d in lower..=max_deadline {
         inst.set_uniform_deadline(d);
         let mut enc = encode(&inst, &cfg, &TaskKind::Generate);
         let trace = enc.trace.take().expect("tracing enabled");
         let proof = enc.proof.take().expect("proof logging enabled");
         let findings = lint_gate(&trace)?;
         calls += 1;
-        match enc.solver.solve() {
+        let verdict = enc.solver.solve();
+        search += enc.solver.stats();
+        match verdict {
             SatResult::Sat(model) => {
                 if !trace.formula.eval(&model) {
                     return Err(CertifyError::BadWitness);
@@ -329,6 +339,7 @@ pub fn optimize_certified(
                 stats,
                 runtime: start.elapsed(),
                 solver_calls: calls,
+                search,
             },
             Certification {
                 findings,
@@ -362,6 +373,7 @@ pub fn optimize_certified(
                 unreachable!("no conflict budget configured")
             }
         };
+    search += enc.solver.stats();
     Ok((
         DesignOutcome::Solved {
             plan,
@@ -371,6 +383,7 @@ pub fn optimize_certified(
             stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search,
         },
         Certification {
             findings,

@@ -77,6 +77,12 @@ pub enum TaskKind {
     Generate,
     /// Free layout, deadlines dropped; completion objective added.
     Optimize,
+    /// Free layout, deadlines dropped; one guarded-deadline selector per
+    /// candidate completion step (see [`Encoding::step_selectors`]) so a
+    /// single persistent solver can probe every deadline via
+    /// `solve_with(&[sel_d])` instead of re-encoding per probe. No step
+    /// objective is built — the selector search replaces it.
+    OptimizeIncremental,
     /// Like [`TaskKind::Verify`], but every train's arrival constraint is
     /// guarded by a selector literal (see [`Encoding::deadline_selectors`])
     /// so unsat cores can pinpoint which deadlines conflict.
@@ -148,12 +154,67 @@ pub struct Encoding {
     /// schedule order; assuming a selector enforces that train's arrival
     /// deadline. Empty for the other tasks.
     pub deadline_selectors: Vec<Lit>,
+    /// For [`TaskKind::OptimizeIncremental`]: `step_selectors[d]` is a
+    /// selector literal whose assumption forces every train to reach its
+    /// goal by step `d` — exactly the per-train goal the from-scratch
+    /// optimisation loop asserts when probing deadline `d`, so both paths
+    /// find the same optimum. Allocated for
+    /// `d ∈ [completion_lower_bound, t_max)` (earlier deadlines are
+    /// provably infeasible); `None` elsewhere and for the other tasks.
+    pub step_selectors: Vec<Option<Lit>>,
     /// The formula mirror + provenance (only with [`EncoderConfig::trace`]).
     pub trace: Option<EncodingTrace>,
     /// Shared handle to the DRAT proof the solver appends to (only with
     /// [`EncoderConfig::proof`]). After an UNSAT solve, check it against
     /// `trace.formula.clauses()` — the mirror is the proof's axiom set.
     pub proof: Option<Rc<RefCell<DratProof>>>,
+}
+
+impl Encoding {
+    /// Assumptions that probe deadline `d` on a [`TaskKind::OptimizeIncremental`]
+    /// encoding: the selector `sel_d` plus `¬occ[tr,t,e]` for every
+    /// occupancy variable outside the deadline-`d` time–space cone (the
+    /// goal-side test of [`Instance::active_edges`]). The from-scratch loop
+    /// never allocates those variables in its per-probe encoding; passing
+    /// their negations as assumptions gives the persistent solver the same
+    /// propagation-level pruning without permanently bloating the formula —
+    /// each probe retracts them with its selector.
+    ///
+    /// Sound because every pruned literal is implied by the deadline the
+    /// selector enforces: a plan meeting deadline `d` cannot occupy a
+    /// segment from which the goal is no longer reachable in time.
+    ///
+    /// Empty only when the schedule is empty (no selector was allocated);
+    /// callers then probe the unguarded base formula.
+    pub fn deadline_probe_assumptions(&self, inst: &Instance, d: usize) -> Vec<Lit> {
+        let mut assumptions: Vec<Lit> = self
+            .step_selectors
+            .get(d)
+            .copied()
+            .flatten()
+            .into_iter()
+            .collect();
+        if assumptions.is_empty() {
+            return assumptions;
+        }
+        for (tr, spec) in inst.trains.iter().enumerate() {
+            let slack = (spec.length - 1) as u32;
+            for t in spec.dep_step..inst.t_max {
+                let reach = spec
+                    .speed
+                    .saturating_mul(d.saturating_sub(t) as u32)
+                    .saturating_add(slack);
+                for (e, var) in self.vars.occ[tr][t].iter().enumerate() {
+                    let Some(v) = var else { continue };
+                    let g = inst.dist_to_set(EdgeId::from_index(e), &spec.goal_edges);
+                    if !matches!(g, Some(x) if x <= reach) {
+                        assumptions.push(!v.positive());
+                    }
+                }
+            }
+        }
+        assumptions
+    }
 }
 
 /// Builds the encoding for an instance and task.
@@ -217,6 +278,11 @@ impl<'a> Encoder<'a> {
         self.encode_separation();
         self.encode_collision();
         let deadline_selectors = self.encode_task_goals();
+        let step_selectors = if matches!(self.task, TaskKind::OptimizeIncremental) {
+            self.build_step_selectors()
+        } else {
+            Vec::new()
+        };
         self.seed_decision_order();
 
         let border_objective =
@@ -252,6 +318,7 @@ impl<'a> Encoder<'a> {
             step_cost_offset,
             all_done,
             deadline_selectors,
+            step_selectors,
             trace,
             proof,
         }
@@ -757,7 +824,7 @@ impl<'a> Encoder<'a> {
         // every step. Gates past that point would dangle.
         let final_step = self.inst.t_max - 1;
         let goal_step = match self.task {
-            TaskKind::Optimize => final_step,
+            TaskKind::Optimize | TaskKind::OptimizeIncremental => final_step,
             _ => spec.deadline_step.unwrap_or(final_step),
         }
         .clamp(dep, final_step);
@@ -859,7 +926,10 @@ impl<'a> Encoder<'a> {
     // ------------------------------------------------------------------
 
     fn encode_task_goals(&mut self) -> Vec<Lit> {
-        let enforce_deadlines = !matches!(self.task, TaskKind::Optimize);
+        let enforce_deadlines = !matches!(
+            self.task,
+            TaskKind::Optimize | TaskKind::OptimizeIncremental
+        );
         let diagnose = matches!(self.task, TaskKind::Diagnose(_));
         let mut selectors = Vec::new();
         if !self.inst.trains.is_empty() {
@@ -909,6 +979,37 @@ impl<'a> Encoder<'a> {
             }
         }
         selectors
+    }
+
+    /// One guarded-deadline selector per candidate completion step:
+    /// `sel_d → visited[tr][d]` for every train (clamped to the train's
+    /// departure and the horizon end, exactly like the hard goal the
+    /// from-scratch probe asserts — *not* `done`, whose Leave-train onset
+    /// lags `visited` by one step). Feasibility is monotone in `d` because
+    /// the `visited` chains are, so the selectors support both walk-up and
+    /// binary search on one persistent solver.
+    ///
+    fn build_step_selectors(&mut self) -> Vec<Option<Lit>> {
+        let mut sels: Vec<Option<Lit>> = vec![None; self.inst.t_max];
+        if self.inst.trains.is_empty() {
+            return sels; // nothing to guard; avoid unconstrained selectors
+        }
+        let final_step = self.inst.t_max - 1;
+        let lower = self.inst.completion_lower_bound().min(final_step);
+        self.solver.begin_group(|| "step-selectors".to_owned());
+        for d in lower..=final_step {
+            let sel = CnfSink::new_var(&mut self.solver).positive();
+            self.solver
+                .tag_var(sel.var(), || format!("deadline-sel[d={d}]"));
+            for tr in 0..self.inst.trains.len() {
+                let dep = self.inst.trains[tr].dep_step;
+                let vis = self.visited[tr][d.clamp(dep, final_step)]
+                    .expect("visited allocated for all steps after departure");
+                self.solver.implies(sel, vis);
+            }
+            sels[d] = Some(sel);
+        }
+        sels
     }
 
     // ------------------------------------------------------------------
@@ -1045,13 +1146,38 @@ mod tests {
             trace: true,
             ..EncoderConfig::default()
         };
-        let enc = encode(&inst, &config, &TaskKind::Optimize);
-        let findings = enc.trace.expect("tracing on").lint();
-        assert!(
-            findings.is_empty(),
-            "clean Optimize encoding must have zero findings:\n{}",
-            etcs_lint::render_report(&findings)
+        for task in [TaskKind::Optimize, TaskKind::OptimizeIncremental] {
+            let enc = encode(&inst, &config, &task);
+            let findings = enc.trace.expect("tracing on").lint();
+            assert!(
+                findings.is_empty(),
+                "clean {task:?} encoding must have zero findings:\n{}",
+                etcs_lint::render_report(&findings)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_encoding_has_selectors_from_the_lower_bound() {
+        let scenario = fixtures::running_example().without_arrivals();
+        let inst = Instance::new(&scenario).expect("valid");
+        let enc = encode(
+            &inst,
+            &EncoderConfig::default(),
+            &TaskKind::OptimizeIncremental,
         );
+        let lower = inst.completion_lower_bound().min(inst.t_max - 1);
+        assert_eq!(enc.step_selectors.len(), inst.t_max);
+        for (d, sel) in enc.step_selectors.iter().enumerate() {
+            assert_eq!(sel.is_some(), d >= lower, "selector coverage at d={d}");
+        }
+        assert!(
+            enc.step_objective.is_none(),
+            "the selector search replaces the cardinality objective"
+        );
+        // The other tasks allocate no step selectors.
+        let plain = encode(&inst, &EncoderConfig::default(), &TaskKind::Optimize);
+        assert!(plain.step_selectors.is_empty());
     }
 
     #[test]

@@ -188,6 +188,18 @@ impl Instance {
         Some(tr.dep_step + (hops as usize).div_ceil(tr.speed as usize))
     }
 
+    /// A lower bound on the smallest uniform arrival deadline any plan can
+    /// meet: the latest [`earliest_arrival`](Self::earliest_arrival) over
+    /// all trains (a train with no path to its goal contributes the horizon
+    /// end). The optimisation searches start their deadline walk here.
+    pub fn completion_lower_bound(&self) -> usize {
+        self.trains
+            .iter()
+            .map(|tr| self.earliest_arrival(tr).unwrap_or(self.t_max - 1))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The paper's nominal variable count (`|Trains| · t_max · |E|` occupancy
     /// variables plus one border variable per node that could carry one) —
     /// the "Var." column of Table I.

@@ -38,6 +38,7 @@ mod encoder;
 mod explorer;
 mod instance;
 mod objectives;
+mod parallel;
 mod tasks;
 mod trace;
 mod tradeoff;
@@ -52,6 +53,12 @@ pub use encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind, VarM
 pub use explorer::LayoutExplorer;
 pub use instance::{ExitPolicy, Instance, TrainSpec};
 pub use objectives::optimize_arrivals;
-pub use tasks::{generate, optimize, verify, DesignOutcome, TaskReport, VerifyOutcome};
+pub use parallel::{
+    optimize_all, optimize_all_with_threads, optimize_portfolio, verify_all,
+    verify_all_with_threads, OptimizeMode,
+};
+pub use tasks::{
+    generate, optimize, optimize_incremental, verify, DesignOutcome, TaskReport, VerifyOutcome,
+};
 pub use trace::EncodingTrace;
 pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};

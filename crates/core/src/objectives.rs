@@ -91,6 +91,7 @@ pub fn optimize_arrivals(
             stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search: *enc.solver.stats(),
         },
     ))
 }

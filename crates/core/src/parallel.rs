@@ -1,0 +1,394 @@
+//! Multi-core layers over the design tasks: batch APIs that fan
+//! independent scenarios out across cores, and a deadline *portfolio* that
+//! races two search strategies on the same instance.
+//!
+//! Everything here is built on `std::thread::scope` — scenarios are
+//! independent SAT problems, so plain scoped threads with an atomic work
+//! index saturate the cores without any pool machinery. Per-thread state
+//! (encodings, solvers) never crosses a thread boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use etcs_network::{NetworkError, Scenario, VssLayout};
+use etcs_sat::{Lit, SatResult, Solver, Stats};
+
+use crate::encoder::{encode, EncoderConfig, Encoding, TaskKind};
+use crate::instance::Instance;
+use crate::tasks::{
+    minimize_borders, optimize, optimize_incremental, verify, DesignOutcome, TaskReport,
+    VerifyOutcome,
+};
+
+/// Which optimisation loop the batch/portfolio APIs run per scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptimizeMode {
+    /// The from-scratch loop ([`optimize`]): one encoding per probe.
+    Scratch,
+    /// One persistent incremental solver ([`optimize_incremental`]).
+    #[default]
+    Incremental,
+    /// Race incremental walk-up against binary search over the deadline
+    /// selectors ([`optimize_portfolio`]); first verdict wins.
+    Portfolio,
+}
+
+/// Default worker count: one per available core.
+fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on `threads` scoped workers. Work is handed out
+/// through an atomic index (cheap dynamic load balancing — scenario solve
+/// times vary by orders of magnitude); results come back in input order.
+fn run_batch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("batch worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// [`verify`] for a batch of independent `(scenario, layout)` jobs, solved
+/// across all available cores. Results are in input order.
+pub fn verify_all(
+    jobs: &[(Scenario, VssLayout)],
+    config: &EncoderConfig,
+) -> Vec<Result<(VerifyOutcome, TaskReport), NetworkError>> {
+    verify_all_with_threads(jobs, config, default_threads())
+}
+
+/// [`verify_all`] with an explicit worker count (mainly for scaling
+/// measurements; `threads` is clamped to `1..=jobs.len()`).
+pub fn verify_all_with_threads(
+    jobs: &[(Scenario, VssLayout)],
+    config: &EncoderConfig,
+    threads: usize,
+) -> Vec<Result<(VerifyOutcome, TaskReport), NetworkError>> {
+    run_batch(jobs, threads, |(scenario, layout)| {
+        verify(scenario, layout, config)
+    })
+}
+
+/// Optimises a batch of independent scenarios across all available cores,
+/// each with the loop selected by `mode`. Results are in input order.
+pub fn optimize_all(
+    scenarios: &[Scenario],
+    config: &EncoderConfig,
+    mode: OptimizeMode,
+) -> Vec<Result<(DesignOutcome, TaskReport), NetworkError>> {
+    optimize_all_with_threads(scenarios, config, mode, default_threads())
+}
+
+/// [`optimize_all`] with an explicit worker count (mainly for scaling
+/// measurements; `threads` is clamped to `1..=scenarios.len()`).
+///
+/// Note [`OptimizeMode::Portfolio`] itself spawns two racer threads per
+/// scenario, so a portfolio batch oversubscribes cores at
+/// `threads = num_cpus`; prefer `Incremental` for saturated batches.
+pub fn optimize_all_with_threads(
+    scenarios: &[Scenario],
+    config: &EncoderConfig,
+    mode: OptimizeMode,
+    threads: usize,
+) -> Vec<Result<(DesignOutcome, TaskReport), NetworkError>> {
+    run_batch(scenarios, threads, |scenario| match mode {
+        OptimizeMode::Scratch => optimize(scenario, config),
+        OptimizeMode::Incremental => optimize_incremental(scenario, config),
+        OptimizeMode::Portfolio => optimize_portfolio(scenario, config),
+    })
+}
+
+/// Conflicts per budget slice of the portfolio racers: long enough that
+/// slicing overhead is noise, short enough that a losing racer stops
+/// within milliseconds of the winner's claim.
+const RACE_SLICE: u64 = 4096;
+
+/// Solves under `assumptions` in conflict-budget slices, checking the
+/// shared claim flag between slices. `None` means the other racer claimed
+/// the verdict first. On a verdict the budget is lifted again, leaving the
+/// solver ready for the unbudgeted Stage-2 MaxSAT.
+fn solve_budgeted(
+    solver: &mut Solver,
+    assumptions: &[Lit],
+    claimed: &AtomicBool,
+    slice: u64,
+) -> Option<SatResult> {
+    loop {
+        if claimed.load(Ordering::Relaxed) {
+            return None;
+        }
+        solver.set_conflict_budget(Some(slice));
+        match solver.solve_with(assumptions) {
+            SatResult::Unknown => continue,
+            verdict => {
+                solver.set_conflict_budget(None);
+                return Some(verdict);
+            }
+        }
+    }
+}
+
+/// What a winning racer hands back to [`optimize_portfolio`].
+struct RaceWin {
+    outcome: DesignOutcome,
+    stats: crate::encoder::EncodingStats,
+    solver_calls: usize,
+    search: Stats,
+}
+
+/// The probe assumptions for deadline `d`: the selector plus the
+/// out-of-cone occupancy prunes (see
+/// [`Encoding::deadline_probe_assumptions`]); empty only for an empty
+/// schedule, where the base formula is the whole probe.
+fn deadline_assumption(enc: &Encoding, inst: &Instance, d: usize) -> Vec<Lit> {
+    enc.deadline_probe_assumptions(inst, d)
+}
+
+/// Claims the race and finishes Stage 2 on the warm solver; `None` if the
+/// other racer already claimed.
+fn claim_and_finish(
+    mut enc: Encoding,
+    inst: &Instance,
+    best: Option<usize>,
+    mut calls: usize,
+    claimed: &AtomicBool,
+) -> Option<RaceWin> {
+    if claimed
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return None;
+    }
+    let stats = enc.stats;
+    let Some(d) = best else {
+        return Some(RaceWin {
+            outcome: DesignOutcome::Infeasible,
+            stats,
+            solver_calls: calls,
+            search: *enc.solver.stats(),
+        });
+    };
+    let pin = deadline_assumption(&enc, inst, d);
+    let (result, stage2_calls) = minimize_borders(&mut enc, inst, &pin);
+    calls += stage2_calls;
+    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+    Some(RaceWin {
+        outcome: DesignOutcome::Solved {
+            plan,
+            costs: vec![d as u64 + 1, border_cost],
+        },
+        stats,
+        solver_calls: calls,
+        search: *enc.solver.stats(),
+    })
+}
+
+/// Racer 1: incremental walk-up from the completion lower bound — the
+/// first satisfiable deadline is the optimum (feasibility is monotone).
+fn race_walk_up(inst: &Instance, config: &EncoderConfig, claimed: &AtomicBool) -> Option<RaceWin> {
+    let mut enc = encode(inst, config, &TaskKind::OptimizeIncremental);
+    let mut calls = 0usize;
+    let max_deadline = inst.t_max - 1;
+    let lower = inst.completion_lower_bound().min(max_deadline);
+    let mut best = None;
+    for d in lower..=max_deadline {
+        calls += 1;
+        let assumptions = deadline_assumption(&enc, inst, d);
+        match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE)? {
+            SatResult::Sat(_) => {
+                best = Some(d);
+                break;
+            }
+            SatResult::Unsat { .. } => {}
+            SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+        }
+    }
+    claim_and_finish(enc, inst, best, calls, claimed)
+}
+
+/// Racer 2: binary search over the deadline selectors. One confirming
+/// probe at the horizon end decides feasibility; afterwards the invariant
+/// is `feasible(hi) ∧ ∀d<lo: infeasible(d)`, so `lo == hi` is the optimum.
+fn race_binary(inst: &Instance, config: &EncoderConfig, claimed: &AtomicBool) -> Option<RaceWin> {
+    let mut enc = encode(inst, config, &TaskKind::OptimizeIncremental);
+    let mut calls = 0usize;
+    let max_deadline = inst.t_max - 1;
+    let lower = inst.completion_lower_bound().min(max_deadline);
+
+    calls += 1;
+    let top = deadline_assumption(&enc, inst, max_deadline);
+    let feasible = match solve_budgeted(&mut enc.solver, &top, claimed, RACE_SLICE)? {
+        SatResult::Sat(_) => true,
+        SatResult::Unsat { .. } => false,
+        SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+    };
+    let best = if feasible {
+        let (mut lo, mut hi) = (lower, max_deadline);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            calls += 1;
+            let assumptions = deadline_assumption(&enc, inst, mid);
+            match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE)? {
+                SatResult::Sat(_) => hi = mid,
+                SatResult::Unsat { .. } => lo = mid + 1,
+                SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+            }
+        }
+        Some(lo)
+    } else {
+        None
+    };
+    claim_and_finish(enc, inst, best, calls, claimed)
+}
+
+/// [`optimize_incremental`] as a two-strategy **portfolio**: one thread
+/// walks the deadline up from the lower bound (cheap when the optimum is
+/// close to it), one binary-searches the selector range (few probes when
+/// it is not). Each runs on its own persistent solver in conflict-budget
+/// slices of [`RACE_SLICE`], polling a shared claim flag between slices;
+/// the first racer to prove the optimal deadline claims the race and runs
+/// the border MaxSAT on its warm solver. Optima are bit-identical to
+/// [`optimize`] / [`optimize_incremental`].
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize_portfolio(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    let start = Instant::now();
+    let open = scenario.without_arrivals();
+    let inst = Instance::new(&open)?;
+    let claimed = AtomicBool::new(false);
+    let win = thread::scope(|s| {
+        let walk = s.spawn(|| race_walk_up(&inst, config, &claimed));
+        let binary = s.spawn(|| race_binary(&inst, config, &claimed));
+        let w = walk.join().expect("walk-up racer panicked");
+        let b = binary.join().expect("binary racer panicked");
+        w.or(b)
+    })
+    .expect("exactly one racer claims the race");
+    Ok((
+        win.outcome,
+        TaskReport {
+            stats: win.stats,
+            runtime: start.elapsed(),
+            solver_calls: win.solver_calls,
+            search: win.search,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_network::fixtures;
+
+    fn costs(outcome: &DesignOutcome) -> Option<&[u64]> {
+        match outcome {
+            DesignOutcome::Solved { costs, .. } => Some(costs),
+            DesignOutcome::Infeasible => None,
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_scratch_on_running_example() {
+        let scenario = fixtures::running_example();
+        let config = EncoderConfig::default();
+        let (scratch, _) = optimize(&scenario, &config).expect("well-formed");
+        let (portfolio, report) = optimize_portfolio(&scenario, &config).expect("well-formed");
+        assert_eq!(
+            costs(&scratch).expect("solves"),
+            costs(&portfolio).expect("solves"),
+            "portfolio must return bit-identical optima"
+        );
+        assert!(report.solver_calls >= 1);
+    }
+
+    #[test]
+    fn optimize_all_matches_sequential_results() {
+        let scenarios = vec![fixtures::running_example(), fixtures::simple_layout()];
+        let config = EncoderConfig::default();
+        let sequential: Vec<_> = scenarios
+            .iter()
+            .map(|sc| optimize(sc, &config).expect("well-formed").0)
+            .collect();
+        for mode in [
+            OptimizeMode::Scratch,
+            OptimizeMode::Incremental,
+            OptimizeMode::Portfolio,
+        ] {
+            let batch = optimize_all(&scenarios, &config, mode);
+            assert_eq!(batch.len(), scenarios.len());
+            for (seq, par) in sequential.iter().zip(&batch) {
+                let par = par.as_ref().expect("well-formed");
+                assert_eq!(costs(seq), costs(&par.0), "{mode:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_all_matches_sequential_verdicts() {
+        let jobs = vec![
+            (fixtures::running_example(), VssLayout::pure_ttd()),
+            (fixtures::simple_layout(), VssLayout::pure_ttd()),
+        ];
+        let config = EncoderConfig::default();
+        let batch = verify_all(&jobs, &config);
+        for ((scenario, layout), result) in jobs.iter().zip(&batch) {
+            let (outcome, _) = result.as_ref().expect("well-formed");
+            let (seq, _) = verify(scenario, layout, &config).expect("well-formed");
+            assert_eq!(seq.is_feasible(), outcome.is_feasible());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenarios = vec![fixtures::running_example(), fixtures::simple_layout()];
+        let config = EncoderConfig::default();
+        let one = optimize_all_with_threads(&scenarios, &config, OptimizeMode::Incremental, 1);
+        let many = optimize_all_with_threads(&scenarios, &config, OptimizeMode::Incremental, 8);
+        for (a, b) in one.iter().zip(&many) {
+            let a = a.as_ref().expect("well-formed");
+            let b = b.as_ref().expect("well-formed");
+            assert_eq!(costs(&a.0), costs(&b.0));
+        }
+    }
+}

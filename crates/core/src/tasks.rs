@@ -1,13 +1,15 @@
 //! The three design tasks of Section II-B / III-C:
-//! [`verify`], [`generate`] and [`optimize`].
+//! [`verify`], [`generate`] and [`optimize`] — plus
+//! [`optimize_incremental`], the same optimisation run on one persistent
+//! incremental solver.
 
 use std::time::{Duration, Instant};
 
 use etcs_network::{NetworkError, Scenario, VssLayout};
-use etcs_sat::{maxsat, SatResult, Strategy};
+use etcs_sat::{maxsat, Lit, SatResult, Stats, Strategy};
 
 use crate::decode::SolvedPlan;
-use crate::encoder::{encode, EncoderConfig, EncodingStats, TaskKind};
+use crate::encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind};
 use crate::instance::Instance;
 
 /// Shared outcome data of every task.
@@ -20,6 +22,10 @@ pub struct TaskReport {
     /// Total solver invocations (1 for verification; the optimisation loop
     /// makes several).
     pub solver_calls: usize,
+    /// CDCL search statistics accumulated over every solver the task used
+    /// (one per probe for the from-scratch loop, a single one for the
+    /// incremental loop — compare `search.reused_learnts` between them).
+    pub search: Stats,
 }
 
 /// Result of [`verify`].
@@ -72,6 +78,39 @@ impl DesignOutcome {
     }
 }
 
+/// Stage-2 border minimisation on an existing encoding: runs the MaxSAT
+/// loop for `min Σ border_v` on `enc`'s solver (keeping `assumptions`
+/// active throughout) and decodes an optimal model.
+///
+/// Returns `(Some((plan, cost)), solver_calls)`, or `None` when the hard
+/// constraints plus assumptions are unsatisfiable. The objective is
+/// temporarily detached from the encoding instead of cloned (the old
+/// per-call `border_objective.clone()`), and restored before returning.
+pub(crate) fn minimize_borders(
+    enc: &mut Encoding,
+    inst: &Instance,
+    assumptions: &[Lit],
+) -> (Option<(SolvedPlan, u64)>, usize) {
+    let objective = std::mem::take(&mut enc.border_objective);
+    let result = maxsat::minimize(
+        &mut enc.solver,
+        &objective,
+        assumptions,
+        Strategy::LinearSatUnsat,
+    );
+    enc.border_objective = objective;
+    match result {
+        maxsat::OptimizeOutcome::Optimal(r) => (
+            Some((SolvedPlan::decode(inst, &enc.vars, &r.model), r.cost)),
+            r.solver_calls,
+        ),
+        maxsat::OptimizeOutcome::Unsat => (None, 1),
+        maxsat::OptimizeOutcome::Unknown { .. } => {
+            unreachable!("no conflict budget configured")
+        }
+    }
+}
+
 /// Task 1 — *Verification of train schedules on ETCS Level 3 layouts*:
 /// does `scenario`'s schedule (with its arrival deadlines) work on the
 /// given TTD/VSS `layout`?
@@ -118,6 +157,7 @@ pub fn verify(
             stats,
             runtime: start.elapsed(),
             solver_calls: 1,
+            search: *enc.solver.stats(),
         },
     ))
 }
@@ -137,27 +177,21 @@ pub fn generate(
     let inst = Instance::new(scenario)?;
     let mut enc = encode(&inst, config, &TaskKind::Generate);
     let stats = enc.stats;
-    let objective = enc.border_objective.clone();
-    let (outcome, calls) =
-        match maxsat::minimize(&mut enc.solver, &objective, &[], Strategy::LinearSatUnsat) {
-            maxsat::OptimizeOutcome::Optimal(r) => (
-                DesignOutcome::Solved {
-                    plan: SolvedPlan::decode(&inst, &enc.vars, &r.model),
-                    costs: vec![r.cost],
-                },
-                r.solver_calls,
-            ),
-            maxsat::OptimizeOutcome::Unsat => (DesignOutcome::Infeasible, 1),
-            maxsat::OptimizeOutcome::Unknown { .. } => {
-                unreachable!("no conflict budget configured")
-            }
-        };
+    let (result, calls) = minimize_borders(&mut enc, &inst, &[]);
+    let outcome = match result {
+        Some((plan, cost)) => DesignOutcome::Solved {
+            plan,
+            costs: vec![cost],
+        },
+        None => DesignOutcome::Infeasible,
+    };
     Ok((
         outcome,
         TaskReport {
             stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search: *enc.solver.stats(),
         },
     ))
 }
@@ -170,6 +204,10 @@ pub fn generate(
 /// The returned primary cost is the optimal completion time in steps
 /// (including the constant offset for the steps before the last departure).
 ///
+/// This is the *from-scratch* loop: every deadline probe builds a fresh
+/// cone-pruned encoding and discards the solver afterwards. See
+/// [`optimize_incremental`] for the same search on one persistent solver.
+///
 /// # Errors
 ///
 /// Returns [`NetworkError`] if the scenario is malformed.
@@ -181,69 +219,53 @@ pub fn optimize(
     let open = scenario.without_arrivals();
     let mut inst = Instance::new(&open)?;
     let mut calls = 0usize;
+    let mut search = Stats::default();
 
     // Stage 1 — shrinking-horizon search for the smallest common arrival
     // deadline D. A deadline tightens every train's time–space cone, so
     // each probe is a small instance; this dominates the monolithic
     // `Σ_t ¬done^t` cardinality objective by orders of magnitude (the
     // `ablation` bench quantifies this).
-    let lower = inst
-        .trains
-        .iter()
-        .map(|tr| inst.earliest_arrival(tr).unwrap_or(inst.t_max - 1))
-        .max()
-        .unwrap_or(0);
-    let probe = |inst: &mut Instance, d: usize| -> (bool, EncodingStats) {
-        inst.set_uniform_deadline(d);
-        let mut enc = encode(inst, config, &TaskKind::Generate);
-        let sat = matches!(enc.solver.solve(), SatResult::Sat(_));
-        (sat, enc.stats)
-    };
-
+    //
     // Walk up from the lower bound: every probe keeps the cones tight (a
     // loose deadline is what makes the instance hard), and the first SAT
     // answer is the optimum.
     let max_deadline = inst.t_max - 1;
-    let mut best_deadline = None;
+    let lower = inst.completion_lower_bound().min(max_deadline);
+    let mut found: Option<(usize, Encoding)> = None;
     let mut last_stats = EncodingStats::default();
-    for d in lower.min(max_deadline)..=max_deadline {
+    for d in lower..=max_deadline {
         calls += 1;
-        let (sat, stats) = probe(&mut inst, d);
-        last_stats = stats;
+        inst.set_uniform_deadline(d);
+        let mut enc = encode(&inst, config, &TaskKind::Generate);
+        last_stats = enc.stats;
+        let sat = matches!(enc.solver.solve(), SatResult::Sat(_));
         if sat {
-            best_deadline = Some(d);
+            found = Some((d, enc));
             break;
         }
+        search += enc.solver.stats();
     }
-    let Some(best_deadline) = best_deadline else {
+    let Some((best_deadline, mut enc)) = found else {
         return Ok((
             DesignOutcome::Infeasible,
             TaskReport {
                 stats: last_stats,
                 runtime: start.elapsed(),
                 solver_calls: calls,
+                search,
             },
         ));
     };
 
-    // Stage 2 — minimise borders at the optimal completion.
-    inst.set_uniform_deadline(best_deadline);
-    let mut enc = encode(&inst, config, &TaskKind::Generate);
+    // Stage 2 — minimise borders at the optimal completion, reusing the
+    // successful probe's encoding (its solver already holds a model and
+    // learnt clauses for exactly this deadline — no third re-encode).
     let stats = enc.stats;
-    let border_obj = enc.border_objective.clone();
-    let (plan, border_cost) =
-        match maxsat::minimize(&mut enc.solver, &border_obj, &[], Strategy::LinearSatUnsat) {
-            maxsat::OptimizeOutcome::Optimal(r) => {
-                calls += r.solver_calls;
-                (SolvedPlan::decode(&inst, &enc.vars, &r.model), r.cost)
-            }
-            maxsat::OptimizeOutcome::Unsat => {
-                unreachable!("the probed deadline was satisfiable")
-            }
-            maxsat::OptimizeOutcome::Unknown { .. } => {
-                unreachable!("no conflict budget configured")
-            }
-        };
+    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &[]);
+    calls += stage2_calls;
+    search += enc.solver.stats();
+    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
 
     // Completion in steps: the last arrival step plus one.
     let outcome = DesignOutcome::Solved {
@@ -256,6 +278,94 @@ pub fn optimize(
             stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search,
+        },
+    ))
+}
+
+/// [`optimize`] on **one persistent incremental solver**: the full horizon
+/// is encoded once ([`TaskKind::OptimizeIncremental`]), every candidate
+/// deadline `d` is probed as `solve_with(&[sel_d])` — learnt clauses,
+/// VSIDS activity and saved phases carry across probes — and the Stage-2
+/// border MaxSAT runs on the same warm solver with the optimal selector
+/// pinned as an assumption, eliminating every re-encode.
+///
+/// Returns the same optima as [`optimize`] (identical deadline and border
+/// count; the witness plans may differ). The certified variant
+/// ([`crate::optimize_certified`]) intentionally keeps the from-scratch
+/// loop — see its docs for why proof logging forces that fallback.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize_incremental(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    let start = Instant::now();
+    let open = scenario.without_arrivals();
+    let inst = Instance::new(&open)?;
+    let mut enc = encode(&inst, config, &TaskKind::OptimizeIncremental);
+    let stats = enc.stats;
+    let mut calls = 0usize;
+
+    let max_deadline = inst.t_max - 1;
+    let lower = inst.completion_lower_bound().min(max_deadline);
+    let mut best_deadline = None;
+    for d in lower..=max_deadline {
+        calls += 1;
+        // Selector plus out-of-cone pruning literals; empty (an unguarded
+        // probe of the base formula) only with an empty schedule.
+        let assumptions = enc.deadline_probe_assumptions(&inst, d);
+        match enc.solver.solve_with(&assumptions) {
+            SatResult::Sat(_) => {
+                best_deadline = Some(d);
+                break;
+            }
+            SatResult::Unsat { .. } => {
+                // The refutation proved the formula entails ¬sel_d; assert
+                // it so the selector dies at level 0 — clauses learnt under
+                // the failed assumption are satisfied outright and phase
+                // saving can no longer branch back into a dead deadline.
+                if let Some(&sel) = enc.step_selectors.get(d).and_then(|s| s.as_ref()) {
+                    enc.solver.add_clause([!sel]);
+                }
+            }
+            SatResult::Unknown => unreachable!("no conflict budget configured"),
+        }
+    }
+    let Some(best_deadline) = best_deadline else {
+        let search = *enc.solver.stats();
+        return Ok((
+            DesignOutcome::Infeasible,
+            TaskReport {
+                stats,
+                runtime: start.elapsed(),
+                solver_calls: calls,
+                search,
+            },
+        ));
+    };
+
+    // Stage 2 — border MaxSAT on the same solver, optimum pinned (with its
+    // cone pruning kept active: the literals are implied by the deadline).
+    let pin = enc.deadline_probe_assumptions(&inst, best_deadline);
+    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &pin);
+    calls += stage2_calls;
+    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+    let search = *enc.solver.stats();
+
+    let outcome = DesignOutcome::Solved {
+        plan,
+        costs: vec![best_deadline as u64 + 1, border_cost],
+    };
+    Ok((
+        outcome,
+        TaskReport {
+            stats,
+            runtime: start.elapsed(),
+            solver_calls: calls,
+            search,
         },
     ))
 }
@@ -273,6 +383,7 @@ mod tests {
                 .expect("well-formed");
         assert!(!outcome.is_feasible(), "paper: pure TTD deadlocks");
         assert!(report.stats.clauses > 0);
+        assert_eq!(report.search.solve_calls, 1);
     }
 
     #[test]
@@ -323,6 +434,31 @@ mod tests {
                 assert!(plan.section_count(&inst) >= 4);
             }
             DesignOutcome::Infeasible => panic!("paper: optimisation succeeds"),
+        }
+    }
+
+    #[test]
+    fn incremental_optimization_matches_scratch_on_running_example() {
+        let scenario = fixtures::running_example();
+        let config = EncoderConfig::default();
+        let (scratch, _) = optimize(&scenario, &config).expect("well-formed");
+        let (incremental, report) = optimize_incremental(&scenario, &config).expect("well-formed");
+        match (scratch, incremental) {
+            (DesignOutcome::Solved { costs: a, .. }, DesignOutcome::Solved { costs: b, plan }) => {
+                assert_eq!(a, b, "bit-identical optima (deadline, borders)");
+                let inst = Instance::new(&scenario).expect("valid");
+                assert!(plan.section_count(&inst) >= 4);
+            }
+            other => panic!("both paths must solve: {other:?}"),
+        }
+        // One persistent solver: a single encoding, several solve calls,
+        // learnt clauses carried between them.
+        assert!(report.search.solve_calls as usize >= report.solver_calls);
+        if report.search.conflicts > 0 && report.solver_calls > 1 {
+            assert!(
+                report.search.reused_learnts > 0,
+                "probes must inherit earlier probes' lemmas"
+            );
         }
     }
 

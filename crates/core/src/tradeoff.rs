@@ -48,49 +48,47 @@ pub fn optimize_with_budget(
     let mut inst = Instance::new(&open)?;
     let mut calls = 0usize;
 
-    let lower = inst
-        .trains
-        .iter()
-        .map(|tr| inst.earliest_arrival(tr).unwrap_or(inst.t_max - 1))
-        .max()
-        .unwrap_or(0);
     let max_deadline = inst.t_max - 1;
+    let lower = inst.completion_lower_bound().min(max_deadline);
 
-    let probe = |inst: &mut Instance, d: usize| -> (Option<SolvedPlan>, EncodingStats) {
-        inst.set_uniform_deadline(d);
-        let mut enc = encode(inst, config, &TaskKind::Generate);
-        // Cap the border count.
-        let border_lits: Vec<_> = enc
-            .vars
-            .border
-            .iter()
-            .filter_map(|v| v.map(etcs_sat::Var::positive))
-            .collect();
-        if max_borders < border_lits.len() {
-            if max_borders == 0 {
-                for l in &border_lits {
-                    enc.solver.assert_false(*l);
-                }
-            } else {
-                let tot = Totalizer::build(&mut enc.solver, border_lits);
-                if let Some(bound) = tot.at_most(max_borders) {
-                    enc.solver.assert_true(bound);
+    let probe =
+        |inst: &mut Instance, d: usize| -> (Option<SolvedPlan>, EncodingStats, etcs_sat::Stats) {
+            inst.set_uniform_deadline(d);
+            let mut enc = encode(inst, config, &TaskKind::Generate);
+            // Cap the border count.
+            let border_lits: Vec<_> = enc
+                .vars
+                .border
+                .iter()
+                .filter_map(|v| v.map(etcs_sat::Var::positive))
+                .collect();
+            if max_borders < border_lits.len() {
+                if max_borders == 0 {
+                    for l in &border_lits {
+                        enc.solver.assert_false(*l);
+                    }
+                } else {
+                    let tot = Totalizer::build(&mut enc.solver, border_lits);
+                    if let Some(bound) = tot.at_most(max_borders) {
+                        enc.solver.assert_true(bound);
+                    }
                 }
             }
-        }
-        let plan = match enc.solver.solve() {
-            SatResult::Sat(model) => Some(SolvedPlan::decode(inst, &enc.vars, &model)),
-            SatResult::Unsat { .. } => None,
-            SatResult::Unknown => unreachable!("no conflict budget configured"),
+            let plan = match enc.solver.solve() {
+                SatResult::Sat(model) => Some(SolvedPlan::decode(inst, &enc.vars, &model)),
+                SatResult::Unsat { .. } => None,
+                SatResult::Unknown => unreachable!("no conflict budget configured"),
+            };
+            (plan, enc.stats, *enc.solver.stats())
         };
-        (plan, enc.stats)
-    };
 
     let mut last_stats = EncodingStats::default();
-    for d in lower.min(max_deadline)..=max_deadline {
+    let mut search = etcs_sat::Stats::default();
+    for d in lower..=max_deadline {
         calls += 1;
-        let (plan, stats) = probe(&mut inst, d);
+        let (plan, stats, probe_search) = probe(&mut inst, d);
         last_stats = stats;
+        search += &probe_search;
         if let Some(plan) = plan {
             let borders = plan.layout.num_borders() as u64;
             return Ok((
@@ -102,6 +100,7 @@ pub fn optimize_with_budget(
                     stats: last_stats,
                     runtime: start.elapsed(),
                     solver_calls: calls,
+                    search,
                 },
             ));
         }
@@ -112,6 +111,7 @@ pub fn optimize_with_budget(
             stats: last_stats,
             runtime: start.elapsed(),
             solver_calls: calls,
+            search,
         },
     ))
 }

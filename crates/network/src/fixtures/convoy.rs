@@ -1,0 +1,116 @@
+//! A synthetic congestion fixture for the optimisation benchmarks: a
+//! single-track line where fast trains queue behind a slow leader.
+//!
+//! Unlike the four paper case studies, this scenario is *not* from the
+//! paper. It exists because every bundled case study has a tight
+//! completion lower bound — the unobstructed earliest arrival of the
+//! slowest train already equals (or nearly equals) the optimum, so the
+//! optimiser's deadline search accepts one of its first probes. Here the
+//! fast followers cannot overtake the slow leader on the single track,
+//! which pushes the optimal completion time strictly above the lower
+//! bound and forces the deadline search through several UNSAT probes.
+//! That multi-probe regime is what the incremental optimisation loop is
+//! designed for, and what `bench_optimize` and the optimisation
+//! equivalence tests exercise with this fixture.
+
+use crate::scenario::Scenario;
+use crate::schedule::{Schedule, TrainRun};
+use crate::topology::NetworkBuilder;
+use crate::train::Train;
+use crate::units::{KmPerHour, Meters, Seconds};
+
+/// Builds the convoy scenario (`r_s = 0.5 km`, `r_t = 0.5 min`,
+/// 13-minute horizon): Station A with three platform tracks, an 8 km
+/// single-track link in one TTD, and a terminal Station B. A 60 km/h
+/// leader departs first, chased by three 120 km/h followers at 30 s
+/// spacing that can only trail it — closely with VSS borders, or a whole
+/// TTD behind without. Each platform needs two steps to clear, so three
+/// platforms are exactly enough for the departure sequence.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::fixtures::convoy;
+/// let s = convoy();
+/// assert_eq!(s.network.ttds().len(), 5);
+/// assert_eq!(s.schedule.len(), 4);
+/// ```
+pub fn convoy() -> Scenario {
+    let km = Meters::from_km;
+    let mut b = NetworkBuilder::new();
+
+    let junction = b.node();
+    let mut platforms = Vec::new();
+    for i in 1..=3 {
+        let head = b.node();
+        let track = b.track(head, junction, km(0.5), format!("A{i}"));
+        b.ttd(format!("TTD-A{i}"), [track]);
+        platforms.push(track);
+    }
+    let b1 = b.node();
+    let link = b.track(junction, b1, km(8.0), "A-B");
+    let bb = b.node();
+    let sta_b = b.track(b1, bb, km(0.5), "B");
+    b.ttd("TTD-LINE", [link]);
+    b.ttd("TTD-B", [sta_b]);
+
+    let st_a = b.station("A", platforms, true);
+    let st_b = b.station("B", [sta_b], true);
+
+    let network = b.build().expect("convoy topology is valid");
+
+    let mut runs = vec![TrainRun::new(
+        Train::new("Leader", Meters(200), KmPerHour(60)),
+        st_a,
+        st_b,
+        Seconds(0),
+        None,
+    )];
+    for i in 1..=3u64 {
+        runs.push(TrainRun::new(
+            Train::new(format!("Follower {i}"), Meters(100), KmPerHour(120)),
+            st_a,
+            st_b,
+            Seconds(30 * i),
+            None,
+        ));
+    }
+
+    Scenario {
+        name: "Convoy".into(),
+        network,
+        schedule: Schedule::new(runs),
+        r_s: km(0.5),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(13),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convoy_is_well_formed() {
+        let s = convoy();
+        assert_eq!(s.network.ttds().len(), 5);
+        assert_eq!(s.schedule.len(), 4);
+        assert_eq!(s.t_max(), 27);
+        s.validate().expect("schedule is valid");
+        s.discretise().expect("discretises");
+    }
+
+    #[test]
+    fn followers_are_faster_than_the_leader() {
+        let s = convoy();
+        let runs = s.schedule.runs();
+        assert_eq!(
+            runs[0].train.discrete_speed(s.r_s, s.r_t),
+            1,
+            "leader crawls one segment per step"
+        );
+        for follower in &runs[1..] {
+            assert_eq!(follower.train.discrete_speed(s.r_s, s.r_t), 2);
+        }
+    }
+}

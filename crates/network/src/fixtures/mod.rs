@@ -1,4 +1,6 @@
-//! The paper's four case-study scenarios (Section IV, Fig. 1 and Fig. 4).
+//! The paper's four case-study scenarios (Section IV, Fig. 1 and Fig. 4),
+//! plus one synthetic stress fixture ([`convoy`]) for the optimisation
+//! benchmarks.
 //!
 //! The paper publishes drawings, TTD counts, train tables and headline
 //! numbers but not exact geometries; these fixtures reconstruct networks
@@ -7,11 +9,13 @@
 //! inter-station distances from a fixed seed.
 
 mod complex_layout;
+mod convoy;
 mod nordlandsbanen;
 mod running_example;
 mod simple_layout;
 
 pub use complex_layout::complex_layout;
+pub use convoy::convoy;
 pub use nordlandsbanen::{nordlandsbanen, NORDLANDSBANEN_STATIONS};
 pub use running_example::running_example;
 pub use simple_layout::simple_layout;

@@ -240,6 +240,12 @@ impl Solver {
         self.db.num_problem() + self.db.num_learnt()
     }
 
+    /// Number of live *learnt* clauses — the state an incremental caller
+    /// carries from one `solve_with` call into the next.
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.db.num_learnt()
+    }
+
     /// Cumulative search statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
@@ -248,6 +254,14 @@ impl Solver {
     /// Limits the next `solve` calls to roughly `budget` conflicts
     /// (`None` = unlimited). When exhausted, [`SatResult::Unknown`] is
     /// returned and the solver remains usable.
+    ///
+    /// The budget is counted per call, from that call's starting conflict
+    /// count, so a fixed budget gives every call the same slice. After an
+    /// `Unknown` return the trail is rolled back to level 0, no assumption
+    /// sticks, and everything learnt during the aborted call stays — a
+    /// later call (with a larger budget, or `None`) resumes from strictly
+    /// more information. The portfolio racer in `etcs-core` leans on this
+    /// to poll a cancellation flag between budget slices.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
     }
@@ -381,8 +395,35 @@ impl Solver {
     /// On `Unsat`, the returned `core` is a subset of `assumptions` that is
     /// jointly inconsistent with the formula. The solver state (clauses,
     /// activities, learnt clauses) is preserved across calls, enabling
-    /// incremental use by the MaxSAT layer.
+    /// incremental use by the MaxSAT layer and the incremental optimisation
+    /// loop of `etcs-core`.
+    ///
+    /// # Assumption scope
+    ///
+    /// Assumptions are **per call**, in the MiniSat tradition: they are
+    /// decided (in order) before any free branching, never asserted as
+    /// clauses, and fully retracted before this method returns — the trail
+    /// is rolled back to decision level 0 on every exit path. Consequently:
+    ///
+    /// * an assumption from a previous call never constrains the next
+    ///   call's model (pass it again if you still want it),
+    /// * a returned `core` only ever mentions literals from *this* call's
+    ///   `assumptions` slice,
+    /// * [`Solver::lit_value`] afterwards reports only facts fixed by the
+    ///   formula itself, never a stale assumption,
+    /// * clauses *learnt* while assumptions were active are consequences of
+    ///   the formula alone (analysis stops at assumption decisions and
+    ///   encodes them as clause literals), so keeping them for later calls
+    ///   is sound — this is what makes selector-guarded deadline probing
+    ///   cheap.
+    ///
+    /// The `assumption_literals_do_not_leak_across_calls` regression test
+    /// in `tests/regression.rs` pins this contract.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.solve_calls += 1;
+        if self.stats.solve_calls > 1 {
+            self.stats.reused_learnts += self.db.num_learnt() as u64;
+        }
         if !self.ok {
             return SatResult::Unsat { core: Vec::new() };
         }
@@ -1194,6 +1235,82 @@ mod tests {
         s.set_conflict_budget(Some(10));
         let r = s.solve();
         assert!(matches!(r, SatResult::Unknown | SatResult::Unsat { .. }));
+    }
+
+    #[test]
+    fn budget_sliced_solving_reaches_the_same_verdict() {
+        // Solver-state reuse audit: repeatedly solving with a tiny conflict
+        // budget must converge to the exact verdict an unbudgeted solve
+        // gives, because learnt clauses persist across Unknown returns.
+        let n = 7usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(50));
+        let mut slices = 0usize;
+        let verdict = loop {
+            slices += 1;
+            assert!(slices < 10_000, "budget-sliced loop must terminate");
+            match s.solve() {
+                SatResult::Unknown => continue,
+                verdict => break verdict,
+            }
+        };
+        assert!(verdict.is_unsat(), "pigeonhole is unsatisfiable");
+        assert!(slices > 1, "the budget must actually slice the search");
+        // And the solver is still usable without a budget.
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn learnt_clause_retention_is_counted_across_calls() {
+        // An incremental caller sees reused_learnts grow: clauses learnt in
+        // call k are live at the start of call k+1.
+        let n = 6usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        // Hole constraints only: satisfiable, but with conflicts under
+        // assumptions forcing all pigeons placed.
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        let sel: Vec<Lit> = (0..n).map(|_| lit(&mut s)).collect();
+        for (row, &sl) in p.iter().zip(&sel) {
+            let mut clause = vec![!sl];
+            clause.extend(row.iter().copied());
+            s.add_clause(clause);
+        }
+        assert!(s.solve_with(&sel).is_unsat());
+        assert!(s.stats().conflicts > 0, "the probe must require search");
+        assert!(s.num_learnt_clauses() > 0);
+        assert_eq!(s.stats().solve_calls, 1);
+        assert_eq!(s.stats().reused_learnts, 0, "first call reuses nothing");
+        let live = s.num_learnt_clauses() as u64;
+        assert!(s.solve_with(&sel[..n - 1]).is_sat());
+        assert_eq!(s.stats().solve_calls, 2);
+        assert_eq!(
+            s.stats().reused_learnts,
+            live,
+            "second call starts with the first call's lemmas"
+        );
     }
 
     #[test]

@@ -251,6 +251,56 @@ fn php_unsat_cores_are_accurate_under_selectors() {
 }
 
 #[test]
+fn assumption_literals_do_not_leak_across_calls() {
+    // The `solve_with` assumption-scope contract: assumptions hold for one
+    // call only. They must not constrain the next call's model, appear in
+    // the next call's unsat core, or remain asserted on the trail.
+    let mut s = Solver::new();
+    let x = CnfSink::new_var(&mut s).positive();
+
+    // 1. Models: a free variable can be forced either way in consecutive
+    //    calls — the earlier assumption does not persist as a constraint.
+    match s.solve_with(&[x]) {
+        SatResult::Sat(m) => assert!(m.lit_is_true(x)),
+        other => panic!("expected sat: {other:?}"),
+    }
+    match s.solve_with(&[!x]) {
+        SatResult::Sat(m) => assert!(!m.lit_is_true(x), "previous [x] leaked"),
+        other => panic!("expected sat: {other:?}"),
+    }
+    // An assumption-free solve leaves x unconstrained and succeeds.
+    assert!(s.solve().is_sat());
+
+    // 2. Cores: a core mentions only the *current* call's assumptions.
+    let [a, b, c, d] = [0; 4].map(|_| CnfSink::new_var(&mut s).positive());
+    s.add_clause([!a, !b]);
+    s.add_clause([!c, !d]);
+    match s.solve_with(&[a, b]) {
+        SatResult::Unsat { core } => {
+            assert!(core.iter().all(|&l| l == a || l == b));
+            assert!(!core.is_empty());
+        }
+        other => panic!("expected unsat: {other:?}"),
+    }
+    match s.solve_with(&[c, d]) {
+        SatResult::Unsat { core } => {
+            assert!(
+                core.iter().all(|&l| l == c || l == d),
+                "core mentions a previous call's assumptions: {core:?}"
+            );
+        }
+        other => panic!("expected unsat: {other:?}"),
+    }
+
+    // 3. Trail: after an unsat-under-assumptions call the solver is back to
+    //    a state where the formula minus assumptions is satisfiable, and
+    //    each pair is independently assumable again.
+    assert!(s.solve_with(&[a, !b]).is_sat());
+    assert!(s.solve_with(&[c, !d]).is_sat());
+    assert!(s.solve().is_sat());
+}
+
+#[test]
 fn var_index_stability_across_solving() {
     // Variables allocated after a solve must not alias earlier ones.
     let mut s = Solver::new();

@@ -51,10 +51,12 @@
 
 pub use etcs_core::{
     border_tradeoff, diagnose, diagnose_certified, encode, generate, generate_certified, optimize,
-    optimize_arrivals, optimize_certified, optimize_with_budget, verify, verify_certified,
-    Certification, CertifiedVerdict, CertifyError, DesignOutcome, Diagnosis, EncoderConfig,
-    Encoding, EncodingStats, EncodingTrace, ExitPolicy, Instance, LayoutExplorer, SolvedPlan,
-    TaskKind, TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
+    optimize_all, optimize_all_with_threads, optimize_arrivals, optimize_certified,
+    optimize_incremental, optimize_portfolio, optimize_with_budget, verify, verify_all,
+    verify_all_with_threads, verify_certified, Certification, CertifiedVerdict, CertifyError,
+    DesignOutcome, Diagnosis, EncoderConfig, Encoding, EncodingStats, EncodingTrace, ExitPolicy,
+    Instance, LayoutExplorer, OptimizeMode, SolvedPlan, TaskKind, TaskReport, TradeoffPoint,
+    TrainPlan, TrainSpec, VerifyOutcome,
 };
 pub use etcs_network::{
     fixtures, parse_scenario, write_scenario, DiscreteNet, EdgeId, KmPerHour, Meters,
@@ -87,9 +89,10 @@ pub mod lint {
 pub mod prelude {
     pub use crate::{
         diagnose, diagnose_certified, fixtures, generate, generate_certified, optimize,
-        optimize_arrivals, optimize_certified, verify, verify_certified, Certification,
-        CertifiedVerdict, DesignOutcome, Diagnosis, EncoderConfig, Instance, LayoutExplorer,
-        NetworkBuilder, Scenario, Schedule, Train, TrainRun, VerifyOutcome, VssLayout,
+        optimize_all, optimize_arrivals, optimize_certified, optimize_incremental,
+        optimize_portfolio, verify, verify_all, verify_certified, Certification, CertifiedVerdict,
+        DesignOutcome, Diagnosis, EncoderConfig, Instance, LayoutExplorer, NetworkBuilder,
+        OptimizeMode, Scenario, Schedule, Train, TrainRun, VerifyOutcome, VssLayout,
     };
     pub use crate::{KmPerHour, Meters, Seconds};
 }
