@@ -16,8 +16,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> bench_optimize smoke (release, running example + convoy)"
+echo "==> bench_optimize smoke (release, running example + convoy, traced)"
+TRACE=target/BENCH_optimize_smoke.trace.jsonl
 cargo run --release -q -p etcs-bench --bin bench_optimize -- \
-    --smoke --out target/BENCH_optimize_smoke.json
+    --smoke --out target/BENCH_optimize_smoke.json --trace "$TRACE"
+
+echo "==> obs trace smoke (JSONL parses, span vocabulary is stable)"
+# The bench already cross-checked probe counts, conflict totals and the
+# portfolio winner against its own Stats; here we pin the *schema*: the
+# documented span/event names must appear in the artifact. This doubles as
+# documentation of the event format (see DESIGN.md section 10).
+test -s "$TRACE" || { echo "missing trace artifact $TRACE"; exit 1; }
+for name in task.optimize task.optimize_incremental task.optimize_portfolio \
+        encode probe stage2 sat.solve race portfolio.outcome parallel.worker; do
+    grep -q "\"name\":\"$name\"" "$TRACE" || {
+        echo "trace $TRACE lacks expected span/event name '$name'"
+        exit 1
+    }
+done
 
 echo "All checks passed."

@@ -4,19 +4,30 @@
 //! Writes machine-readable results to `BENCH_optimize.json` so the perf
 //! trajectory of the incremental rework is tracked from run to run.
 //!
-//! Usage: `bench_optimize [--smoke] [--out <path>]`
+//! Usage: `bench_optimize [--smoke] [--out <path>] [--trace <path>]`
 //!
 //! `--smoke` restricts to the running example plus a tiny batch (seconds,
 //! not minutes) — this is what `ci/check.sh` runs in release mode.
+//!
+//! `--trace` additionally re-runs the first fixture with observability on,
+//! writing a JSONL event stream to the given path, and cross-checks the
+//! stream against the run's own statistics: the probe spans, conflict
+//! totals and portfolio winner in the trace must agree with the figures
+//! that go into the benchmark JSON. The timed runs stay untraced, so the
+//! recorded wall times are unaffected. Because every event is flushed as
+//! it is written, a crashed or diverging run still leaves the trace behind
+//! as a replayable artifact.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use etcs_core::{
-    optimize, optimize_all_with_threads, optimize_incremental, optimize_portfolio, DesignOutcome,
-    EncoderConfig, OptimizeMode, TaskReport,
+    optimize, optimize_all_obs, optimize_all_with_threads, optimize_incremental, optimize_obs,
+    optimize_portfolio, optimize_portfolio_obs, DesignOutcome, EncoderConfig, OptimizeMode,
+    TaskReport,
 };
 use etcs_network::{fixtures, parse_scenario, Scenario};
+use etcs_obs::{json, Obs};
 
 /// One optimisation run, flattened for JSON.
 struct RunResult {
@@ -76,6 +87,121 @@ fn json_run(out: &mut String, key: &str, r: &RunResult) {
     );
 }
 
+/// Runs the first fixture with tracing on, writes the JSONL stream to
+/// `path`, and cross-checks it against the traced run's own statistics
+/// (and against the untraced benchmark row in `baseline`). Panics — and
+/// leaves the trace on disk — on any disagreement.
+fn traced_cross_check(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    path: &str,
+    baseline: &RunResult,
+) {
+    let obs = Obs::jsonl(path).expect("create trace file");
+    let (outcome, report) = optimize_obs(scenario, config, &obs).expect("well-formed");
+    let (p_outcome, _) = optimize_portfolio_obs(scenario, config, &obs).expect("well-formed");
+    let batch = optimize_all_obs(
+        std::slice::from_ref(scenario),
+        config,
+        OptimizeMode::Incremental,
+        1,
+        &obs,
+    );
+    obs.flush_metrics();
+    obs.flush();
+
+    let traced = flatten(&outcome, &report, 0.0);
+    assert_eq!(
+        (traced.deadline_steps, traced.borders),
+        (baseline.deadline_steps, baseline.borders),
+        "traced optimize diverged from the benchmarked run on {}",
+        scenario.name
+    );
+    let p_traced = flatten(&p_outcome, &report, 0.0);
+    assert_eq!(
+        (p_traced.deadline_steps, p_traced.borders),
+        (baseline.deadline_steps, baseline.borders),
+        "traced portfolio diverged on {}",
+        scenario.name
+    );
+    let (b_outcome, _) = batch[0].as_ref().expect("well-formed");
+    assert_eq!(
+        flatten(b_outcome, &report, 0.0).deadline_steps,
+        baseline.deadline_steps,
+        "traced batch diverged on {}",
+        scenario.name
+    );
+
+    // Consume the sink: every line must parse, and the stream must tell
+    // the same story as the Stats that went into the benchmark JSON.
+    let text = std::fs::read_to_string(path).expect("trace readable");
+    let events: Vec<json::Json> = text
+        .lines()
+        .map(|line| json::parse(line).expect("every trace line is valid JSON"))
+        .collect();
+    let str_of = |e: &json::Json, key: &str| {
+        e.get(key)
+            .and_then(json::Json::as_str)
+            .map(str::to_owned)
+            .unwrap_or_default()
+    };
+    let field_of = |e: &json::Json, key: &str| {
+        e.get("fields")
+            .and_then(|f| f.get(key))
+            .and_then(json::Json::as_f64)
+    };
+
+    let task_close = events
+        .iter()
+        .find(|e| str_of(e, "name") == "task.optimize" && str_of(e, "kind") == "span_close")
+        .expect("trace contains the task.optimize close");
+    let task_id = task_close.get("span").and_then(json::Json::as_f64);
+    let probe_closes = events
+        .iter()
+        .filter(|e| {
+            str_of(e, "name") == "probe"
+                && str_of(e, "kind") == "span_close"
+                && e.get("parent").and_then(json::Json::as_f64) == task_id
+        })
+        .count() as f64;
+    assert_eq!(
+        field_of(task_close, "probes"),
+        Some(probe_closes),
+        "probe span count disagrees with the task's probe figure"
+    );
+    assert_eq!(
+        field_of(task_close, "conflicts"),
+        Some(report.search.conflicts as f64),
+        "trace conflict total disagrees with Stats.conflicts"
+    );
+
+    let winner = events
+        .iter()
+        .find(|e| str_of(e, "name") == "portfolio.outcome")
+        .expect("trace contains the portfolio outcome");
+    let strategy = winner
+        .get("fields")
+        .and_then(|f| f.get("strategy"))
+        .and_then(json::Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    assert!(
+        strategy == "walk_up" || strategy == "binary",
+        "unknown portfolio winner {strategy:?}"
+    );
+    if let Some(deadline_steps) = baseline.deadline_steps {
+        assert_eq!(
+            field_of(winner, "deadline"),
+            Some((deadline_steps - 1) as f64),
+            "portfolio winner's deadline disagrees with the benchmark row"
+        );
+    }
+    eprintln!(
+        "   trace: {} events, winner {strategy}, probes {probe_closes} -> {path}",
+        events.len()
+    );
+}
+
 fn branch_line() -> Scenario {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -94,6 +220,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_optimize.json".to_owned());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let config = EncoderConfig::default();
 
     // Head-to-head fixtures. The convoy fixture is the multi-probe
@@ -151,6 +282,11 @@ fn main() {
             "   scratch {:.1} ms | incremental {:.1} ms ({speedup:.2}x) | portfolio {:.1} ms",
             scratch.wall_ms, incremental.wall_ms, portfolio.wall_ms
         );
+        if i == 0 {
+            if let Some(path) = &trace_path {
+                traced_cross_check(scenario, &config, path, &scratch);
+            }
+        }
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"name\": \"{}\",", scenario.name);
         json_run(&mut out, "scratch", &scratch);

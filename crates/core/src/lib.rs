@@ -54,11 +54,12 @@ pub use explorer::LayoutExplorer;
 pub use instance::{ExitPolicy, Instance, TrainSpec};
 pub use objectives::optimize_arrivals;
 pub use parallel::{
-    optimize_all, optimize_all_with_threads, optimize_portfolio, verify_all,
-    verify_all_with_threads, OptimizeMode,
+    optimize_all, optimize_all_obs, optimize_all_with_threads, optimize_portfolio,
+    optimize_portfolio_obs, verify_all, verify_all_obs, verify_all_with_threads, OptimizeMode,
 };
 pub use tasks::{
-    generate, optimize, optimize_incremental, verify, DesignOutcome, TaskReport, VerifyOutcome,
+    generate, generate_obs, optimize, optimize_incremental, optimize_incremental_obs, optimize_obs,
+    verify, verify_obs, DesignOutcome, TaskReport, VerifyOutcome,
 };
 pub use trace::EncodingTrace;
 pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};

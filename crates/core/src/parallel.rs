@@ -12,13 +12,14 @@ use std::thread;
 use std::time::Instant;
 
 use etcs_network::{NetworkError, Scenario, VssLayout};
+use etcs_obs::Obs;
 use etcs_sat::{Lit, SatResult, Solver, Stats};
 
 use crate::encoder::{encode, EncoderConfig, Encoding, TaskKind};
 use crate::instance::Instance;
 use crate::tasks::{
-    minimize_borders, optimize, optimize_incremental, verify, DesignOutcome, TaskReport,
-    VerifyOutcome,
+    minimize_borders, optimize_incremental_obs, optimize_obs, verify_obs, DesignOutcome,
+    TaskReport, VerifyOutcome,
 };
 
 /// Which optimisation loop the batch/portfolio APIs run per scenario.
@@ -44,7 +45,11 @@ fn default_threads() -> usize {
 /// Runs `f` over `items` on `threads` scoped workers. Work is handed out
 /// through an atomic index (cheap dynamic load balancing — scenario solve
 /// times vary by orders of magnitude); results come back in input order.
-fn run_batch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+///
+/// With an enabled `obs`, every worker thread runs inside a
+/// `parallel.worker` span (field `worker`; close fields `jobs`,
+/// `elapsed_us`), so a trace shows how the batch was load-balanced.
+fn run_batch<T, R, F>(items: &[T], threads: usize, obs: &Obs, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -56,10 +61,12 @@ where
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let f = &f;
+                let obs = obs.clone();
                 s.spawn(move || {
+                    let span = obs.span_with("parallel.worker", &[("worker", w.into())]);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -68,6 +75,7 @@ where
                         }
                         out.push((i, f(&items[i])));
                     }
+                    span.close_with(&[("jobs", out.len().into())]);
                     out
                 })
             })
@@ -100,8 +108,20 @@ pub fn verify_all_with_threads(
     config: &EncoderConfig,
     threads: usize,
 ) -> Vec<Result<(VerifyOutcome, TaskReport), NetworkError>> {
-    run_batch(jobs, threads, |(scenario, layout)| {
-        verify(scenario, layout, config)
+    verify_all_obs(jobs, config, threads, &Obs::disabled())
+}
+
+/// [`verify_all_with_threads`] with observability: a `parallel.worker` span
+/// per worker thread, each job traced through [`crate::verify_obs`] on the
+/// shared handle (span ids and `seq` numbers keep concurrent jobs apart).
+pub fn verify_all_obs(
+    jobs: &[(Scenario, VssLayout)],
+    config: &EncoderConfig,
+    threads: usize,
+    obs: &Obs,
+) -> Vec<Result<(VerifyOutcome, TaskReport), NetworkError>> {
+    run_batch(jobs, threads, obs, |(scenario, layout)| {
+        verify_obs(scenario, layout, config, obs)
     })
 }
 
@@ -127,10 +147,23 @@ pub fn optimize_all_with_threads(
     mode: OptimizeMode,
     threads: usize,
 ) -> Vec<Result<(DesignOutcome, TaskReport), NetworkError>> {
-    run_batch(scenarios, threads, |scenario| match mode {
-        OptimizeMode::Scratch => optimize(scenario, config),
-        OptimizeMode::Incremental => optimize_incremental(scenario, config),
-        OptimizeMode::Portfolio => optimize_portfolio(scenario, config),
+    optimize_all_obs(scenarios, config, mode, threads, &Obs::disabled())
+}
+
+/// [`optimize_all_with_threads`] with observability: a `parallel.worker`
+/// span per worker thread and every scenario traced through the `mode`'s
+/// `*_obs` task on the shared handle.
+pub fn optimize_all_obs(
+    scenarios: &[Scenario],
+    config: &EncoderConfig,
+    mode: OptimizeMode,
+    threads: usize,
+    obs: &Obs,
+) -> Vec<Result<(DesignOutcome, TaskReport), NetworkError>> {
+    run_batch(scenarios, threads, obs, |scenario| match mode {
+        OptimizeMode::Scratch => optimize_obs(scenario, config, obs),
+        OptimizeMode::Incremental => optimize_incremental_obs(scenario, config, obs),
+        OptimizeMode::Portfolio => optimize_portfolio_obs(scenario, config, obs),
     })
 }
 
@@ -181,13 +214,18 @@ fn deadline_assumption(enc: &Encoding, inst: &Instance, d: usize) -> Vec<Lit> {
 }
 
 /// Claims the race and finishes Stage 2 on the warm solver; `None` if the
-/// other racer already claimed.
+/// other racer already claimed. The winning racer emits the
+/// `portfolio.outcome` event: which `strategy` claimed the verdict first
+/// (that *is* the why — the portfolio takes whoever proves the optimal
+/// deadline earliest), how many `probes` it spent, and what it found.
 fn claim_and_finish(
     mut enc: Encoding,
     inst: &Instance,
     best: Option<usize>,
     mut calls: usize,
     claimed: &AtomicBool,
+    strategy: &'static str,
+    obs: &Obs,
 ) -> Option<RaceWin> {
     if claimed
         .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
@@ -197,6 +235,14 @@ fn claim_and_finish(
     }
     let stats = enc.stats;
     let Some(d) = best else {
+        obs.event(
+            "portfolio.outcome",
+            &[
+                ("strategy", strategy.into()),
+                ("feasible", false.into()),
+                ("probes", calls.into()),
+            ],
+        );
         return Some(RaceWin {
             outcome: DesignOutcome::Infeasible,
             stats,
@@ -204,8 +250,17 @@ fn claim_and_finish(
             search: *enc.solver.stats(),
         });
     };
+    obs.event(
+        "portfolio.outcome",
+        &[
+            ("strategy", strategy.into()),
+            ("feasible", true.into()),
+            ("deadline", d.into()),
+            ("probes", calls.into()),
+        ],
+    );
     let pin = deadline_assumption(&enc, inst, d);
-    let (result, stage2_calls) = minimize_borders(&mut enc, inst, &pin);
+    let (result, stage2_calls) = minimize_borders(&mut enc, inst, &pin, obs);
     calls += stage2_calls;
     let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
     Some(RaceWin {
@@ -221,42 +276,80 @@ fn claim_and_finish(
 
 /// Racer 1: incremental walk-up from the completion lower bound — the
 /// first satisfiable deadline is the optimum (feasibility is monotone).
-fn race_walk_up(inst: &Instance, config: &EncoderConfig, claimed: &AtomicBool) -> Option<RaceWin> {
+fn race_walk_up(
+    inst: &Instance,
+    config: &EncoderConfig,
+    claimed: &AtomicBool,
+    task: &etcs_obs::Span,
+    obs: &Obs,
+) -> Option<RaceWin> {
+    let span = task.child_with("race", &[("strategy", "walk_up".into())]);
     let mut enc = encode(inst, config, &TaskKind::OptimizeIncremental);
+    enc.solver.set_obs(obs.clone());
     let mut calls = 0usize;
     let max_deadline = inst.t_max - 1;
     let lower = inst.completion_lower_bound().min(max_deadline);
     let mut best = None;
+    let mut yielded = false;
     for d in lower..=max_deadline {
         calls += 1;
         let assumptions = deadline_assumption(&enc, inst, d);
-        match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE)? {
-            SatResult::Sat(_) => {
+        match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE) {
+            Some(SatResult::Sat(_)) => {
                 best = Some(d);
                 break;
             }
-            SatResult::Unsat { .. } => {}
-            SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+            Some(SatResult::Unsat { .. }) => {}
+            Some(SatResult::Unknown) => unreachable!("filtered by solve_budgeted"),
+            None => {
+                yielded = true;
+                break;
+            }
         }
     }
-    claim_and_finish(enc, inst, best, calls, claimed)
+    let win = if yielded {
+        None
+    } else {
+        claim_and_finish(enc, inst, best, calls, claimed, "walk_up", obs)
+    };
+    span.close_with(&[("probes", calls.into()), ("won", win.is_some().into())]);
+    win
 }
 
 /// Racer 2: binary search over the deadline selectors. One confirming
 /// probe at the horizon end decides feasibility; afterwards the invariant
 /// is `feasible(hi) ∧ ∀d<lo: infeasible(d)`, so `lo == hi` is the optimum.
-fn race_binary(inst: &Instance, config: &EncoderConfig, claimed: &AtomicBool) -> Option<RaceWin> {
+fn race_binary(
+    inst: &Instance,
+    config: &EncoderConfig,
+    claimed: &AtomicBool,
+    task: &etcs_obs::Span,
+    obs: &Obs,
+) -> Option<RaceWin> {
+    let span = task.child_with("race", &[("strategy", "binary".into())]);
     let mut enc = encode(inst, config, &TaskKind::OptimizeIncremental);
+    enc.solver.set_obs(obs.clone());
     let mut calls = 0usize;
     let max_deadline = inst.t_max - 1;
     let lower = inst.completion_lower_bound().min(max_deadline);
 
+    let finish = |enc: Encoding, best, calls: usize, yielded: bool| {
+        let win = if yielded {
+            None
+        } else {
+            claim_and_finish(enc, inst, best, calls, claimed, "binary", obs)
+        };
+        span.close_with(&[("probes", calls.into()), ("won", win.is_some().into())]);
+        win
+    };
+
     calls += 1;
     let top = deadline_assumption(&enc, inst, max_deadline);
-    let feasible = match solve_budgeted(&mut enc.solver, &top, claimed, RACE_SLICE)? {
-        SatResult::Sat(_) => true,
-        SatResult::Unsat { .. } => false,
-        SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+    let feasible = match solve_budgeted(&mut enc.solver, &top, claimed, RACE_SLICE) {
+        Some(SatResult::Sat(_)) => true,
+        Some(SatResult::Unsat { .. }) => false,
+        Some(SatResult::Unknown) => unreachable!("filtered by solve_budgeted"),
+        None => return finish(enc, None, calls, true),
     };
     let best = if feasible {
         let (mut lo, mut hi) = (lower, max_deadline);
@@ -264,17 +357,18 @@ fn race_binary(inst: &Instance, config: &EncoderConfig, claimed: &AtomicBool) ->
             let mid = lo + (hi - lo) / 2;
             calls += 1;
             let assumptions = deadline_assumption(&enc, inst, mid);
-            match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE)? {
-                SatResult::Sat(_) => hi = mid,
-                SatResult::Unsat { .. } => lo = mid + 1,
-                SatResult::Unknown => unreachable!("filtered by solve_budgeted"),
+            match solve_budgeted(&mut enc.solver, &assumptions, claimed, RACE_SLICE) {
+                Some(SatResult::Sat(_)) => hi = mid,
+                Some(SatResult::Unsat { .. }) => lo = mid + 1,
+                Some(SatResult::Unknown) => unreachable!("filtered by solve_budgeted"),
+                None => return finish(enc, None, calls, true),
             }
         }
         Some(lo)
     } else {
         None
     };
-    claim_and_finish(enc, inst, best, calls, claimed)
+    finish(enc, best, calls, false)
 }
 
 /// [`optimize_incremental`] as a two-strategy **portfolio**: one thread
@@ -293,18 +387,48 @@ pub fn optimize_portfolio(
     scenario: &Scenario,
     config: &EncoderConfig,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    optimize_portfolio_obs(scenario, config, &Obs::disabled())
+}
+
+/// [`optimize_portfolio`] with observability: one `task.optimize_portfolio`
+/// span wrapping a `race` child span per strategy (fields: `strategy`,
+/// close fields `probes`/`won`) and a `portfolio.outcome` point event
+/// naming the winning strategy, its probe count, and the verdict it
+/// claimed. The winner's Stage 2 runs under the usual `stage2` span.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize_portfolio_obs(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
     let start = Instant::now();
+    let task = obs.span_with(
+        "task.optimize_portfolio",
+        &[("scenario", scenario.name.as_str().into())],
+    );
     let open = scenario.without_arrivals();
     let inst = Instance::new(&open)?;
     let claimed = AtomicBool::new(false);
     let win = thread::scope(|s| {
-        let walk = s.spawn(|| race_walk_up(&inst, config, &claimed));
-        let binary = s.spawn(|| race_binary(&inst, config, &claimed));
+        let walk = s.spawn(|| race_walk_up(&inst, config, &claimed, &task, obs));
+        let binary = s.spawn(|| race_binary(&inst, config, &claimed, &task, obs));
         let w = walk.join().expect("walk-up racer panicked");
         let b = binary.join().expect("binary racer panicked");
         w.or(b)
     })
     .expect("exactly one racer claims the race");
+    match &win.outcome {
+        DesignOutcome::Solved { costs, .. } => task.close_with(&[
+            ("feasible", true.into()),
+            ("deadline", (costs[0] - 1).into()),
+            ("borders", costs[1].into()),
+            ("solver_calls", win.solver_calls.into()),
+        ]),
+        DesignOutcome::Infeasible => task.close_with(&[("feasible", false.into())]),
+    }
     Ok((
         win.outcome,
         TaskReport {
@@ -319,6 +443,7 @@ pub fn optimize_portfolio(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tasks::{optimize, verify};
     use etcs_network::fixtures;
 
     fn costs(outcome: &DesignOutcome) -> Option<&[u64]> {

@@ -2,10 +2,27 @@
 //! [`verify`], [`generate`] and [`optimize`] — plus
 //! [`optimize_incremental`], the same optimisation run on one persistent
 //! incremental solver.
+//!
+//! Every task also has an `*_obs` variant taking an [`Obs`] handle; the
+//! plain entry points delegate with [`Obs::disabled`], so observability is
+//! strictly opt-in and free when off. The span vocabulary (stable, asserted
+//! by `tests/obs_trace.rs` and the CI smoke step):
+//!
+//! * `task.verify` / `task.generate` / `task.optimize` /
+//!   `task.optimize_incremental` — one root span per task call;
+//! * `encode` — child span per encoding built;
+//! * `probe` — child span per Stage-1 deadline probe (fields: `deadline`,
+//!   `sat`, `conflicts`);
+//! * `stage2` — the border-minimisation MaxSAT loop;
+//! * `sat.solve` — emitted by the solver itself (see `etcs-sat`).
+//!
+//! Counters `probes` and `conflicts` accumulate in the handle's metrics
+//! registry alongside the events.
 
 use std::time::{Duration, Instant};
 
 use etcs_network::{NetworkError, Scenario, VssLayout};
+use etcs_obs::Obs;
 use etcs_sat::{maxsat, Lit, SatResult, Stats, Strategy};
 
 use crate::decode::SolvedPlan;
@@ -90,7 +107,10 @@ pub(crate) fn minimize_borders(
     enc: &mut Encoding,
     inst: &Instance,
     assumptions: &[Lit],
+    obs: &Obs,
 ) -> (Option<(SolvedPlan, u64)>, usize) {
+    let span = obs.span_with("stage2", &[("assumptions", assumptions.len().into())]);
+    let conflicts_before = enc.solver.stats().conflicts;
     let objective = std::mem::take(&mut enc.border_objective);
     let result = maxsat::minimize(
         &mut enc.solver,
@@ -99,12 +119,25 @@ pub(crate) fn minimize_borders(
         Strategy::LinearSatUnsat,
     );
     enc.border_objective = objective;
+    let conflicts = enc.solver.stats().conflicts - conflicts_before;
+    obs.counter_add("conflicts", conflicts);
     match result {
-        maxsat::OptimizeOutcome::Optimal(r) => (
-            Some((SolvedPlan::decode(inst, &enc.vars, &r.model), r.cost)),
-            r.solver_calls,
-        ),
-        maxsat::OptimizeOutcome::Unsat => (None, 1),
+        maxsat::OptimizeOutcome::Optimal(r) => {
+            span.close_with(&[
+                ("feasible", true.into()),
+                ("borders", r.cost.into()),
+                ("solver_calls", r.solver_calls.into()),
+                ("conflicts", conflicts.into()),
+            ]);
+            (
+                Some((SolvedPlan::decode(inst, &enc.vars, &r.model), r.cost)),
+                r.solver_calls,
+            )
+        }
+        maxsat::OptimizeOutcome::Unsat => {
+            span.close_with(&[("feasible", false.into()), ("conflicts", conflicts.into())]);
+            (None, 1)
+        }
         maxsat::OptimizeOutcome::Unknown { .. } => {
             unreachable!("no conflict budget configured")
         }
@@ -137,9 +170,34 @@ pub fn verify(
     layout: &VssLayout,
     config: &EncoderConfig,
 ) -> Result<(VerifyOutcome, TaskReport), NetworkError> {
+    verify_obs(scenario, layout, config, &Obs::disabled())
+}
+
+/// [`verify`] with observability: one `task.verify` span wrapping an
+/// `encode` child span and the solver's own `sat.solve` span.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn verify_obs(
+    scenario: &Scenario,
+    layout: &VssLayout,
+    config: &EncoderConfig,
+    obs: &Obs,
+) -> Result<(VerifyOutcome, TaskReport), NetworkError> {
     let start = Instant::now();
+    let task = obs.span_with(
+        "task.verify",
+        &[("scenario", scenario.name.as_str().into())],
+    );
     let inst = Instance::new(scenario)?;
+    let enc_span = task.child("encode");
     let mut enc = encode(&inst, config, &TaskKind::Verify(layout.clone()));
+    enc_span.close_with(&[
+        ("vars", enc.stats.solver_vars.into()),
+        ("clauses", enc.stats.clauses.into()),
+    ]);
+    enc.solver.set_obs(obs.clone());
     let stats = enc.stats;
     let outcome = match enc.solver.solve() {
         SatResult::Sat(model) => {
@@ -151,13 +209,19 @@ pub fn verify(
         SatResult::Unsat { .. } => VerifyOutcome::Infeasible,
         SatResult::Unknown => unreachable!("no conflict budget configured"),
     };
+    let search = *enc.solver.stats();
+    obs.counter_add("conflicts", search.conflicts);
+    task.close_with(&[
+        ("feasible", outcome.is_feasible().into()),
+        ("conflicts", search.conflicts.into()),
+    ]);
     Ok((
         outcome,
         TaskReport {
             stats,
             runtime: start.elapsed(),
             solver_calls: 1,
-            search: *enc.solver.stats(),
+            search,
         },
     ))
 }
@@ -173,11 +237,35 @@ pub fn generate(
     scenario: &Scenario,
     config: &EncoderConfig,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    generate_obs(scenario, config, &Obs::disabled())
+}
+
+/// [`generate`] with observability: one `task.generate` span wrapping an
+/// `encode` child and the `stage2` border-minimisation span.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn generate_obs(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
     let start = Instant::now();
+    let task = obs.span_with(
+        "task.generate",
+        &[("scenario", scenario.name.as_str().into())],
+    );
     let inst = Instance::new(scenario)?;
+    let enc_span = task.child("encode");
     let mut enc = encode(&inst, config, &TaskKind::Generate);
+    enc_span.close_with(&[
+        ("vars", enc.stats.solver_vars.into()),
+        ("clauses", enc.stats.clauses.into()),
+    ]);
+    enc.solver.set_obs(obs.clone());
     let stats = enc.stats;
-    let (result, calls) = minimize_borders(&mut enc, &inst, &[]);
+    let (result, calls) = minimize_borders(&mut enc, &inst, &[], obs);
     let outcome = match result {
         Some((plan, cost)) => DesignOutcome::Solved {
             plan,
@@ -185,6 +273,14 @@ pub fn generate(
         },
         None => DesignOutcome::Infeasible,
     };
+    match &outcome {
+        DesignOutcome::Solved { costs, .. } => task.close_with(&[
+            ("feasible", true.into()),
+            ("borders", costs[0].into()),
+            ("solver_calls", calls.into()),
+        ]),
+        DesignOutcome::Infeasible => task.close_with(&[("feasible", false.into())]),
+    }
     Ok((
         outcome,
         TaskReport {
@@ -215,7 +311,29 @@ pub fn optimize(
     scenario: &Scenario,
     config: &EncoderConfig,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    optimize_obs(scenario, config, &Obs::disabled())
+}
+
+/// [`optimize`] with observability: one `task.optimize` span wrapping a
+/// `probe` child span per Stage-1 deadline candidate (each with its own
+/// `encode` child and `sat.solve`) and the `stage2` span. The `probes` and
+/// `conflicts` counters accumulate in `obs`'s metrics registry, and the
+/// span-close fields mirror the returned [`TaskReport`] — that agreement is
+/// asserted by `tests/obs_trace.rs`.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize_obs(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
     let start = Instant::now();
+    let task = obs.span_with(
+        "task.optimize",
+        &[("scenario", scenario.name.as_str().into())],
+    );
     let open = scenario.without_arrivals();
     let mut inst = Instance::new(&open)?;
     let mut calls = 0usize;
@@ -237,9 +355,24 @@ pub fn optimize(
     for d in lower..=max_deadline {
         calls += 1;
         inst.set_uniform_deadline(d);
+        let probe = task.child_with("probe", &[("deadline", d.into())]);
+        let enc_span = probe.child("encode");
         let mut enc = encode(&inst, config, &TaskKind::Generate);
+        enc_span.close_with(&[
+            ("vars", enc.stats.solver_vars.into()),
+            ("clauses", enc.stats.clauses.into()),
+        ]);
+        enc.solver.set_obs(obs.clone());
         last_stats = enc.stats;
         let sat = matches!(enc.solver.solve(), SatResult::Sat(_));
+        let conflicts = enc.solver.stats().conflicts;
+        obs.counter_add("probes", 1);
+        obs.counter_add("conflicts", conflicts);
+        probe.close_with(&[
+            ("deadline", d.into()),
+            ("sat", sat.into()),
+            ("conflicts", conflicts.into()),
+        ]);
         if sat {
             found = Some((d, enc));
             break;
@@ -247,6 +380,7 @@ pub fn optimize(
         search += enc.solver.stats();
     }
     let Some((best_deadline, mut enc)) = found else {
+        task.close_with(&[("feasible", false.into()), ("probes", calls.into())]);
         return Ok((
             DesignOutcome::Infeasible,
             TaskReport {
@@ -262,10 +396,19 @@ pub fn optimize(
     // successful probe's encoding (its solver already holds a model and
     // learnt clauses for exactly this deadline — no third re-encode).
     let stats = enc.stats;
-    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &[]);
+    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &[], obs);
     calls += stage2_calls;
     search += enc.solver.stats();
     let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+
+    task.close_with(&[
+        ("feasible", true.into()),
+        ("deadline", best_deadline.into()),
+        ("borders", border_cost.into()),
+        ("probes", (calls - stage2_calls).into()),
+        ("solver_calls", calls.into()),
+        ("conflicts", search.conflicts.into()),
+    ]);
 
     // Completion in steps: the last arrival step plus one.
     let outcome = DesignOutcome::Solved {
@@ -302,10 +445,37 @@ pub fn optimize_incremental(
     scenario: &Scenario,
     config: &EncoderConfig,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    optimize_incremental_obs(scenario, config, &Obs::disabled())
+}
+
+/// [`optimize_incremental`] with observability: one
+/// `task.optimize_incremental` span wrapping a single `encode` child, a
+/// `probe` child per candidate deadline (fields: `deadline`, `sat`,
+/// `conflicts` — the *delta* on the persistent solver), and the `stage2`
+/// span on the same warm solver.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if the scenario is malformed.
+pub fn optimize_incremental_obs(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), NetworkError> {
     let start = Instant::now();
+    let task = obs.span_with(
+        "task.optimize_incremental",
+        &[("scenario", scenario.name.as_str().into())],
+    );
     let open = scenario.without_arrivals();
     let inst = Instance::new(&open)?;
+    let enc_span = task.child("encode");
     let mut enc = encode(&inst, config, &TaskKind::OptimizeIncremental);
+    enc_span.close_with(&[
+        ("vars", enc.stats.solver_vars.into()),
+        ("clauses", enc.stats.clauses.into()),
+    ]);
+    enc.solver.set_obs(obs.clone());
     let stats = enc.stats;
     let mut calls = 0usize;
 
@@ -317,7 +487,18 @@ pub fn optimize_incremental(
         // Selector plus out-of-cone pruning literals; empty (an unguarded
         // probe of the base formula) only with an empty schedule.
         let assumptions = enc.deadline_probe_assumptions(&inst, d);
-        match enc.solver.solve_with(&assumptions) {
+        let probe = task.child_with("probe", &[("deadline", d.into())]);
+        let conflicts_before = enc.solver.stats().conflicts;
+        let verdict = enc.solver.solve_with(&assumptions);
+        let conflicts = enc.solver.stats().conflicts - conflicts_before;
+        obs.counter_add("probes", 1);
+        obs.counter_add("conflicts", conflicts);
+        probe.close_with(&[
+            ("deadline", d.into()),
+            ("sat", matches!(verdict, SatResult::Sat(_)).into()),
+            ("conflicts", conflicts.into()),
+        ]);
+        match verdict {
             SatResult::Sat(_) => {
                 best_deadline = Some(d);
                 break;
@@ -336,6 +517,7 @@ pub fn optimize_incremental(
     }
     let Some(best_deadline) = best_deadline else {
         let search = *enc.solver.stats();
+        task.close_with(&[("feasible", false.into()), ("probes", calls.into())]);
         return Ok((
             DesignOutcome::Infeasible,
             TaskReport {
@@ -350,10 +532,19 @@ pub fn optimize_incremental(
     // Stage 2 — border MaxSAT on the same solver, optimum pinned (with its
     // cone pruning kept active: the literals are implied by the deadline).
     let pin = enc.deadline_probe_assumptions(&inst, best_deadline);
-    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &pin);
+    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &pin, obs);
     calls += stage2_calls;
     let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
     let search = *enc.solver.stats();
+
+    task.close_with(&[
+        ("feasible", true.into()),
+        ("deadline", best_deadline.into()),
+        ("borders", border_cost.into()),
+        ("probes", (calls - stage2_calls).into()),
+        ("solver_calls", calls.into()),
+        ("conflicts", search.conflicts.into()),
+    ]);
 
     let outcome = DesignOutcome::Solved {
         plan,

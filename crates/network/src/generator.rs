@@ -1,5 +1,7 @@
 //! Parametric scenario synthesis: deterministic single-track lines with
-//! crossing loops and opposing traffic.
+//! crossing loops and opposing traffic ([`single_track_line`]), and
+//! branching Y-topologies where two arms merge into a shared trunk
+//! ([`branched_line`]).
 //!
 //! Used by the property-based test suites (random-but-reproducible
 //! topologies) and by the scaling benchmarks; also a convenient starting
@@ -192,6 +194,186 @@ pub fn single_track_line(cfg: &LineConfig) -> Scenario {
     }
 }
 
+/// Parameters for [`branched_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Interior (plain-platform) stations on each arm between the arm's
+    /// boundary terminus and the junction.
+    pub arm_stations: usize,
+    /// Interior stations on the shared trunk between the junction and the
+    /// trunk's boundary terminus.
+    pub trunk_stations: usize,
+    /// Inter-station link length in metres (drawn deterministically in
+    /// `link_m ..= 2·link_m`, quantised to `r_s`).
+    pub link_m: u64,
+    /// Trains departing from each arm terminus towards the trunk terminus.
+    pub trains_per_arm: usize,
+    /// Departure headway between same-arm trains.
+    pub headway: Seconds,
+    /// Train speed.
+    pub speed: KmPerHour,
+    /// Train length in metres.
+    pub train_m: u64,
+    /// Spatial resolution.
+    pub r_s: Meters,
+    /// Temporal resolution.
+    pub r_t: Seconds,
+    /// Scenario horizon.
+    pub horizon: Seconds,
+    /// Seed for the deterministic length stream.
+    pub seed: u64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            arm_stations: 1,
+            trunk_stations: 1,
+            link_m: 1000,
+            trains_per_arm: 1,
+            headway: Seconds::from_minutes(2),
+            speed: KmPerHour(120),
+            train_m: 200,
+            r_s: Meters(500),
+            r_t: Seconds(30),
+            horizon: Seconds::from_minutes(15),
+            seed: 1,
+        }
+    }
+}
+
+/// Synthesises a branching Y-scenario: two single-track arms (`A`, `B`),
+/// each starting at a two-track boundary terminus, merge at a junction
+/// node into one shared single-track trunk ending in a two-track boundary
+/// terminus (`T`).
+///
+/// All trains run arm → trunk terminus, so every schedule contends for the
+/// junction — the non-linear case the differential encoder/validator tests
+/// need: occupation chains across a degree-3 node, merge ordering, and VSS
+/// borders whose cut sits on the trunk.
+///
+/// # Panics
+///
+/// Panics if `cfg.trains_per_arm == 0` (an empty schedule makes the
+/// scenario trivially feasible and tests nothing).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_network::generator::{branched_line, BranchConfig};
+/// let scenario = branched_line(&BranchConfig::default());
+/// // Termini A0/B0/T0 plus one interior station per arm and trunk.
+/// assert_eq!(scenario.network.stations().len(), 6);
+/// scenario.validate()?;
+/// scenario.discretise()?;
+/// # Ok::<(), etcs_network::NetworkError>(())
+/// ```
+pub fn branched_line(cfg: &BranchConfig) -> Scenario {
+    assert!(cfg.trains_per_arm >= 1, "at least one train per arm");
+    let mut seed = cfg.seed | 1;
+    let quantum = cfg.r_s.as_u64().max(1);
+    let mut draw_link = || {
+        let raw = cfg.link_m + xorshift(&mut seed) % (cfg.link_m + 1);
+        Meters((raw.div_ceil(quantum)).max(1) * quantum)
+    };
+    let station_track_len = Meters(quantum);
+
+    let mut b = NetworkBuilder::new();
+    let mut ttd = 0usize;
+    let mut new_ttd = |b: &mut NetworkBuilder, track| {
+        ttd += 1;
+        b.ttd(format!("TTD{ttd}"), [track]);
+    };
+
+    // One arm: boundary terminus, `arm_stations` interior platforms, then a
+    // final link into the shared junction node. Returns the terminus id.
+    let junction = b.node();
+    let arm = |b: &mut NetworkBuilder,
+               new_ttd: &mut dyn FnMut(&mut NetworkBuilder, crate::TrackId),
+               draw_link: &mut dyn FnMut() -> Meters,
+               prefix: &str| {
+        let end1 = b.node();
+        let end2 = b.node();
+        let mut prev = b.node();
+        let ta = b.track(end1, prev, station_track_len, format!("{prefix}0-a"));
+        let tb = b.track(end2, prev, station_track_len, format!("{prefix}0-b"));
+        new_ttd(b, ta);
+        new_ttd(b, tb);
+        let terminus = b.station(format!("{prefix}0"), [ta, tb], true);
+        for i in 1..=cfg.arm_stations {
+            let west = b.node();
+            let link = b.track(prev, west, draw_link(), format!("{prefix}-link-{i}"));
+            new_ttd(b, link);
+            let east = b.node();
+            let platform = b.track(west, east, station_track_len, format!("{prefix}{i}-pl"));
+            new_ttd(b, platform);
+            b.station(format!("{prefix}{i}"), [platform], false);
+            prev = east;
+        }
+        let merge = b.track(prev, junction, draw_link(), format!("{prefix}-merge"));
+        new_ttd(b, merge);
+        terminus
+    };
+    let terminus_a = arm(&mut b, &mut new_ttd, &mut draw_link, "A");
+    let terminus_b = arm(&mut b, &mut new_ttd, &mut draw_link, "B");
+
+    // The shared trunk, junction → boundary terminus T0.
+    let mut prev = junction;
+    for i in 1..=cfg.trunk_stations {
+        let west = b.node();
+        let link = b.track(prev, west, draw_link(), format!("T-link-{i}"));
+        new_ttd(&mut b, link);
+        let east = b.node();
+        let platform = b.track(west, east, station_track_len, format!("T{i}-pl"));
+        new_ttd(&mut b, platform);
+        b.station(format!("T{i}"), [platform], false);
+        prev = east;
+    }
+    let west = b.node();
+    let last_link = b.track(prev, west, draw_link(), "T-link-final");
+    new_ttd(&mut b, last_link);
+    let end1 = b.node();
+    let end2 = b.node();
+    let ta = b.track(west, end1, station_track_len, "T0-a");
+    let tb = b.track(west, end2, station_track_len, "T0-b");
+    new_ttd(&mut b, ta);
+    new_ttd(&mut b, tb);
+    let trunk_terminus = b.station("T0", [ta, tb], true);
+
+    let network = b.build().expect("generated branch topology is valid");
+
+    let mut runs = Vec::new();
+    for k in 0..cfg.trains_per_arm {
+        let dep = Seconds(cfg.headway.as_u64() * k as u64);
+        runs.push(TrainRun::new(
+            Train::new(format!("A {k}"), Meters(cfg.train_m), cfg.speed),
+            terminus_a,
+            trunk_terminus,
+            dep,
+            None,
+        ));
+        runs.push(TrainRun::new(
+            Train::new(format!("B {k}"), Meters(cfg.train_m), cfg.speed),
+            terminus_b,
+            trunk_terminus,
+            dep,
+            None,
+        ));
+    }
+
+    Scenario {
+        name: format!(
+            "branch-{}a-{}t-{}tr-seed{}",
+            cfg.arm_stations, cfg.trunk_stations, cfg.trains_per_arm, cfg.seed
+        ),
+        network,
+        schedule: Schedule::new(runs),
+        r_s: cfg.r_s,
+        r_t: cfg.r_t,
+        horizon: cfg.horizon,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +446,81 @@ mod tests {
         single_track_line(&LineConfig {
             stations: 1,
             ..LineConfig::default()
+        });
+    }
+
+    #[test]
+    fn default_branch_is_valid() {
+        let s = branched_line(&BranchConfig::default());
+        s.validate().expect("valid");
+        let d = s.discretise().expect("discretises");
+        assert!(d.num_edges() > 0);
+    }
+
+    #[test]
+    fn branch_has_a_degree_three_junction() {
+        let s = branched_line(&BranchConfig {
+            arm_stations: 0,
+            trunk_stations: 0,
+            ..BranchConfig::default()
+        });
+        // Exactly one node joins three plain tracks: both arm merge links
+        // and the trunk link.
+        let mut incidence = std::collections::BTreeMap::new();
+        for t in s.network.tracks() {
+            *incidence.entry(t.from).or_insert(0usize) += 1;
+            *incidence.entry(t.to).or_insert(0usize) += 1;
+        }
+        let junctions = incidence.values().filter(|&&d| d >= 3).count();
+        assert!(junctions >= 1, "a branch needs a junction node");
+    }
+
+    #[test]
+    fn branch_station_count_matches_config() {
+        for (arms, trunk) in [(0, 0), (1, 2), (2, 1)] {
+            let s = branched_line(&BranchConfig {
+                arm_stations: arms,
+                trunk_stations: trunk,
+                ..BranchConfig::default()
+            });
+            // 3 termini + interiors on both arms + trunk interiors.
+            assert_eq!(s.network.stations().len(), 3 + 2 * arms + trunk);
+        }
+    }
+
+    #[test]
+    fn branch_is_deterministic_per_seed() {
+        let a = branched_line(&BranchConfig::default());
+        let b = branched_line(&BranchConfig::default());
+        assert_eq!(a.network, b.network);
+        let c = branched_line(&BranchConfig {
+            seed: 7,
+            ..BranchConfig::default()
+        });
+        assert_ne!(a.network, c.network, "different seed, different lengths");
+    }
+
+    #[test]
+    fn branch_trains_start_on_both_arms() {
+        let s = branched_line(&BranchConfig {
+            trains_per_arm: 2,
+            ..BranchConfig::default()
+        });
+        assert_eq!(s.schedule.len(), 4);
+        let runs = s.schedule.runs();
+        assert_ne!(runs[0].origin, runs[1].origin, "one train per arm per wave");
+        assert_eq!(
+            runs[0].destination, runs[1].destination,
+            "all trains merge onto the trunk"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one train per arm")]
+    fn branch_without_trains_panics() {
+        branched_line(&BranchConfig {
+            trains_per_arm: 0,
+            ..BranchConfig::default()
         });
     }
 

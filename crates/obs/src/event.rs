@@ -1,0 +1,274 @@
+//! The event model: everything a sink ever receives is one [`Event`].
+
+use std::fmt;
+
+use crate::json;
+
+/// What kind of record an [`Event`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span was opened; `span` is the new span's id.
+    SpanOpen,
+    /// A span was closed; `span` is the closed span's id and the fields
+    /// carry whatever the instrumentation measured over the span's life
+    /// (always including `elapsed_us`).
+    SpanClose,
+    /// A point-in-time event, optionally attached to an enclosing span.
+    Point,
+    /// A metric snapshot row emitted by
+    /// [`Obs::flush_metrics`](crate::Obs::flush_metrics).
+    Metric,
+}
+
+impl EventKind {
+    /// The stable wire name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanOpen => "span_open",
+            EventKind::SpanClose => "span_close",
+            EventKind::Point => "event",
+            EventKind::Metric => "metric",
+        }
+    }
+}
+
+/// A field value. Conversions exist from the common primitive types so
+/// instrumentation sites can write `("conflicts", n.into())`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned counter-style value.
+    U64(u64),
+    /// Signed value.
+    I64(i64),
+    /// Floating-point value.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+impl Value {
+    /// The value as JSON text (strings escaped and quoted).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".to_owned()
+                }
+            }
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => json::quote(s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.to_json()),
+        }
+    }
+}
+
+/// One observability record, as delivered to a [`Sink`](crate::Sink).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global sequence number (0-based, gap-free per [`Obs`](crate::Obs)).
+    pub seq: u64,
+    /// Microseconds since the owning `Obs` handle was created.
+    pub t_us: u64,
+    /// Record kind.
+    pub kind: EventKind,
+    /// Span/event/metric name (dot-separated, e.g. `task.optimize`).
+    pub name: &'static str,
+    /// Owning span id: the span's own id for open/close records, the
+    /// enclosing span for point events emitted through a span handle.
+    pub span: Option<u64>,
+    /// Parent span id, when the span was opened as a child.
+    pub parent: Option<u64>,
+    /// Structured payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Looks a field up by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// A field interpreted as `u64` (also accepts non-negative `I64`).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// A field interpreted as text.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        match self.field(key)? {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline) in the
+    /// stable JSONL schema:
+    ///
+    /// ```json
+    /// {"seq":3,"t_us":120,"kind":"span_close","name":"probe",
+    ///  "span":2,"parent":1,"fields":{"deadline":7,"sat":true}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_us\":");
+        out.push_str(&self.t_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"name\":");
+        out.push_str(&json::quote(self.name));
+        out.push_str(",\"span\":");
+        match self.span {
+            Some(id) => out.push_str(&id.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"parent\":");
+        match self.parent {
+            Some(id) => out.push_str(&id.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::quote(k));
+            out.push(':');
+            out.push_str(&v.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 3,
+            t_us: 120,
+            kind: EventKind::SpanClose,
+            name: "probe",
+            span: Some(2),
+            parent: Some(1),
+            fields: vec![("deadline", 7u64.into()), ("sat", true.into())],
+        }
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        assert_eq!(
+            sample().to_json(),
+            "{\"seq\":3,\"t_us\":120,\"kind\":\"span_close\",\"name\":\"probe\",\
+             \"span\":2,\"parent\":1,\"fields\":{\"deadline\":7,\"sat\":true}}"
+        );
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let parsed = json::parse(&sample().to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("kind").and_then(json::Json::as_str),
+            Some("span_close")
+        );
+        let fields = parsed.get("fields").expect("object");
+        assert_eq!(
+            fields.get("deadline").and_then(json::Json::as_f64),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = sample();
+        assert_eq!(e.field_u64("deadline"), Some(7));
+        assert_eq!(e.field_u64("missing"), None);
+        assert_eq!(e.field("sat"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn value_conversions_and_rendering() {
+        assert_eq!(Value::from(3usize).to_json(), "3");
+        assert_eq!(Value::from(-2i64).to_json(), "-2");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from("a\"b").to_json(), "\"a\\\"b\"");
+        assert_eq!(Value::from(f64::NAN).to_json(), "null");
+        assert_eq!(format!("{}", Value::from("plain")), "plain");
+    }
+
+    #[test]
+    fn kind_wire_names() {
+        assert_eq!(EventKind::SpanOpen.as_str(), "span_open");
+        assert_eq!(EventKind::Point.as_str(), "event");
+        assert_eq!(EventKind::Metric.as_str(), "metric");
+    }
+}

@@ -1,0 +1,170 @@
+//! Pluggable event sinks: null (drop everything), in-memory (tests), and
+//! JSONL file (replayable trace artifacts).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Receiver for observability events.
+///
+/// Sinks are shared across worker threads, so they take `&self` and must be
+/// `Send + Sync`; interior mutability is the sink's concern. Implementations
+/// must tolerate events arriving from several threads interleaved (the
+/// `seq` numbers are globally ordered, arrival order need not be).
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+
+    /// Forces buffered output out (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Drops every event. [`Obs::disabled`](crate::Obs::disabled) never calls a
+/// sink at all; `NullSink` exists for plumbing that requires a sink value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Collects events in memory; the test-side handle is a cheap clone.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of every event recorded so far, in `seq` order.
+    pub fn events(&self) -> Vec<Event> {
+        let mut events = self.events.lock().expect("sink poisoned").clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of events with the given name.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line. Every record is flushed through to
+/// the file immediately: traces are usually wanted precisely when a run
+/// dies, so a crash must not truncate the artifact.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("sink poisoned");
+        let _ = writeln!(w, "{}", event.to_json());
+        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(seq: u64, name: &'static str) -> Event {
+        Event {
+            seq,
+            t_us: seq * 10,
+            kind: EventKind::Point,
+            name,
+            span: None,
+            parent: None,
+            fields: vec![("k", seq.into())],
+        }
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let s = NullSink;
+        s.record(&ev(0, "x"));
+        s.flush();
+    }
+
+    #[test]
+    fn memory_sink_orders_by_seq() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.record(&ev(1, "b"));
+        s.record(&ev(0, "a"));
+        let events = s.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(s.named("b").len(), 1);
+        let clone = s.clone();
+        clone.record(&ev(2, "c"));
+        assert_eq!(s.len(), 3, "clones share storage");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("etcs_obs_sink_test.jsonl");
+        let s = JsonlSink::create(&path).expect("create");
+        s.record(&ev(0, "first"));
+        s.record(&ev(1, "second"));
+        s.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::parse(line).expect("each line is valid JSON");
+            assert!(v.get("name").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

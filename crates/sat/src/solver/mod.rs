@@ -21,6 +21,7 @@ use crate::model::Model;
 use crate::proof::ProofSink;
 use crate::stats::Stats;
 use crate::types::{LBool, Lit, Var};
+use etcs_obs::Obs;
 use heap::VarHeap;
 
 /// Outcome of a [`Solver::solve`] call.
@@ -127,6 +128,9 @@ pub struct Solver {
     /// Optional DRAT proof logger. `None` (the default) keeps all emission
     /// paths behind a single branch, so solving without a proof is free.
     proof: Option<Box<dyn ProofSink>>,
+    /// Observability handle. Disabled by default, in which case every
+    /// emission site is a single branch (see `etcs-obs`).
+    obs: Obs,
 }
 
 impl Default for Solver {
@@ -161,7 +165,18 @@ impl Solver {
             conflict_budget: None,
             default_phase: false,
             proof: None,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Installs an observability handle: every later `solve`/`solve_with`
+    /// call is wrapped in a `sat.solve` span (closing with the call's
+    /// conflict/propagation/decision deltas and its verdict), restarts emit
+    /// `sat.restart` events and learnt-database reductions `sat.reduce`
+    /// events. Installing [`Obs::disabled`] (the initial state) turns all
+    /// of that back into single branches.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Installs a DRAT proof sink. Must be called **before any clauses are
@@ -420,6 +435,39 @@ impl Solver {
     /// The `assumption_literals_do_not_leak_across_calls` regression test
     /// in `tests/regression.rs` pins this contract.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.obs.is_enabled() {
+            return self.solve_with_inner(assumptions);
+        }
+        let before = self.stats;
+        let span = self
+            .obs
+            .span_with("sat.solve", &[("assumptions", assumptions.len().into())]);
+        let result = self.solve_with_inner(assumptions);
+        let verdict = match &result {
+            SatResult::Sat(_) => "sat",
+            SatResult::Unsat { .. } => "unsat",
+            SatResult::Unknown => "unknown",
+        };
+        span.close_with(&[
+            ("result", verdict.into()),
+            (
+                "conflicts",
+                (self.stats.conflicts - before.conflicts).into(),
+            ),
+            (
+                "propagations",
+                (self.stats.propagations - before.propagations).into(),
+            ),
+            (
+                "decisions",
+                (self.stats.decisions - before.decisions).into(),
+            ),
+            ("restarts", (self.stats.restarts - before.restarts).into()),
+        ]);
+        result
+    }
+
+    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         self.stats.solve_calls += 1;
         if self.stats.solve_calls > 1 {
             self.stats.reused_learnts += self.db.num_learnt() as u64;
@@ -453,6 +501,13 @@ impl Solver {
                 }
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
+                    self.obs.event(
+                        "sat.restart",
+                        &[
+                            ("conflicts", self.stats.conflicts.into()),
+                            ("learnt", self.db.num_learnt().into()),
+                        ],
+                    );
                     self.cancel_until(0);
                     self.simplify_and_maybe_reduce();
                     if !self.ok {
@@ -986,6 +1041,7 @@ impl Solver {
     /// Deletes the worse half of learnt clauses (high LBD, low activity).
     /// Glue clauses (LBD <= 2) are always kept.
     fn reduce_learnt(&mut self) {
+        let deleted_before = self.stats.deleted_clauses;
         let mut learnt = self.db.learnt_refs();
         learnt.sort_by(|&a, &b| {
             let ca = self.db.get(a);
@@ -1008,6 +1064,16 @@ impl Solver {
             self.db.delete(r);
             self.stats.deleted_clauses += 1;
         }
+        self.obs.event(
+            "sat.reduce",
+            &[
+                (
+                    "deleted",
+                    (self.stats.deleted_clauses - deleted_before).into(),
+                ),
+                ("kept", self.db.num_learnt().into()),
+            ],
+        );
     }
 
     fn rebuild_watches(&mut self) {
@@ -1311,6 +1377,43 @@ mod tests {
             live,
             "second call starts with the first call's lemmas"
         );
+    }
+
+    #[test]
+    fn obs_spans_mirror_search_statistics() {
+        let (obs, sink) = etcs_obs::Obs::memory();
+        let n = 6usize;
+        let mut s = Solver::new();
+        s.set_obs(obs);
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        let events = sink.events();
+        let closes: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == etcs_obs::EventKind::SpanClose && e.name == "sat.solve")
+            .collect();
+        assert_eq!(closes.len(), 1, "one solve call, one span");
+        let close = closes[0];
+        assert_eq!(close.field_str("result"), Some("unsat"));
+        assert_eq!(close.field_u64("conflicts"), Some(s.stats().conflicts));
+        assert_eq!(
+            close.field_u64("propagations"),
+            Some(s.stats().propagations)
+        );
+        let restarts = events.iter().filter(|e| e.name == "sat.restart").count();
+        assert_eq!(restarts as u64, s.stats().restarts);
     }
 
     #[test]

@@ -34,4 +34,4 @@ mod validator;
 
 pub use dispatcher::{dispatch, DispatchResult};
 pub use report::{plan_stats, render_timeline, render_timeline_for, PlanStats, TrainStats};
-pub use validator::{validate, ValidationReport, Violation};
+pub use validator::{validate, validate_obs, ValidationReport, Violation};

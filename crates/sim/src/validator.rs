@@ -12,6 +12,7 @@ use etcs_core::{ExitPolicy, Instance, SolvedPlan};
 use etcs_network::EdgeId;
 #[cfg(test)]
 use etcs_network::VssLayout;
+use etcs_obs::Obs;
 
 /// A single rule violation found in a plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,6 +98,57 @@ pub enum Violation {
         /// The swept, occupied segment.
         edge: EdgeId,
     },
+}
+
+impl Violation {
+    /// A stable short label for the violation class; this is the `kind`
+    /// field of the `sim.mismatch` events emitted by [`validate_obs`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::NotAChain { .. } => "chain",
+            Violation::WrongLength { .. } => "length",
+            Violation::TooFast { .. } => "speed",
+            Violation::PresenceBroken { .. } => "presence",
+            Violation::DepartureMissed { .. } => "departure",
+            Violation::ArrivalMissed { .. } => "arrival",
+            Violation::ParkBroken { .. } => "park",
+            Violation::SharedSegment { .. } => "shared",
+            Violation::MissingBorder { .. } => "border",
+            Violation::PassThrough { .. } => "pass",
+        }
+    }
+
+    /// The primary offending train, where the rule has one.
+    fn train(&self) -> Option<usize> {
+        match self {
+            Violation::NotAChain { train, .. }
+            | Violation::WrongLength { train, .. }
+            | Violation::TooFast { train, .. }
+            | Violation::PresenceBroken { train, .. }
+            | Violation::DepartureMissed { train }
+            | Violation::ArrivalMissed { train, .. }
+            | Violation::ParkBroken { train, .. } => Some(*train),
+            Violation::SharedSegment { trains, .. } | Violation::MissingBorder { trains, .. } => {
+                Some(trains.0)
+            }
+            Violation::PassThrough { mover, .. } => Some(*mover),
+        }
+    }
+
+    /// The offending step, where the rule has one.
+    fn step(&self) -> Option<usize> {
+        match self {
+            Violation::NotAChain { step, .. }
+            | Violation::WrongLength { step, .. }
+            | Violation::TooFast { step, .. }
+            | Violation::PresenceBroken { step, .. }
+            | Violation::ParkBroken { step, .. }
+            | Violation::SharedSegment { step, .. }
+            | Violation::MissingBorder { step, .. }
+            | Violation::PassThrough { step, .. } => Some(*step),
+            Violation::DepartureMissed { .. } | Violation::ArrivalMissed { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -194,6 +246,50 @@ impl fmt::Display for ValidationReport {
 /// (verification/generation semantics); the optimisation task validates
 /// with it disabled.
 pub fn validate(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> ValidationReport {
+    validate_obs(inst, plan, enforce_deadlines, &Obs::disabled())
+}
+
+/// [`validate`] with observability: the run is wrapped in a `sim.validate`
+/// span (fields: `trains`, `steps`, `enforce_deadlines`; close fields:
+/// `violations`, `valid`), and every violation additionally becomes a
+/// `sim.mismatch` point event with `kind` ([`Violation::kind`]) plus the
+/// offending `train`/`step` where the rule has one — so a differential-test
+/// failure leaves a trace naming exactly which rule disagreed with the
+/// encoder.
+pub fn validate_obs(
+    inst: &Instance,
+    plan: &SolvedPlan,
+    enforce_deadlines: bool,
+    obs: &Obs,
+) -> ValidationReport {
+    let span = obs.span_with(
+        "sim.validate",
+        &[
+            ("trains", plan.plans.len().into()),
+            ("steps", inst.t_max.into()),
+            ("enforce_deadlines", enforce_deadlines.into()),
+        ],
+    );
+    let report = run_checks(inst, plan, enforce_deadlines);
+    for v in &report.violations {
+        let mut fields: Vec<(&'static str, etcs_obs::Value)> = vec![("kind", v.kind().into())];
+        if let Some(train) = v.train() {
+            fields.push(("train", train.into()));
+        }
+        if let Some(step) = v.step() {
+            fields.push(("step", step.into()));
+        }
+        span.event("sim.mismatch", &fields);
+        obs.counter_add("mismatches", 1);
+    }
+    span.close_with(&[
+        ("violations", report.violations.len().into()),
+        ("valid", report.is_valid().into()),
+    ]);
+    report
+}
+
+fn run_checks(inst: &Instance, plan: &SolvedPlan, enforce_deadlines: bool) -> ValidationReport {
     let mut report = ValidationReport::default();
     let net = &inst.net;
     let layout = &plan.layout;
@@ -489,6 +585,36 @@ mod tests {
     }
 
     #[test]
+    fn validate_obs_emits_one_mismatch_event_per_violation() {
+        let scenario = fixtures::running_example();
+        let inst = Instance::new(&scenario).expect("valid");
+        let (outcome, _) = generate(&scenario, &EncoderConfig::default()).expect("ok");
+        let mut plan = outcome.plan().expect("feasible").clone();
+        plan.layout = VssLayout::pure_ttd();
+
+        let (obs, sink) = etcs_obs::Obs::memory();
+        let report = validate_obs(&inst, &plan, true, &obs);
+        assert!(!report.is_valid());
+
+        let mismatches = sink.named("sim.mismatch");
+        assert_eq!(mismatches.len(), report.violations.len());
+        for (event, violation) in mismatches.iter().zip(&report.violations) {
+            assert_eq!(event.field_str("kind"), Some(violation.kind()));
+        }
+        assert_eq!(obs.metrics().counter("mismatches"), mismatches.len() as u64);
+        let close = sink
+            .events()
+            .into_iter()
+            .rfind(|e| e.name == "sim.validate")
+            .expect("span close");
+        assert_eq!(
+            close.field_u64("violations"),
+            Some(report.violations.len() as u64)
+        );
+        assert_eq!(close.field("valid"), Some(&etcs_obs::Value::Bool(false)));
+    }
+
+    #[test]
     fn report_display_lists_violations() {
         let mut r = ValidationReport::default();
         assert!(format!("{r}").contains("valid"));
@@ -517,22 +643,7 @@ mod mutation_tests {
     }
 
     fn kinds(report: &ValidationReport) -> Vec<&'static str> {
-        report
-            .violations
-            .iter()
-            .map(|v| match v {
-                Violation::NotAChain { .. } => "chain",
-                Violation::WrongLength { .. } => "length",
-                Violation::TooFast { .. } => "speed",
-                Violation::PresenceBroken { .. } => "presence",
-                Violation::DepartureMissed { .. } => "departure",
-                Violation::ArrivalMissed { .. } => "arrival",
-                Violation::ParkBroken { .. } => "park",
-                Violation::SharedSegment { .. } => "shared",
-                Violation::MissingBorder { .. } => "border",
-                Violation::PassThrough { .. } => "pass",
-            })
-            .collect()
+        report.violations.iter().map(Violation::kind).collect()
     }
 
     #[test]

@@ -114,8 +114,23 @@ pub fn cases(count: usize, property: impl Fn(&mut Rng)) {
         let seed = (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xe7c5_d1e0_93a1_b2c4;
         let mut rng = Rng::new(seed);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
-            eprintln!("property failed at case {case}/{count}, replay with Rng::new({seed:#x})");
-            resume_unwind(payload);
+            let detail =
+                format!("property failed at case {case}/{count}, replay with Rng::new({seed:#x})");
+            // Fold the replay line into the panic message itself so it
+            // survives output capture and appears in CI failure summaries.
+            // Non-string payloads (rare) keep their type and the replay
+            // line goes to stderr instead.
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            match text {
+                Some(msg) => panic!("{msg}\n{detail}"),
+                None => {
+                    eprintln!("{detail}");
+                    resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -177,5 +192,81 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn cases_panic_message_names_the_case_and_seed() {
+        let err = catch_unwind(|| {
+            cases(8, |rng| {
+                // Deterministically fail at the third case only.
+                assert_ne!(rng.next_u64() % 8, 2, "planted failure");
+            });
+        })
+        .expect_err("the planted failure must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("assert! panics carry a String payload");
+        assert!(
+            msg.contains("planted failure"),
+            "original message kept: {msg}"
+        );
+        assert!(
+            msg.contains("failed at case ") && msg.contains("/8"),
+            "case index folded into the panic message: {msg}"
+        );
+        assert!(
+            msg.contains("replay with Rng::new(0x"),
+            "replay seed folded into the panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn below_one_is_always_zero() {
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut rng = Rng::new(13);
+        for _ in 0..100 {
+            assert_eq!(rng.range(41, 42), 41);
+        }
+    }
+
+    #[test]
+    fn below_handles_huge_bounds() {
+        // `usize::MAX`-scale bounds must neither overflow nor collapse the
+        // distribution (the modulo is computed in u64).
+        let mut rng = Rng::new(17);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            let x = rng.below(usize::MAX);
+            assert!(x < usize::MAX);
+            distinct.insert(x);
+        }
+        assert!(distinct.len() > 60, "huge bound collapsed: {distinct:?}");
+        let hi = rng.range(usize::MAX - 1, usize::MAX);
+        assert_eq!(hi, usize::MAX - 1, "highest singleton range");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics() {
+        Rng::new(1).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range 5..5")]
+    fn empty_range_panics() {
+        Rng::new(1).range(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range 7..3")]
+    fn inverted_range_panics() {
+        Rng::new(1).range(7, 3);
     }
 }

@@ -50,13 +50,14 @@
 #![warn(missing_docs)]
 
 pub use etcs_core::{
-    border_tradeoff, diagnose, diagnose_certified, encode, generate, generate_certified, optimize,
-    optimize_all, optimize_all_with_threads, optimize_arrivals, optimize_certified,
-    optimize_incremental, optimize_portfolio, optimize_with_budget, verify, verify_all,
-    verify_all_with_threads, verify_certified, Certification, CertifiedVerdict, CertifyError,
-    DesignOutcome, Diagnosis, EncoderConfig, Encoding, EncodingStats, EncodingTrace, ExitPolicy,
-    Instance, LayoutExplorer, OptimizeMode, SolvedPlan, TaskKind, TaskReport, TradeoffPoint,
-    TrainPlan, TrainSpec, VerifyOutcome,
+    border_tradeoff, diagnose, diagnose_certified, encode, generate, generate_certified,
+    generate_obs, optimize, optimize_all, optimize_all_obs, optimize_all_with_threads,
+    optimize_arrivals, optimize_certified, optimize_incremental, optimize_incremental_obs,
+    optimize_obs, optimize_portfolio, optimize_portfolio_obs, optimize_with_budget, verify,
+    verify_all, verify_all_obs, verify_all_with_threads, verify_certified, verify_obs,
+    Certification, CertifiedVerdict, CertifyError, DesignOutcome, Diagnosis, EncoderConfig,
+    Encoding, EncodingStats, EncodingTrace, ExitPolicy, Instance, LayoutExplorer, OptimizeMode,
+    SolvedPlan, TaskKind, TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
 };
 pub use etcs_network::{
     fixtures, parse_scenario, write_scenario, DiscreteNet, EdgeId, KmPerHour, Meters,
@@ -83,6 +84,15 @@ pub mod sim {
 /// CNF encoding lint: structural audits over traced formulas.
 pub mod lint {
     pub use etcs_lint::*;
+}
+
+/// Structured run observability: spans, events, metrics and JSONL traces.
+///
+/// Pass an enabled [`obs::Obs`] handle to any `*_obs` task entry point
+/// (e.g. [`optimize_obs`]) to record a replayable event stream; the plain
+/// entry points run with tracing off at zero cost.
+pub mod obs {
+    pub use etcs_obs::*;
 }
 
 /// The most common imports in one place.

@@ -1,0 +1,94 @@
+//! Determinism regression: the parallel batch driver and the portfolio
+//! racer both involve thread scheduling, but neither may let it leak into
+//! answers. Two runs over the same fixtures must report bit-identical
+//! optima (deadline and border counts) — the work-stealing order and the
+//! racer that happens to claim the win are allowed to differ, the numbers
+//! are not.
+
+use etcs::network::generator::{single_track_line, LineConfig};
+use etcs::prelude::*;
+use etcs::{optimize_all_with_threads, optimize_portfolio, DesignOutcome, OptimizeMode};
+
+// The paper's running example plus a small generated line (fixed seed):
+// both optimize in about a second even in debug builds, so the repeated
+// runs below stay cheap. The heavier fixtures are covered once each by
+// `tests/case_studies.rs`.
+fn fixture_set() -> Vec<Scenario> {
+    let line = single_track_line(&LineConfig {
+        stations: 3,
+        loop_every: 2,
+        link_m: 1000,
+        trains_per_direction: 1,
+        headway: Seconds::from_minutes(2),
+        r_s: Meters(500),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(10),
+        seed: 7,
+        ..LineConfig::default()
+    });
+    vec![fixtures::running_example(), line]
+}
+
+/// The proven objective costs `[deadline, borders, ...]`, or `None` for
+/// an infeasible scenario.
+fn costs(outcome: &DesignOutcome) -> Option<Vec<u64>> {
+    match outcome {
+        DesignOutcome::Solved { costs, .. } => Some(costs.clone()),
+        DesignOutcome::Infeasible => None,
+    }
+}
+
+fn batch_costs(mode: OptimizeMode, threads: usize) -> Vec<Option<Vec<u64>>> {
+    let scenarios = fixture_set();
+    let config = EncoderConfig::default();
+    optimize_all_with_threads(&scenarios, &config, mode, threads)
+        .into_iter()
+        .map(|r| costs(&r.expect("fixtures are well-formed").0))
+        .collect()
+}
+
+#[test]
+fn optimize_all_is_deterministic_across_runs_and_thread_counts() {
+    let first = batch_costs(OptimizeMode::Incremental, 2);
+    let second = batch_costs(OptimizeMode::Incremental, 2);
+    assert_eq!(first, second, "same thread count, different answers");
+
+    // A single worker processes the batch in input order with no
+    // interleaving at all; the multi-threaded run must match it exactly.
+    let serial = batch_costs(OptimizeMode::Incremental, 1);
+    assert_eq!(first, serial, "thread count changed the answers");
+}
+
+#[test]
+fn portfolio_race_is_deterministic_despite_scheduling() {
+    let config = EncoderConfig::default();
+    for scenario in fixture_set() {
+        let (a, _) = optimize_portfolio(&scenario, &config).expect("well-formed");
+        let (b, _) = optimize_portfolio(&scenario, &config).expect("well-formed");
+        assert_eq!(
+            costs(&a),
+            costs(&b),
+            "{}: racer scheduling leaked into the optimum",
+            scenario.name
+        );
+        // And the race must agree with the sequential loop, which is the
+        // reference semantics it merely accelerates.
+        let (seq, _) = optimize(&scenario, &config).expect("well-formed");
+        assert_eq!(
+            costs(&a),
+            costs(&seq),
+            "{}: race != sequential",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn portfolio_batch_is_deterministic() {
+    let first = batch_costs(OptimizeMode::Portfolio, 2);
+    let second = batch_costs(OptimizeMode::Portfolio, 2);
+    assert_eq!(
+        first, second,
+        "portfolio batch answers must be reproducible"
+    );
+}

@@ -1,0 +1,252 @@
+//! The observability contract, end to end: a traced run's event stream
+//! must tell the same story as the `Stats`/`TaskReport` figures the
+//! benchmarks record, the span vocabulary must stay stable (it is
+//! documented in DESIGN.md §10 and asserted again by `ci/check.sh`), and
+//! tracing must not change any answer.
+
+use etcs::obs::{EventKind, Obs, Value};
+use etcs::prelude::*;
+use etcs::{
+    optimize_incremental_obs, optimize_obs, optimize_portfolio_obs, verify_obs, DesignOutcome,
+};
+
+fn costs(outcome: &DesignOutcome) -> Option<&[u64]> {
+    match outcome {
+        DesignOutcome::Solved { costs, .. } => Some(costs),
+        DesignOutcome::Infeasible => None,
+    }
+}
+
+#[test]
+fn traced_optimize_event_stream_agrees_with_stats() {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let (obs, sink) = Obs::memory();
+
+    let (outcome, report) = optimize_obs(&scenario, &config, &obs).expect("well-formed");
+    let (baseline, _) = optimize(&scenario, &config).expect("well-formed");
+    assert_eq!(
+        costs(&baseline),
+        costs(&outcome),
+        "tracing changed the answer"
+    );
+
+    let events = sink.events();
+    let task_close = events
+        .iter()
+        .find(|e| e.kind == EventKind::SpanClose && e.name == "task.optimize")
+        .expect("task span closes");
+    let task_id = task_close.span;
+
+    // Probe spans: one per Stage-1 deadline candidate, all children of the
+    // task span, and their count matches both the close field and the
+    // metrics counter.
+    let probe_closes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "probe" && e.parent == task_id)
+        .collect();
+    assert!(!probe_closes.is_empty());
+    assert_eq!(
+        task_close.field_u64("probes"),
+        Some(probe_closes.len() as u64)
+    );
+    assert_eq!(
+        obs.metrics().counter("probes"),
+        probe_closes.len() as u64,
+        "probes counter disagrees with the span stream"
+    );
+
+    // Conflict totals: the task close field, the metrics counter, and the
+    // per-probe/stage2 breakdown must all equal Stats.conflicts.
+    assert_eq!(
+        task_close.field_u64("conflicts"),
+        Some(report.search.conflicts)
+    );
+    assert_eq!(obs.metrics().counter("conflicts"), report.search.conflicts);
+    let breakdown: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && (e.name == "probe" || e.name == "stage2"))
+        .filter_map(|e| e.field_u64("conflicts"))
+        .sum();
+    assert_eq!(
+        breakdown, report.search.conflicts,
+        "per-span conflicts must sum to the total"
+    );
+
+    // The solved figures mirror the outcome.
+    let c = costs(&outcome).expect("running example solves");
+    assert_eq!(task_close.field_u64("deadline"), Some(c[0] - 1));
+    assert_eq!(task_close.field_u64("borders"), Some(c[1]));
+    assert_eq!(
+        task_close.field_u64("solver_calls"),
+        Some(report.solver_calls as u64)
+    );
+
+    // Exactly one sat.solve span per solver call.
+    let solves = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "sat.solve")
+        .count();
+    assert_eq!(solves, report.solver_calls);
+}
+
+#[test]
+fn traced_incremental_probe_deltas_sum_to_stats() {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let (obs, sink) = Obs::memory();
+    let (outcome, report) =
+        optimize_incremental_obs(&scenario, &config, &obs).expect("well-formed");
+    let (baseline, _) = optimize(&scenario, &config).expect("well-formed");
+    assert_eq!(
+        costs(&baseline),
+        costs(&outcome),
+        "tracing changed the answer"
+    );
+
+    // On the persistent solver the probe events carry per-call deltas;
+    // together with the stage2 delta they must reconstruct the cumulative
+    // Stats of the one long-lived solver.
+    let events = sink.events();
+    let deltas: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && (e.name == "probe" || e.name == "stage2"))
+        .filter_map(|e| e.field_u64("conflicts"))
+        .sum();
+    assert_eq!(deltas, report.search.conflicts);
+    assert_eq!(obs.metrics().counter("conflicts"), report.search.conflicts);
+}
+
+#[test]
+fn portfolio_trace_names_the_winner() {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let (obs, sink) = Obs::memory();
+    let (outcome, _) = optimize_portfolio_obs(&scenario, &config, &obs).expect("well-formed");
+    let c = costs(&outcome).expect("running example solves").to_vec();
+
+    let events = sink.events();
+    let outcomes: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "portfolio.outcome")
+        .collect();
+    assert_eq!(outcomes.len(), 1, "exactly one racer claims the race");
+    let winner = outcomes[0];
+    let strategy = winner.field_str("strategy").expect("winner named");
+    assert!(strategy == "walk_up" || strategy == "binary");
+    assert_eq!(winner.field_u64("deadline"), Some(c[0] - 1));
+    assert_eq!(winner.field("feasible"), Some(&Value::Bool(true)));
+
+    // Both racers ran under the task span, and exactly one reports a win.
+    let races: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "race")
+        .collect();
+    assert_eq!(races.len(), 2);
+    let wins = races
+        .iter()
+        .filter(|e| e.field("won") == Some(&Value::Bool(true)))
+        .count();
+    assert_eq!(wins, 1);
+
+    let task_close = events
+        .iter()
+        .find(|e| e.kind == EventKind::SpanClose && e.name == "task.optimize_portfolio")
+        .expect("task span closes");
+    assert_eq!(task_close.field_u64("deadline"), Some(c[0] - 1));
+    assert_eq!(task_close.field_u64("borders"), Some(c[1]));
+}
+
+#[test]
+fn batch_workers_trace_their_jobs() {
+    let scenarios = vec![fixtures::running_example(), fixtures::simple_layout()];
+    let config = EncoderConfig::default();
+    let (obs, sink) = Obs::memory();
+    let results = etcs::optimize_all_obs(&scenarios, &config, OptimizeMode::Incremental, 2, &obs);
+    assert!(results.iter().all(Result::is_ok));
+
+    let events = sink.events();
+    let worker_closes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "parallel.worker")
+        .collect();
+    assert_eq!(worker_closes.len(), 2, "one span per worker thread");
+    let jobs: u64 = worker_closes
+        .iter()
+        .filter_map(|e| e.field_u64("jobs"))
+        .sum();
+    assert_eq!(
+        jobs as usize,
+        scenarios.len(),
+        "every job is claimed exactly once"
+    );
+    let tasks = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "task.optimize_incremental")
+        .count();
+    assert_eq!(tasks, scenarios.len());
+}
+
+#[test]
+fn traced_verify_mirrors_its_outcome() {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let (obs, sink) = Obs::memory();
+    let (outcome, report) =
+        verify_obs(&scenario, &VssLayout::pure_ttd(), &config, &obs).expect("well-formed");
+    assert!(!outcome.is_feasible(), "paper: pure TTD deadlocks");
+    let close = sink
+        .events()
+        .into_iter()
+        .rfind(|e| e.kind == EventKind::SpanClose && e.name == "task.verify")
+        .expect("task span closes");
+    assert_eq!(close.field("feasible"), Some(&Value::Bool(false)));
+    assert_eq!(close.field_u64("conflicts"), Some(report.search.conflicts));
+}
+
+#[test]
+fn jsonl_trace_artifact_replays_the_documented_schema() {
+    let path = std::env::temp_dir().join("etcs_obs_trace_it.jsonl");
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    {
+        let obs = Obs::jsonl(&path).expect("create trace");
+        let (outcome, _) = optimize_obs(&scenario, &config, &obs).expect("well-formed");
+        assert!(costs(&outcome).is_some());
+        obs.flush_metrics();
+        obs.flush();
+    }
+    let text = std::fs::read_to_string(&path).expect("artifact written");
+    let mut seen_names = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let v = etcs::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON: {e}", i + 1));
+        let seq = v.get("seq").and_then(etcs::obs::json::Json::as_f64);
+        assert_eq!(
+            seq,
+            Some(i as f64),
+            "seq numbers are gap-free in file order"
+        );
+        if let Some(name) = v.get("name").and_then(etcs::obs::json::Json::as_str) {
+            seen_names.insert(name.to_owned());
+        }
+    }
+    for expected in ["task.optimize", "encode", "probe", "stage2", "sat.solve"] {
+        assert!(
+            seen_names.contains(expected),
+            "trace lacks documented span name {expected:?}; saw {seen_names:?}"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn disabled_handle_changes_nothing_and_records_nothing() {
+    let scenario = fixtures::running_example();
+    let config = EncoderConfig::default();
+    let obs = Obs::disabled();
+    let (traced, _) = optimize_obs(&scenario, &config, &obs).expect("well-formed");
+    let (plain, _) = optimize(&scenario, &config).expect("well-formed");
+    assert_eq!(costs(&plain), costs(&traced));
+    assert!(obs.metrics().is_empty());
+}

@@ -7,7 +7,7 @@
 //! paper's rules independently, so an encoding bug would surface as a
 //! validation failure on some random topology.
 
-use etcs::network::generator::{single_track_line, LineConfig};
+use etcs::network::generator::{branched_line, single_track_line, BranchConfig, LineConfig};
 use etcs::prelude::*;
 use etcs::sim;
 use etcs_testkit::{cases, Rng};
@@ -27,12 +27,38 @@ fn small_line(rng: &mut Rng) -> Scenario {
     })
 }
 
+fn small_branch(rng: &mut Rng) -> Scenario {
+    branched_line(&BranchConfig {
+        arm_stations: rng.below(2),
+        trunk_stations: rng.below(2),
+        link_m: 1000,
+        trains_per_arm: rng.range(1, 3),
+        headway: Seconds::from_minutes(2),
+        r_s: Meters(500),
+        r_t: Seconds(30),
+        horizon: Seconds::from_minutes(10),
+        seed: rng.next_u64(),
+        ..BranchConfig::default()
+    })
+}
+
+/// Mixes linear and branching topologies, so the encoder/validator
+/// differential tests below also exercise junction merges (degree-3 nodes,
+/// shared-trunk contention) — not just chains.
+fn small_topology(rng: &mut Rng) -> Scenario {
+    if rng.bool() {
+        small_line(rng)
+    } else {
+        small_branch(rng)
+    }
+}
+
 // Each case runs a full SAT pipeline; keep the counts moderate.
 
 #[test]
 fn generated_plans_pass_independent_validation() {
     cases(24, |rng| {
-        let scenario = small_line(rng);
+        let scenario = small_topology(rng);
         let config = EncoderConfig::default();
         let inst = Instance::new(&scenario).expect("generated scenarios are valid");
         let (outcome, _) = generate(&scenario, &config).expect("well-formed");
@@ -46,7 +72,7 @@ fn generated_plans_pass_independent_validation() {
 #[test]
 fn optimized_plans_pass_independent_validation() {
     cases(24, |rng| {
-        let scenario = small_line(rng);
+        let scenario = small_topology(rng);
         let config = EncoderConfig::default();
         let open = scenario.without_arrivals();
         let inst = Instance::new(&open).expect("valid");
@@ -61,7 +87,7 @@ fn optimized_plans_pass_independent_validation() {
 #[test]
 fn generation_monotone_in_layout() {
     cases(24, |rng| {
-        let scenario = small_line(rng);
+        let scenario = small_topology(rng);
         // If generation succeeds, the generated layout verifies, and so
         // does the finest layout.
         let config = EncoderConfig::default();
@@ -80,7 +106,7 @@ fn generation_monotone_in_layout() {
 #[test]
 fn pruning_does_not_change_answers() {
     cases(24, |rng| {
-        let scenario = small_line(rng);
+        let scenario = small_topology(rng);
         let pruned = EncoderConfig::default();
         let unpruned = EncoderConfig {
             prune_to_goal: false,
@@ -95,7 +121,7 @@ fn pruning_does_not_change_answers() {
 #[test]
 fn optimization_cost_matches_decoded_completion() {
     cases(24, |rng| {
-        let scenario = small_line(rng);
+        let scenario = small_topology(rng);
         let config = EncoderConfig::default();
         let open = scenario.without_arrivals();
         let inst = Instance::new(&open).expect("valid");
