@@ -13,6 +13,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --examples"
+cargo build -q --examples
+
 echo "==> cargo test"
 cargo test -q --workspace
 
@@ -31,6 +34,58 @@ for name in task.optimize task.optimize_incremental task.optimize_portfolio \
         encode probe stage2 sat.solve race portfolio.outcome parallel.worker; do
     grep -q "\"name\":\"$name\"" "$TRACE" || {
         echo "trace $TRACE lacks expected span/event name '$name'"
+        exit 1
+    }
+done
+
+echo "==> bench_serve smoke (release, throughput + cache bit-identity)"
+cargo run --release -q -p etcs-bench --bin bench_serve -- \
+    --smoke --out target/BENCH_serve_smoke.json
+test -s target/BENCH_serve_smoke.json || {
+    echo "missing bench artifact target/BENCH_serve_smoke.json"; exit 1;
+}
+
+echo "==> served smoke (JSONL batch, warm cache, digests match direct solves)"
+SERVE_IN=target/serve_smoke.in.jsonl
+SERVE_OUT=target/serve_smoke.out.jsonl
+SERVE_TRACE=target/serve_smoke.trace.jsonl
+: > "$SERVE_IN"
+i=0
+while [ $i -lt 10 ]; do
+    for kind in verify generate optimize optimize_incremental diagnose; do
+        printf '{"id": "%s-%d", "kind": "%s", "scenario": "fixture:running_example"}\n' \
+            "$kind" "$i" "$kind" >> "$SERVE_IN"
+    done
+    i=$((i + 1))
+done
+printf '{"id": "file-job", "kind": "generate", "scenario": "file:scenarios/branch_line.rail"}\n' \
+    >> "$SERVE_IN"
+cargo run --release -q -p etcs-serve --bin served -- \
+    --input "$SERVE_IN" --output "$SERVE_OUT" --trace "$SERVE_TRACE" --workers 2
+# 51 mixed-kind jobs in, 51 "done" responses out, and repeats must have
+# been answered from the cache with digests identical to the cold solves.
+test "$(wc -l < "$SERVE_OUT")" -eq 51 || {
+    echo "served: expected 51 response lines"; exit 1;
+}
+test "$(grep -c '"status": "done"' "$SERVE_OUT")" -eq 51 || {
+    echo "served: not every job completed"; exit 1;
+}
+grep -q '"cache": "hit"' "$SERVE_OUT" || {
+    echo "served: warm cache produced no hits"; exit 1;
+}
+# Bit-identity: every response for a given kind (same scenario) must carry
+# the same payload digest, whether it was a cold solve or a cache hit.
+for kind in verify generate optimize optimize_incremental diagnose; do
+    n=$(grep "\"id\": \"$kind-" "$SERVE_OUT" \
+        | sed 's/.*"digest": "\([0-9a-f]*\)".*/\1/' | sort -u | wc -l)
+    test "$n" -eq 1 || {
+        echo "served: $kind digests diverged between cache hits and solves"
+        exit 1
+    }
+done
+for name in serve.enqueue serve.admit serve.job; do
+    grep -q "\"name\":\"$name\"" "$SERVE_TRACE" || {
+        echo "serve trace lacks expected span/event name '$name'"
         exit 1
     }
 done

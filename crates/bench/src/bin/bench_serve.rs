@@ -1,0 +1,149 @@
+//! Throughput harness for the `etcs-serve` job service: jobs/second at
+//! 1, 2 and 4 workers, warm cache vs. cold.
+//!
+//! Writes machine-readable results to `BENCH_serve.json`. For every worker
+//! count the same mixed-kind batch is run twice on one service instance —
+//! the first pass populates the content-addressed result cache, the second
+//! is answered from it — and the harness asserts that every warm payload
+//! digest matches its cold counterpart (the cache's bit-identical
+//! guarantee, measured rather than assumed).
+//!
+//! Usage: `bench_serve [--smoke] [--out <path>]`
+//!
+//! `--smoke` restricts to a small batch over the fast fixtures (seconds,
+//! not minutes) — this is what `ci/check.sh` runs in release mode.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etcs_network::fixtures;
+use etcs_serve::{JobKind, JobRequest, JobResponse, ServeConfig, Service};
+
+fn batch(smoke: bool) -> Vec<JobRequest> {
+    let scenarios = if smoke {
+        vec![fixtures::running_example(), fixtures::simple_layout()]
+    } else {
+        vec![
+            fixtures::running_example(),
+            fixtures::simple_layout(),
+            fixtures::complex_layout(),
+            fixtures::convoy(),
+        ]
+    };
+    let copies = if smoke { 3 } else { 4 };
+    let mut jobs = Vec::new();
+    for copy in 0..copies {
+        for (si, scenario) in scenarios.iter().enumerate() {
+            for kind in JobKind::ALL {
+                jobs.push(JobRequest::new(
+                    format!("{}-s{si}-c{copy}", kind.name()),
+                    kind,
+                    scenario.clone(),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+fn digests(responses: &[JobResponse]) -> Vec<u128> {
+    responses
+        .iter()
+        .map(|r| {
+            r.outcome
+                .payload()
+                .unwrap_or_else(|| panic!("job {} failed: {:?}", r.id, r.outcome))
+                .digest()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let jobs = batch(smoke);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"jobs\": {},", jobs.len());
+    let _ = writeln!(out, "  \"runs\": [");
+
+    let worker_counts = [1usize, 2, 4];
+    let mut reference: Option<Vec<u128>> = None;
+    for (i, &workers) in worker_counts.iter().enumerate() {
+        let service = Service::new(ServeConfig {
+            workers,
+            queue_capacity: jobs.len() + 1,
+            cache_capacity: jobs.len(),
+            ..ServeConfig::default()
+        });
+
+        let t_cold = Instant::now();
+        let cold = service.run_batch(jobs.clone());
+        let cold_s = t_cold.elapsed().as_secs_f64();
+
+        let t_warm = Instant::now();
+        let warm = service.run_batch(jobs.clone());
+        let warm_s = t_warm.elapsed().as_secs_f64();
+
+        let cold_digests = digests(&cold);
+        let warm_digests = digests(&warm);
+        assert_eq!(
+            cold_digests, warm_digests,
+            "warm cache must be bit-identical to the cold pass ({workers} workers)"
+        );
+        match &reference {
+            None => reference = Some(cold_digests),
+            Some(reference) => assert_eq!(
+                reference, &cold_digests,
+                "worker count changed a result ({workers} workers)"
+            ),
+        }
+        let warm_hits = warm.iter().filter(|r| r.cache_hit).count();
+        assert!(
+            warm_hits == jobs.len(),
+            "every warm-pass job must hit the cache ({warm_hits}/{})",
+            jobs.len()
+        );
+        let cache = service.cache_stats().expect("cache enabled");
+
+        let cold_jps = jobs.len() as f64 / cold_s.max(1e-9);
+        let warm_jps = jobs.len() as f64 / warm_s.max(1e-9);
+        eprintln!(
+            "== {workers} workers: cold {cold_jps:.1} jobs/s, warm {warm_jps:.1} jobs/s \
+             ({} hits / {} misses) ==",
+            cache.hits, cache.misses
+        );
+
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"workers\": {workers},");
+        let _ = writeln!(out, "      \"cold_wall_ms\": {:.2},", cold_s * 1e3);
+        let _ = writeln!(out, "      \"cold_jobs_per_s\": {cold_jps:.2},");
+        let _ = writeln!(out, "      \"warm_wall_ms\": {:.2},", warm_s * 1e3);
+        let _ = writeln!(out, "      \"warm_jobs_per_s\": {warm_jps:.2},");
+        let _ = writeln!(out, "      \"cache_hits\": {},", cache.hits);
+        let _ = writeln!(out, "      \"cache_misses\": {}", cache.misses);
+        let _ = write!(out, "    }}");
+        out.push_str(if i + 1 < worker_counts.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark results");
+    eprintln!("wrote {out_path}");
+}

@@ -39,7 +39,7 @@ impl TrainPlan {
 }
 
 /// Everything decoded from a satisfying assignment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SolvedPlan {
     /// The VSS layout (virtual borders chosen by the solver, or the fixed
     /// layout for the verification task).

@@ -9,10 +9,11 @@
 //! feasible).
 
 use etcs_network::{NetworkError, Scenario, TrainId, VssLayout};
-use etcs_sat::{Lit, SatResult};
+use etcs_sat::{Interrupt, Lit, SatResult};
 
 use crate::encoder::{encode, EncoderConfig, TaskKind};
 use crate::instance::Instance;
+use crate::tasks::{interrupt_error, TaskError};
 
 /// Result of [`diagnose`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,15 +68,37 @@ pub fn diagnose(
     layout: &VssLayout,
     config: &EncoderConfig,
 ) -> Result<Diagnosis, NetworkError> {
+    match diagnose_cancellable(scenario, layout, config, &Interrupt::none()) {
+        Ok(d) => Ok(d),
+        Err(TaskError::Network(e)) => Err(e),
+        Err(other) => unreachable!("no interrupt installed: {other:?}"),
+    }
+}
+
+/// [`diagnose`] with cooperative cancellation: `interrupt` is installed on
+/// the solver driving the core-shrinking loop, so a trigger or an expired
+/// deadline aborts between (or inside) shrink probes.
+///
+/// # Errors
+///
+/// Returns [`TaskError::Network`] if the scenario is malformed, or the
+/// interrupt-mapped error if the token fired mid-solve.
+pub fn diagnose_cancellable(
+    scenario: &Scenario,
+    layout: &VssLayout,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+) -> Result<Diagnosis, TaskError> {
     let inst = Instance::new(scenario)?;
     let mut enc = encode(&inst, config, &TaskKind::Diagnose(layout.clone()));
+    enc.solver.set_interrupt(interrupt.clone());
     let selectors = enc.deadline_selectors.clone();
 
     // All deadlines on: the plain verification question.
     let core = match enc.solver.solve_with(&selectors) {
         SatResult::Sat(_) => return Ok(Diagnosis::Feasible),
         SatResult::Unsat { core } => core,
-        SatResult::Unknown => unreachable!("no conflict budget configured"),
+        SatResult::Unknown => return Err(interrupt_error(interrupt)),
     };
     if core.is_empty() {
         // Unsatisfiable without any assumption: departures/stops alone
@@ -98,7 +121,7 @@ pub fn diagnose(
                 i = 0;
             }
             SatResult::Sat(_) => i += 1,
-            SatResult::Unknown => unreachable!("no conflict budget configured"),
+            SatResult::Unknown => return Err(interrupt_error(interrupt)),
         }
         if minimal.is_empty() {
             return Ok(Diagnosis::Structural);

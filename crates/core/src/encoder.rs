@@ -23,7 +23,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use etcs_network::{EdgeId, NodeId, NodeKind, VssLayout};
@@ -700,7 +700,9 @@ impl<'a> Encoder<'a> {
             let speed = self.inst.trains[mover].speed;
             for t in self.inst.trains[mover].dep_step..self.inst.t_max.saturating_sub(1) {
                 // Sweep variables for this (mover, t), lazily allocated.
-                let mut sweep: HashMap<EdgeId, Lit> = HashMap::new();
+                // BTreeMap: the map is iterated below to emit clauses, and
+                // clause order must be deterministic for result caching.
+                let mut sweep: BTreeMap<EdgeId, Lit> = BTreeMap::new();
                 let current = self.active[mover][t].clone();
                 let next = self.active[mover][t + 1].clone();
                 for &e in &current {
@@ -739,7 +741,7 @@ impl<'a> Encoder<'a> {
         e: EdgeId,
         f: EdgeId,
         speed: u32,
-        sweep: &mut HashMap<EdgeId, Lit>,
+        sweep: &mut BTreeMap<EdgeId, Lit>,
     ) {
         let key = (e, f, speed);
         if !self.path_cache.contains_key(&key) {

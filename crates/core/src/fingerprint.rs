@@ -1,0 +1,324 @@
+//! Content-addressed cache keys for task results.
+//!
+//! [`cache_key`] hashes everything that determines a task's *deterministic*
+//! result — network topology, schedule, spatial/temporal resolutions,
+//! horizon, task kind (with its layout, where it takes one), and encoder
+//! configuration — into a 128-bit fingerprint. Two inputs with the same key
+//! produce bit-identical reports (modulo wall-clock fields), which is what
+//! lets `etcs-serve`'s result cache answer repeat jobs without solving.
+//!
+//! # Canonicalisation
+//!
+//! The hash is deliberately conservative: it only normalises orderings that
+//! provably cannot change the solver's output.
+//!
+//! * **TTD / station member-track lists** are hashed sorted. The encoder
+//!   only ever tests membership (`tracks.contains(..)`) and iterates edges
+//!   in *edge* order, so listing a TTD's tracks in a different order yields
+//!   the same clauses in the same order.
+//! * **VSS border sets** are order-canonical by construction
+//!   ([`VssLayout`] stores a `BTreeSet`), so insertion order never reaches
+//!   the hash.
+//! * The **scenario name** is excluded: it appears only in observability
+//!   span fields, never in any result.
+//!
+//! Everything else — track declaration order, TTD/station declaration
+//! order, run order — is hashed as-is, because those orders assign the ids
+//! the encoding is built from and reordering them can legitimately change
+//! which optimal model the solver finds first.
+//!
+//! The fingerprint is two independently-seeded FNV-1a-64 lanes, each
+//! finished with a splitmix64-style avalanche that mixes in the other lane.
+//! No cryptographic strength is claimed; the cache only needs collisions to
+//! be vanishingly unlikely across a service lifetime of jobs.
+
+use etcs_network::Scenario;
+
+use crate::encoder::{EncoderConfig, TaskKind};
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+/// Incremental two-lane FNV-1a writer with length-prefixed framing, so
+/// adjacent variable-length fields can never alias each other.
+struct Canon {
+    a: u64,
+    b: u64,
+}
+
+impl Canon {
+    fn new() -> Self {
+        Canon {
+            a: OFFSET_A,
+            b: OFFSET_B,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    fn bool(&mut self, x: bool) {
+        self.byte(u8::from(x));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for &byte in s.as_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    /// A domain-separation tag between record kinds.
+    fn tag(&mut self, t: u8) {
+        self.byte(0xfe);
+        self.byte(t);
+    }
+
+    fn finish(self) -> u128 {
+        fn avalanche(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        let hi = avalanche(self.a ^ self.b.rotate_left(32));
+        let lo = avalanche(self.b ^ self.a.rotate_left(17));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+/// Computes the content-addressed cache key of a task over `scenario`.
+///
+/// See the module docs for exactly what is (and is not) canonicalised.
+/// The key is versioned (`etcs-cache-key-v1`): any change to the encoding
+/// or decoding pipeline that can alter results must bump the version tag so
+/// stale persisted caches can never alias.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_core::{cache_key, EncoderConfig, TaskKind};
+/// use etcs_network::fixtures;
+///
+/// let scenario = fixtures::running_example();
+/// let config = EncoderConfig::default();
+/// let a = cache_key(&scenario, &TaskKind::Generate, &config);
+/// let b = cache_key(&scenario, &TaskKind::Optimize, &config);
+/// assert_ne!(a, b, "task kinds address distinct results");
+/// ```
+pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -> u128 {
+    let mut c = Canon::new();
+    c.str("etcs-cache-key-v1");
+
+    c.tag(0x01); // encoder configuration
+    c.bool(config.prune_to_goal);
+    c.bool(config.allow_immediate_reoccupation);
+    c.bool(config.symmetric_movement);
+    c.bool(config.trace);
+    c.bool(config.proof);
+
+    c.tag(0x02); // resolutions and horizon
+    c.u64(scenario.r_s.as_u64());
+    c.u64(scenario.r_t.as_u64());
+    c.u64(scenario.horizon.as_u64());
+
+    let net = &scenario.network;
+    c.tag(0x03); // topology: declaration order is id order, hash as-is
+    c.usize(net.num_nodes());
+    c.usize(net.tracks().len());
+    for t in net.tracks() {
+        c.usize(t.from.index());
+        c.usize(t.to.index());
+        c.u64(t.length.as_u64());
+        c.str(&t.name);
+    }
+    c.tag(0x04); // TTDs: entry order matters, member order does not
+    c.usize(net.ttds().len());
+    for ttd in net.ttds() {
+        c.str(&ttd.name);
+        let mut members: Vec<usize> = ttd.tracks.iter().map(|t| t.index()).collect();
+        members.sort_unstable();
+        c.usize(members.len());
+        for m in members {
+            c.usize(m);
+        }
+    }
+    c.tag(0x05); // stations: entry order matters, member order does not
+    c.usize(net.stations().len());
+    for station in net.stations() {
+        c.str(&station.name);
+        c.bool(station.boundary);
+        let mut members: Vec<usize> = station.tracks.iter().map(|t| t.index()).collect();
+        members.sort_unstable();
+        c.usize(members.len());
+        for m in members {
+            c.usize(m);
+        }
+    }
+
+    c.tag(0x06); // schedule, in run order (run order is train-id order)
+    c.usize(scenario.schedule.len());
+    for run in scenario.schedule.runs() {
+        c.str(&run.train.name);
+        c.u64(run.train.length.as_u64());
+        c.u64(u64::from(run.train.max_speed.as_u32()));
+        c.usize(run.origin.index());
+        c.usize(run.destination.index());
+        c.u64(run.departure.as_u64());
+        match run.arrival {
+            Some(a) => {
+                c.byte(1);
+                c.u64(a.as_u64());
+            }
+            None => c.byte(0),
+        }
+        c.usize(run.stops.len());
+        for (station, deadline) in &run.stops {
+            c.usize(station.index());
+            match deadline {
+                Some(d) => {
+                    c.byte(1);
+                    c.u64(d.as_u64());
+                }
+                None => c.byte(0),
+            }
+        }
+    }
+
+    c.tag(0x07); // task kind (+ layout where the task takes one)
+    let layout = match task {
+        TaskKind::Verify(layout) => {
+            c.byte(0);
+            Some(layout)
+        }
+        TaskKind::Generate => {
+            c.byte(1);
+            None
+        }
+        TaskKind::Optimize => {
+            c.byte(2);
+            None
+        }
+        TaskKind::OptimizeIncremental => {
+            c.byte(3);
+            None
+        }
+        TaskKind::Diagnose(layout) => {
+            c.byte(4);
+            Some(layout)
+        }
+    };
+    if let Some(layout) = layout {
+        // BTreeSet iteration is already sorted: insertion order never
+        // reaches the hash.
+        c.usize(layout.num_borders());
+        for border in layout.borders() {
+            c.usize(border.index());
+        }
+    }
+
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_network::{fixtures, VssLayout};
+
+    fn config() -> EncoderConfig {
+        EncoderConfig::default()
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        let s = fixtures::running_example();
+        assert_eq!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&s, &TaskKind::Generate, &config()),
+        );
+    }
+
+    #[test]
+    fn task_kinds_get_distinct_keys() {
+        let s = fixtures::running_example();
+        let layout = VssLayout::pure_ttd();
+        let keys = [
+            cache_key(&s, &TaskKind::Verify(layout.clone()), &config()),
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&s, &TaskKind::Optimize, &config()),
+            cache_key(&s, &TaskKind::OptimizeIncremental, &config()),
+            cache_key(&s, &TaskKind::Diagnose(layout), &config()),
+        ];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "kinds {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_name_is_excluded() {
+        let s = fixtures::running_example();
+        let mut renamed = s.clone();
+        renamed.name = "something else entirely".into();
+        assert_eq!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&renamed, &TaskKind::Generate, &config()),
+        );
+    }
+
+    #[test]
+    fn config_changes_the_key() {
+        let s = fixtures::running_example();
+        let mut other = config();
+        other.symmetric_movement = !other.symmetric_movement;
+        assert_ne!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&s, &TaskKind::Generate, &other),
+        );
+    }
+
+    #[test]
+    fn schedule_changes_the_key() {
+        let s = fixtures::running_example();
+        let mut tightened = s.clone();
+        let mut runs: Vec<_> = tightened.schedule.runs().to_vec();
+        runs[0].departure = etcs_network::Seconds(runs[0].departure.as_u64() + 60);
+        tightened.schedule = etcs_network::Schedule::new(runs);
+        assert_ne!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&tightened, &TaskKind::Generate, &config()),
+        );
+    }
+
+    #[test]
+    fn layout_border_insertion_order_is_canonical() {
+        let s = fixtures::running_example();
+        let forward = VssLayout::with_borders([
+            etcs_network::NodeId::from_index(2),
+            etcs_network::NodeId::from_index(5),
+            etcs_network::NodeId::from_index(9),
+        ]);
+        let backward = VssLayout::with_borders([
+            etcs_network::NodeId::from_index(9),
+            etcs_network::NodeId::from_index(2),
+            etcs_network::NodeId::from_index(5),
+        ]);
+        assert_eq!(
+            cache_key(&s, &TaskKind::Verify(forward), &config()),
+            cache_key(&s, &TaskKind::Verify(backward), &config()),
+        );
+    }
+}

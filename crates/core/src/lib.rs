@@ -36,6 +36,7 @@ mod decode;
 mod diagnose;
 mod encoder;
 mod explorer;
+mod fingerprint;
 mod instance;
 mod objectives;
 mod parallel;
@@ -48,9 +49,10 @@ pub use certify::{
     CertifiedVerdict, CertifyError,
 };
 pub use decode::{SolvedPlan, TrainPlan};
-pub use diagnose::{diagnose, Diagnosis};
+pub use diagnose::{diagnose, diagnose_cancellable, Diagnosis};
 pub use encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind, VarMap};
 pub use explorer::LayoutExplorer;
+pub use fingerprint::cache_key;
 pub use instance::{ExitPolicy, Instance, TrainSpec};
 pub use objectives::optimize_arrivals;
 pub use parallel::{
@@ -58,8 +60,9 @@ pub use parallel::{
     optimize_portfolio_obs, verify_all, verify_all_obs, verify_all_with_threads, OptimizeMode,
 };
 pub use tasks::{
-    generate, generate_obs, optimize, optimize_incremental, optimize_incremental_obs, optimize_obs,
-    verify, verify_obs, DesignOutcome, TaskReport, VerifyOutcome,
+    generate, generate_cancellable, generate_obs, optimize, optimize_cancellable,
+    optimize_incremental, optimize_incremental_cancellable, optimize_incremental_obs, optimize_obs,
+    verify, verify_cancellable, verify_obs, DesignOutcome, TaskError, TaskReport, VerifyOutcome,
 };
 pub use trace::EncodingTrace;
 pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};

@@ -18,7 +18,7 @@ use etcs_sat::{Lit, SatResult, Solver, Stats};
 use crate::encoder::{encode, EncoderConfig, Encoding, TaskKind};
 use crate::instance::Instance;
 use crate::tasks::{
-    minimize_borders, optimize_incremental_obs, optimize_obs, verify_obs, DesignOutcome,
+    minimize_borders, optimize_incremental_obs, optimize_obs, verify_obs, DesignOutcome, Stage2,
     TaskReport, VerifyOutcome,
 };
 
@@ -262,7 +262,14 @@ fn claim_and_finish(
     let pin = deadline_assumption(&enc, inst, d);
     let (result, stage2_calls) = minimize_borders(&mut enc, inst, &pin, obs);
     calls += stage2_calls;
-    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+    let (plan, border_cost) = match result {
+        Stage2::Solved(plan, cost) => (plan, cost),
+        // The racers use conflict budgets only during probing; Stage 2 runs
+        // unbudgeted and without an interrupt.
+        Stage2::Unsat | Stage2::Interrupted => {
+            unreachable!("the probed deadline was satisfiable")
+        }
+    };
     Some(RaceWin {
         outcome: DesignOutcome::Solved {
             plan,

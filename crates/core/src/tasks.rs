@@ -19,11 +19,12 @@
 //! Counters `probes` and `conflicts` accumulate in the handle's metrics
 //! registry alongside the events.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use etcs_network::{NetworkError, Scenario, VssLayout};
 use etcs_obs::Obs;
-use etcs_sat::{maxsat, Lit, SatResult, Stats, Strategy};
+use etcs_sat::{maxsat, Interrupt, InterruptReason, Lit, SatResult, Stats, Strategy};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind};
@@ -95,20 +96,79 @@ impl DesignOutcome {
     }
 }
 
+/// Error from the `*_cancellable` task variants: either the scenario was
+/// malformed, or the task's [`Interrupt`] token fired mid-solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The scenario is malformed (see [`NetworkError`]).
+    Network(NetworkError),
+    /// The task's [`Interrupt`] token was triggered.
+    Cancelled,
+    /// The task's armed wall-clock deadline expired.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Network(e) => write!(f, "{e}"),
+            TaskError::Cancelled => write!(f, "task cancelled"),
+            TaskError::DeadlineExceeded => write!(f, "task deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaskError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for TaskError {
+    fn from(e: NetworkError) -> Self {
+        TaskError::Network(e)
+    }
+}
+
+/// Maps a fired [`Interrupt`] to the matching [`TaskError`]. Only called
+/// after a solver returned `Unknown` on an interrupt-equipped, budget-free
+/// solve, so the token must have fired.
+pub(crate) fn interrupt_error(interrupt: &Interrupt) -> TaskError {
+    match interrupt.probe() {
+        Some(InterruptReason::Cancelled) => TaskError::Cancelled,
+        Some(InterruptReason::DeadlineExceeded) => TaskError::DeadlineExceeded,
+        None => unreachable!("solver returned Unknown with neither budget nor interrupt fired"),
+    }
+}
+
+/// Outcome of [`minimize_borders`].
+pub(crate) enum Stage2 {
+    /// An optimal model was found and decoded.
+    Solved(SolvedPlan, u64),
+    /// The hard constraints plus assumptions are unsatisfiable.
+    Unsat,
+    /// The solver's [`Interrupt`] fired mid-loop.
+    Interrupted,
+}
+
 /// Stage-2 border minimisation on an existing encoding: runs the MaxSAT
 /// loop for `min Σ border_v` on `enc`'s solver (keeping `assumptions`
 /// active throughout) and decodes an optimal model.
 ///
-/// Returns `(Some((plan, cost)), solver_calls)`, or `None` when the hard
-/// constraints plus assumptions are unsatisfiable. The objective is
-/// temporarily detached from the encoding instead of cloned (the old
-/// per-call `border_objective.clone()`), and restored before returning.
+/// Returns `(Stage2::Solved(plan, cost), solver_calls)`, or `Stage2::Unsat`
+/// when the hard constraints plus assumptions are unsatisfiable. The
+/// objective is temporarily detached from the encoding instead of cloned
+/// (the old per-call `border_objective.clone()`), and restored before
+/// returning.
 pub(crate) fn minimize_borders(
     enc: &mut Encoding,
     inst: &Instance,
     assumptions: &[Lit],
     obs: &Obs,
-) -> (Option<(SolvedPlan, u64)>, usize) {
+) -> (Stage2, usize) {
     let span = obs.span_with("stage2", &[("assumptions", assumptions.len().into())]);
     let conflicts_before = enc.solver.stats().conflicts;
     let objective = std::mem::take(&mut enc.border_objective);
@@ -130,16 +190,22 @@ pub(crate) fn minimize_borders(
                 ("conflicts", conflicts.into()),
             ]);
             (
-                Some((SolvedPlan::decode(inst, &enc.vars, &r.model), r.cost)),
+                Stage2::Solved(SolvedPlan::decode(inst, &enc.vars, &r.model), r.cost),
                 r.solver_calls,
             )
         }
         maxsat::OptimizeOutcome::Unsat => {
             span.close_with(&[("feasible", false.into()), ("conflicts", conflicts.into())]);
-            (None, 1)
+            (Stage2::Unsat, 1)
         }
         maxsat::OptimizeOutcome::Unknown { .. } => {
-            unreachable!("no conflict budget configured")
+            // Only reachable with an interrupt installed on the solver —
+            // the task loops never configure a conflict budget.
+            span.close_with(&[
+                ("interrupted", true.into()),
+                ("conflicts", conflicts.into()),
+            ]);
+            (Stage2::Interrupted, 1)
         }
     }
 }
@@ -185,6 +251,29 @@ pub fn verify_obs(
     config: &EncoderConfig,
     obs: &Obs,
 ) -> Result<(VerifyOutcome, TaskReport), NetworkError> {
+    match verify_cancellable(scenario, layout, config, &Interrupt::none(), obs) {
+        Ok(r) => Ok(r),
+        Err(TaskError::Network(e)) => Err(e),
+        Err(other) => unreachable!("no interrupt installed: {other:?}"),
+    }
+}
+
+/// [`verify_obs`] with cooperative cancellation: `interrupt` is installed
+/// on the solver, which polls it at restart boundaries. A fired token
+/// surfaces as [`TaskError::Cancelled`] / [`TaskError::DeadlineExceeded`];
+/// the partially-solved state is discarded.
+///
+/// # Errors
+///
+/// Returns [`TaskError::Network`] if the scenario is malformed, or the
+/// interrupt-mapped error if the token fired mid-solve.
+pub fn verify_cancellable(
+    scenario: &Scenario,
+    layout: &VssLayout,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> Result<(VerifyOutcome, TaskReport), TaskError> {
     let start = Instant::now();
     let task = obs.span_with(
         "task.verify",
@@ -198,6 +287,7 @@ pub fn verify_obs(
         ("clauses", enc.stats.clauses.into()),
     ]);
     enc.solver.set_obs(obs.clone());
+    enc.solver.set_interrupt(interrupt.clone());
     let stats = enc.stats;
     let outcome = match enc.solver.solve() {
         SatResult::Sat(model) => {
@@ -207,7 +297,10 @@ pub fn verify_obs(
             VerifyOutcome::Feasible(plan)
         }
         SatResult::Unsat { .. } => VerifyOutcome::Infeasible,
-        SatResult::Unknown => unreachable!("no conflict budget configured"),
+        SatResult::Unknown => {
+            task.close_with(&[("interrupted", true.into())]);
+            return Err(interrupt_error(interrupt));
+        }
     };
     let search = *enc.solver.stats();
     obs.counter_add("conflicts", search.conflicts);
@@ -251,6 +344,26 @@ pub fn generate_obs(
     config: &EncoderConfig,
     obs: &Obs,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    match generate_cancellable(scenario, config, &Interrupt::none(), obs) {
+        Ok(r) => Ok(r),
+        Err(TaskError::Network(e)) => Err(e),
+        Err(other) => unreachable!("no interrupt installed: {other:?}"),
+    }
+}
+
+/// [`generate_obs`] with cooperative cancellation (see
+/// [`verify_cancellable`] for the contract).
+///
+/// # Errors
+///
+/// Returns [`TaskError::Network`] if the scenario is malformed, or the
+/// interrupt-mapped error if the token fired mid-solve.
+pub fn generate_cancellable(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), TaskError> {
     let start = Instant::now();
     let task = obs.span_with(
         "task.generate",
@@ -264,14 +377,19 @@ pub fn generate_obs(
         ("clauses", enc.stats.clauses.into()),
     ]);
     enc.solver.set_obs(obs.clone());
+    enc.solver.set_interrupt(interrupt.clone());
     let stats = enc.stats;
     let (result, calls) = minimize_borders(&mut enc, &inst, &[], obs);
     let outcome = match result {
-        Some((plan, cost)) => DesignOutcome::Solved {
+        Stage2::Solved(plan, cost) => DesignOutcome::Solved {
             plan,
             costs: vec![cost],
         },
-        None => DesignOutcome::Infeasible,
+        Stage2::Unsat => DesignOutcome::Infeasible,
+        Stage2::Interrupted => {
+            task.close_with(&[("interrupted", true.into())]);
+            return Err(interrupt_error(interrupt));
+        }
     };
     match &outcome {
         DesignOutcome::Solved { costs, .. } => task.close_with(&[
@@ -329,6 +447,28 @@ pub fn optimize_obs(
     config: &EncoderConfig,
     obs: &Obs,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    match optimize_cancellable(scenario, config, &Interrupt::none(), obs) {
+        Ok(r) => Ok(r),
+        Err(TaskError::Network(e)) => Err(e),
+        Err(other) => unreachable!("no interrupt installed: {other:?}"),
+    }
+}
+
+/// [`optimize_obs`] with cooperative cancellation: every Stage-1 probe
+/// solver and the Stage-2 MaxSAT loop carry the token, so a trigger or an
+/// expired deadline aborts the loop at the next solver poll (see
+/// [`verify_cancellable`] for the contract).
+///
+/// # Errors
+///
+/// Returns [`TaskError::Network`] if the scenario is malformed, or the
+/// interrupt-mapped error if the token fired mid-solve.
+pub fn optimize_cancellable(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), TaskError> {
     let start = Instant::now();
     let task = obs.span_with(
         "task.optimize",
@@ -363,8 +503,10 @@ pub fn optimize_obs(
             ("clauses", enc.stats.clauses.into()),
         ]);
         enc.solver.set_obs(obs.clone());
+        enc.solver.set_interrupt(interrupt.clone());
         last_stats = enc.stats;
-        let sat = matches!(enc.solver.solve(), SatResult::Sat(_));
+        let verdict = enc.solver.solve();
+        let sat = matches!(verdict, SatResult::Sat(_));
         let conflicts = enc.solver.stats().conflicts;
         obs.counter_add("probes", 1);
         obs.counter_add("conflicts", conflicts);
@@ -373,6 +515,10 @@ pub fn optimize_obs(
             ("sat", sat.into()),
             ("conflicts", conflicts.into()),
         ]);
+        if matches!(verdict, SatResult::Unknown) {
+            task.close_with(&[("interrupted", true.into())]);
+            return Err(interrupt_error(interrupt));
+        }
         if sat {
             found = Some((d, enc));
             break;
@@ -399,7 +545,14 @@ pub fn optimize_obs(
     let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &[], obs);
     calls += stage2_calls;
     search += enc.solver.stats();
-    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+    let (plan, border_cost) = match result {
+        Stage2::Solved(plan, cost) => (plan, cost),
+        Stage2::Unsat => unreachable!("the probed deadline was satisfiable"),
+        Stage2::Interrupted => {
+            task.close_with(&[("interrupted", true.into())]);
+            return Err(interrupt_error(interrupt));
+        }
+    };
 
     task.close_with(&[
         ("feasible", true.into()),
@@ -462,6 +615,27 @@ pub fn optimize_incremental_obs(
     config: &EncoderConfig,
     obs: &Obs,
 ) -> Result<(DesignOutcome, TaskReport), NetworkError> {
+    match optimize_incremental_cancellable(scenario, config, &Interrupt::none(), obs) {
+        Ok(r) => Ok(r),
+        Err(TaskError::Network(e)) => Err(e),
+        Err(other) => unreachable!("no interrupt installed: {other:?}"),
+    }
+}
+
+/// [`optimize_incremental_obs`] with cooperative cancellation: the single
+/// persistent solver carries the token across every probe and the Stage-2
+/// loop (see [`verify_cancellable`] for the contract).
+///
+/// # Errors
+///
+/// Returns [`TaskError::Network`] if the scenario is malformed, or the
+/// interrupt-mapped error if the token fired mid-solve.
+pub fn optimize_incremental_cancellable(
+    scenario: &Scenario,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> Result<(DesignOutcome, TaskReport), TaskError> {
     let start = Instant::now();
     let task = obs.span_with(
         "task.optimize_incremental",
@@ -476,6 +650,7 @@ pub fn optimize_incremental_obs(
         ("clauses", enc.stats.clauses.into()),
     ]);
     enc.solver.set_obs(obs.clone());
+    enc.solver.set_interrupt(interrupt.clone());
     let stats = enc.stats;
     let mut calls = 0usize;
 
@@ -512,7 +687,10 @@ pub fn optimize_incremental_obs(
                     enc.solver.add_clause([!sel]);
                 }
             }
-            SatResult::Unknown => unreachable!("no conflict budget configured"),
+            SatResult::Unknown => {
+                task.close_with(&[("interrupted", true.into())]);
+                return Err(interrupt_error(interrupt));
+            }
         }
     }
     let Some(best_deadline) = best_deadline else {
@@ -534,7 +712,14 @@ pub fn optimize_incremental_obs(
     let pin = enc.deadline_probe_assumptions(&inst, best_deadline);
     let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &pin, obs);
     calls += stage2_calls;
-    let (plan, border_cost) = result.expect("the probed deadline was satisfiable");
+    let (plan, border_cost) = match result {
+        Stage2::Solved(plan, cost) => (plan, cost),
+        Stage2::Unsat => unreachable!("the probed deadline was satisfiable"),
+        Stage2::Interrupted => {
+            task.close_with(&[("interrupted", true.into())]);
+            return Err(interrupt_error(interrupt));
+        }
+    };
     let search = *enc.solver.stats();
 
     task.close_with(&[

@@ -1,0 +1,169 @@
+//! Cooperative interruption of long-running solves.
+//!
+//! An [`Interrupt`] is a cheap, cloneable token shared between a solver and
+//! the code supervising it (another thread, a job scheduler, a signal
+//! handler). The supervisor calls [`Interrupt::trigger`] — or arms a
+//! wall-clock deadline — and the solver polls the token at restart
+//! boundaries and every few dozen conflicts, returning
+//! [`SatResult::Unknown`](crate::SatResult::Unknown) promptly without
+//! poisoning its state: the trail is rolled back to level 0 and everything
+//! learnt is kept, exactly as for conflict-budget exhaustion.
+//!
+//! The default token ([`Interrupt::none`]) carries no shared state at all,
+//! so solvers that never get interrupted pay a single branch per poll.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an interrupted solve stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// [`Interrupt::trigger`] was called (explicit cancellation).
+    Cancelled,
+    /// The armed wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Deadline as nanoseconds after `epoch`; 0 = no deadline armed.
+    deadline_ns: AtomicU64,
+    epoch: Instant,
+}
+
+/// A cooperative cancellation token, optionally carrying a wall-clock
+/// deadline. Clones share the same state; triggering any clone interrupts
+/// every solver the token was installed on.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_sat::{Interrupt, InterruptReason};
+/// let token = Interrupt::new();
+/// let shared = token.clone();
+/// assert!(token.probe().is_none());
+/// shared.trigger();
+/// assert_eq!(token.probe(), Some(InterruptReason::Cancelled));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interrupt {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Interrupt {
+    /// A token that can never fire. This is the solver default; probing it
+    /// is a single branch.
+    pub fn none() -> Self {
+        Interrupt { inner: None }
+    }
+
+    /// A live token with no deadline; fires only via [`Interrupt::trigger`].
+    pub fn new() -> Self {
+        Interrupt {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_ns: AtomicU64::new(0),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// A live token whose deadline is `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        let token = Interrupt::new();
+        token.arm_deadline(budget);
+        token
+    }
+
+    /// Arms (or re-arms) the deadline to `budget` from now. A job scheduler
+    /// creates the token at submission but starts the clock only when a
+    /// worker picks the job up, so queueing time never counts against the
+    /// solve. No-op on a [`Interrupt::none`] token.
+    pub fn arm_deadline(&self, budget: Duration) {
+        if let Some(inner) = &self.inner {
+            let ns = inner
+                .epoch
+                .elapsed()
+                .saturating_add(budget)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            // 0 means "unarmed"; a zero budget still has to fire.
+            inner.deadline_ns.store(ns.max(1), Ordering::Release);
+        }
+    }
+
+    /// Requests cancellation. Idempotent; no-op on a [`Interrupt::none`]
+    /// token.
+    pub fn trigger(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Checks whether the token has fired, and why. Explicit cancellation
+    /// takes precedence over an expired deadline.
+    pub fn probe(&self) -> Option<InterruptReason> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancelled.load(Ordering::Acquire) {
+            return Some(InterruptReason::Cancelled);
+        }
+        let deadline = inner.deadline_ns.load(Ordering::Acquire);
+        if deadline != 0 && inner.epoch.elapsed().as_nanos() >= deadline as u128 {
+            return Some(InterruptReason::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// `true` once the token has fired ([`Interrupt::probe`] without the
+    /// reason).
+    pub fn is_triggered(&self) -> bool {
+        self.probe().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let t = Interrupt::none();
+        t.trigger();
+        t.arm_deadline(Duration::ZERO);
+        assert_eq!(t.probe(), None);
+        assert!(!t.is_triggered());
+    }
+
+    #[test]
+    fn trigger_is_shared_across_clones() {
+        let t = Interrupt::new();
+        let c = t.clone();
+        assert!(!c.is_triggered());
+        t.trigger();
+        assert_eq!(c.probe(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_fires_immediately() {
+        let t = Interrupt::new();
+        assert!(t.probe().is_none());
+        t.arm_deadline(Duration::ZERO);
+        assert_eq!(t.probe(), Some(InterruptReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline() {
+        let t = Interrupt::with_deadline(Duration::ZERO);
+        t.trigger();
+        assert_eq!(t.probe(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn unarmed_deadline_does_not_fire() {
+        let t = Interrupt::new();
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(t.probe(), None);
+    }
+}

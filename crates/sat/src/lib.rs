@@ -53,6 +53,7 @@ pub mod card;
 mod clause;
 mod cnf;
 mod dimacs;
+mod interrupt;
 pub mod maxsat;
 mod model;
 mod pb;
@@ -64,6 +65,7 @@ mod types;
 pub use card::Totalizer;
 pub use cnf::{CnfSink, Formula};
 pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
+pub use interrupt::{Interrupt, InterruptReason};
 pub use maxsat::{
     minimize, minimize_lex, minimize_lex_full, BudgetExhausted, LexOptimumResult, OptimizeOutcome,
     OptimumResult, Strategy,

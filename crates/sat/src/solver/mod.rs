@@ -17,12 +17,18 @@ mod restart;
 pub use restart::luby;
 
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::interrupt::Interrupt;
 use crate::model::Model;
 use crate::proof::ProofSink;
 use crate::stats::Stats;
 use crate::types::{LBool, Lit, Var};
 use etcs_obs::Obs;
 use heap::VarHeap;
+
+/// How many conflicts pass between [`Interrupt`] polls inside a restart.
+/// Restart boundaries poll unconditionally; this bounds the latency of a
+/// cancellation that lands mid-restart.
+const INTERRUPT_POLL_MASK: u64 = 63;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,6 +130,9 @@ pub struct Solver {
     /// as lemmas first or later derivations stop being RUP for the checker.
     proof_units: usize,
     conflict_budget: Option<u64>,
+    /// Cooperative cancellation token; [`Interrupt::none`] by default, in
+    /// which case every poll is a single branch.
+    interrupt: Interrupt,
     default_phase: bool,
     /// Optional DRAT proof logger. `None` (the default) keeps all emission
     /// paths behind a single branch, so solving without a proof is free.
@@ -163,6 +172,7 @@ impl Solver {
             last_simplify_trail: 0,
             proof_units: 0,
             conflict_budget: None,
+            interrupt: Interrupt::none(),
             default_phase: false,
             proof: None,
             obs: Obs::disabled(),
@@ -279,6 +289,23 @@ impl Solver {
     /// to poll a cancellation flag between budget slices.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a cooperative cancellation token, polled at restart
+    /// boundaries and every few dozen conflicts. Once the token fires,
+    /// `solve`/`solve_with` return [`SatResult::Unknown`] with the same
+    /// guarantees as conflict-budget exhaustion: the trail is rolled back
+    /// to level 0, no assumption sticks, learnt clauses are kept, and the
+    /// solver remains usable. Probe the token afterwards to distinguish
+    /// cancellation from an expired deadline (or from a plain budget
+    /// `Unknown`). Install [`Interrupt::none`] to detach.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
+    }
+
+    /// The installed cancellation token ([`Interrupt::none`] by default).
+    pub fn interrupt(&self) -> &Interrupt {
+        &self.interrupt
     }
 
     /// Sets the phase a variable is first tried with (`false` by default,
@@ -487,6 +514,12 @@ impl Solver {
         let budget_start = self.stats.conflicts;
         let mut restart_num = 0u64;
         loop {
+            // Restart-boundary poll: catches tokens triggered before the
+            // call as well as deadlines expiring between restarts.
+            if self.interrupt.is_triggered() {
+                self.cancel_until(0);
+                return SatResult::Unknown;
+            }
             restart_num += 1;
             let limit = RESTART_BASE * luby(restart_num);
             match self.search(assumptions, limit, budget_start) {
@@ -514,7 +547,7 @@ impl Solver {
                         return SatResult::Unsat { core: Vec::new() };
                     }
                 }
-                SearchOutcome::BudgetExhausted => {
+                SearchOutcome::BudgetExhausted | SearchOutcome::Interrupted => {
                     self.cancel_until(0);
                     return SatResult::Unknown;
                 }
@@ -870,6 +903,9 @@ impl Solver {
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
+                if conflicts_here & INTERRUPT_POLL_MASK == 0 && self.interrupt.is_triggered() {
+                    return SearchOutcome::Interrupted;
+                }
                 if conflicts_here >= conflict_limit {
                     return SearchOutcome::Restart;
                 }
@@ -1093,6 +1129,7 @@ enum SearchOutcome {
     Unsat(Vec<Lit>),
     Restart,
     BudgetExhausted,
+    Interrupted,
 }
 
 #[cfg(test)]
@@ -1338,6 +1375,51 @@ mod tests {
         // And the solver is still usable without a budget.
         s.set_conflict_budget(None);
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pre_triggered_interrupt_returns_unknown_and_solver_stays_usable() {
+        let mut s = Solver::new();
+        let a = lit(&mut s);
+        let b = lit(&mut s);
+        s.add_clause([a, b]);
+        let token = crate::Interrupt::new();
+        token.trigger();
+        s.set_interrupt(token);
+        assert_eq!(s.solve(), SatResult::Unknown);
+        // Detaching the token restores normal solving on the same state.
+        s.set_interrupt(crate::Interrupt::none());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn interrupt_mid_search_keeps_verdict_reachable() {
+        // Interrupt a hard instance after some conflicts, then finish it:
+        // learnt clauses must survive the aborted call.
+        let n = 7usize;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| lit(&mut s)).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n - 1 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        let token = crate::Interrupt::with_deadline(std::time::Duration::ZERO);
+        s.set_interrupt(token.clone());
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(
+            token.probe(),
+            Some(crate::InterruptReason::DeadlineExceeded)
+        );
+        s.set_interrupt(crate::Interrupt::none());
+        assert!(s.solve().is_unsat(), "pigeonhole is unsatisfiable");
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! `served` — the ETCS L3 design tasks as a JSONL batch service.
+//!
+//! Reads one JSON job request per line (from `--input FILE` or stdin),
+//! runs the batch through [`etcs_serve::Service`], and writes one JSON
+//! response per line (to `--output FILE` or stdout), preserving input
+//! order. Optionally emits an observability trace with `--trace FILE`.
+//!
+//! Request line:
+//!
+//! ```json
+//! {"id": "j1", "kind": "optimize", "scenario": "fixture:running_example",
+//!  "layout": "pure_ttd", "priority": "normal", "deadline_ms": 30000}
+//! ```
+//!
+//! * `kind` — `verify` | `generate` | `optimize` | `optimize_incremental`
+//!   | `diagnose`.
+//! * `scenario` — `fixture:NAME` (a built-in case study), `file:PATH`
+//!   (a `.rail` file) or `rail:TEXT` (inline `.rail` source, `\n`-escaped).
+//! * `layout` (optional, verify/diagnose only) — `pure_ttd` (default),
+//!   `full`, or `borders:2,5,9` (discrete-node indices).
+//! * `priority` (optional) — `high` | `normal` (default) | `low`.
+//! * `deadline_ms` (optional) — wall-clock budget, armed at worker pickup.
+//!
+//! Response line (`payload` only when `status` is `done`):
+//!
+//! ```json
+//! {"id": "j1", "status": "done", "cache": "miss", "wall_ms": 412,
+//!  "payload": {"kind": "optimize", "feasible": true, "costs": [14, 2],
+//!              "borders": 2, "trains": 2, "digest": "4f2e…"}}
+//! ```
+//!
+//! `payload.digest` is a 128-bit hash over the *complete* result,
+//! including every train's step-by-step positions — two equal digests
+//! mean bit-identical results, which is how the CI smoke test proves
+//! cache hits match fresh solves.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use etcs_core::Instance;
+use etcs_network::{fixtures, parse_scenario, Scenario, VssLayout};
+use etcs_obs::json::{self, Json};
+use etcs_obs::Obs;
+use etcs_serve::{JobKind, JobOutcome, JobPayload, JobRequest, Priority, ServeConfig, Service};
+
+struct Args {
+    input: Option<String>,
+    output: Option<String>,
+    trace: Option<String>,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+}
+
+const USAGE: &str = "usage: served [--input FILE] [--output FILE] [--trace FILE] \
+[--workers N] [--queue N] [--cache N]\n\
+Reads one JSON job request per line, writes one JSON response per line.\n\
+See the repository README, \"Running as a service\", for the line formats.";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        output: None,
+        trace: None,
+        workers: 2,
+        queue: 256,
+        cache: 128,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--input" => args.input = Some(value("--input")?),
+            "--output" => args.output = Some(value("--output")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue must be an integer".to_string())?
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache must be an integer".to_string())?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_scenario(spec: &str) -> Result<Scenario, String> {
+    if let Some(name) = spec.strip_prefix("fixture:") {
+        match name {
+            "running_example" => Ok(fixtures::running_example()),
+            "simple_layout" => Ok(fixtures::simple_layout()),
+            "complex_layout" => Ok(fixtures::complex_layout()),
+            "nordlandsbanen" => Ok(fixtures::nordlandsbanen()),
+            "convoy" => Ok(fixtures::convoy()),
+            other => Err(format!("unknown fixture {other:?}")),
+        }
+    } else if let Some(path) = spec.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_scenario(&text).map_err(|e| format!("{path}: {e}"))
+    } else if let Some(text) = spec.strip_prefix("rail:") {
+        parse_scenario(text).map_err(|e| e.to_string())
+    } else {
+        Err(format!(
+            "scenario must start with fixture:, file: or rail: (got {spec:?})"
+        ))
+    }
+}
+
+fn load_layout(spec: &str, scenario: &Scenario) -> Result<VssLayout, String> {
+    if spec == "pure_ttd" {
+        Ok(VssLayout::pure_ttd())
+    } else if spec == "full" {
+        let inst = Instance::new(scenario).map_err(|e| e.to_string())?;
+        Ok(VssLayout::full(&inst.net))
+    } else if let Some(list) = spec.strip_prefix("borders:") {
+        let mut nodes = Vec::new();
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            let index: usize = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad border index {part:?}"))?;
+            nodes.push(etcs_network::NodeId::from_index(index));
+        }
+        Ok(VssLayout::with_borders(nodes))
+    } else {
+        Err(format!(
+            "layout must be pure_ttd, full or borders:i,j,… (got {spec:?})"
+        ))
+    }
+}
+
+fn parse_request(line: &str, lineno: usize) -> Result<JobRequest, String> {
+    let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+    let str_field = |key: &str| value.get(key).and_then(Json::as_str);
+    let id = str_field("id")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("line-{lineno}"));
+    let kind_name = str_field("kind").ok_or_else(|| format!("line {lineno}: missing \"kind\""))?;
+    let kind = JobKind::parse(kind_name)
+        .ok_or_else(|| format!("line {lineno}: unknown kind {kind_name:?}"))?;
+    let scenario_spec =
+        str_field("scenario").ok_or_else(|| format!("line {lineno}: missing \"scenario\""))?;
+    let scenario = load_scenario(scenario_spec).map_err(|e| format!("line {lineno}: {e}"))?;
+    let mut request = JobRequest::new(id, kind, scenario);
+    if let Some(layout_spec) = str_field("layout") {
+        request.layout = load_layout(layout_spec, &request.scenario)
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+    }
+    if let Some(priority_name) = str_field("priority") {
+        request.priority = Priority::parse(priority_name)
+            .ok_or_else(|| format!("line {lineno}: unknown priority {priority_name:?}"))?;
+    }
+    if let Some(ms) = value.get("deadline_ms").and_then(Json::as_f64) {
+        if ms < 0.0 {
+            return Err(format!("line {lineno}: deadline_ms must be non-negative"));
+        }
+        request.deadline = Some(Duration::from_millis(ms as u64));
+    }
+    Ok(request)
+}
+
+fn payload_json(payload: &JobPayload) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"kind\": {}", json::quote(payload.kind.name())));
+    out.push_str(&format!(", \"feasible\": {}", payload.feasible));
+    if !payload.costs.is_empty() {
+        let costs: Vec<String> = payload.costs.iter().map(u64::to_string).collect();
+        out.push_str(&format!(", \"costs\": [{}]", costs.join(", ")));
+    }
+    if let Some(plan) = &payload.plan {
+        out.push_str(&format!(", \"borders\": {}", plan.layout.num_borders()));
+        out.push_str(&format!(", \"trains\": {}", plan.plans.len()));
+    }
+    if let Some(diagnosis) = &payload.diagnosis {
+        let summary = match diagnosis {
+            etcs_core::Diagnosis::Feasible => "feasible".to_string(),
+            etcs_core::Diagnosis::Structural => "structural".to_string(),
+            etcs_core::Diagnosis::Conflict { names, .. } => {
+                format!("conflict: {}", names.join(", "))
+            }
+        };
+        out.push_str(&format!(", \"diagnosis\": {}", json::quote(&summary)));
+    }
+    out.push_str(&format!(", \"solver_calls\": {}", payload.solver_calls));
+    out.push_str(&format!(", \"conflicts\": {}", payload.search.conflicts));
+    out.push_str(&format!(", \"digest\": \"{:032x}\"", payload.digest()));
+    out.push('}');
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let obs = match &args.trace {
+        Some(path) => match Obs::jsonl(path) {
+            Ok(obs) => obs,
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Obs::disabled(),
+    };
+
+    let input: Box<dyn BufRead> = match &args.input {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(std::io::BufReader::new(file)),
+            Err(e) => {
+                eprintln!("cannot open input file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    // Parse every line up front; malformed lines become terminal "invalid"
+    // responses without costing a queue slot.
+    let mut order: Vec<Result<JobRequest, (String, String)>> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("read error on line {lineno}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line, lineno) {
+            Ok(request) => order.push(Ok(request)),
+            Err(message) => order.push(Err((format!("line-{lineno}"), message))),
+        }
+    }
+
+    let mut service = Service::with_obs(
+        ServeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            ..ServeConfig::default()
+        },
+        obs,
+    );
+
+    // Submit everything, then collect in input order.
+    let handles: Vec<_> = order
+        .into_iter()
+        .map(|entry| match entry {
+            Ok(request) => Ok(service.submit(request)),
+            Err(invalid) => Err(invalid),
+        })
+        .collect();
+
+    let mut output: Box<dyn Write> = match &args.output {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Box::new(std::io::BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("cannot create output file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+
+    let mut failed = false;
+    for handle in handles {
+        let line = match handle {
+            Err((id, message)) => {
+                failed = true;
+                format!(
+                    "{{\"id\": {}, \"status\": \"invalid\", \"reason\": {}}}",
+                    json::quote(&id),
+                    json::quote(&message)
+                )
+            }
+            Ok(submitted) => {
+                let response = match submitted {
+                    Ok(ticket) => ticket.wait(),
+                    Err(rejected) => rejected,
+                };
+                let mut line = format!(
+                    "{{\"id\": {}, \"status\": {}, \"cache\": {}, \"wall_ms\": {}",
+                    json::quote(&response.id),
+                    json::quote(response.outcome.status()),
+                    json::quote(if response.cache_hit { "hit" } else { "miss" }),
+                    response.wall.as_millis()
+                );
+                match &response.outcome {
+                    JobOutcome::Done(payload) => {
+                        line.push_str(&format!(", \"payload\": {}", payload_json(payload)));
+                    }
+                    JobOutcome::Rejected(reason) => {
+                        failed = true;
+                        line.push_str(&format!(
+                            ", \"reason\": {}",
+                            json::quote(&reason.to_string())
+                        ));
+                    }
+                    JobOutcome::Invalid(message) => {
+                        failed = true;
+                        line.push_str(&format!(", \"reason\": {}", json::quote(message)));
+                    }
+                    JobOutcome::Cancelled | JobOutcome::DeadlineExceeded => {}
+                }
+                line.push('}');
+                line
+            }
+        };
+        if let Err(e) = writeln!(output, "{line}") {
+            eprintln!("write error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = output.flush() {
+        eprintln!("write error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let queue = service.queue_stats();
+    let cache = service.cache_stats().unwrap_or_default();
+    eprintln!(
+        "served: {} submitted, {} admitted, {} rejected; cache {} hits / {} misses",
+        queue.submitted, queue.admitted, queue.rejected, cache.hits, cache.misses
+    );
+    service.shutdown();
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,196 @@
+//! Content-addressed result cache with LRU eviction.
+//!
+//! Keys come from [`etcs_core::cache_key`]: a canonical 128-bit hash of
+//! everything that determines a task's deterministic result. Values are
+//! complete [`JobPayload`]s — a hit is, by construction, bit-identical to
+//! re-running the solve (wall-clock data never enters the payload).
+//!
+//! Eviction is exact least-recently-used over a bounded entry count. The
+//! capacity is a handful of solved instances, so the O(capacity) eviction
+//! scan is cheaper than maintaining an intrusive list would be.
+
+use std::collections::HashMap;
+
+use crate::job::JobPayload;
+
+/// Hit/miss/eviction counters, readable via [`ResultCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a payload.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Payloads stored.
+    pub insertions: u64,
+    /// Payloads evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    payload: JobPayload,
+    last_used: u64,
+}
+
+/// A bounded LRU map from content hash to finished payload.
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<u128, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` payloads.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of payloads currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<JobPayload> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.payload.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `key`, evicting the least-recently-used
+    /// entry if the cache is full. A zero-capacity cache stores nothing.
+    pub fn insert(&mut self, key: u128, payload: JobPayload) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.payload = payload;
+            entry.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                payload,
+                last_used: self.tick,
+            },
+        );
+        self.stats.insertions += 1;
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use etcs_core::EncodingStats;
+    use etcs_sat::Stats;
+
+    fn payload(tagged_cost: u64) -> JobPayload {
+        JobPayload {
+            kind: JobKind::Generate,
+            feasible: true,
+            costs: vec![tagged_cost],
+            plan: None,
+            diagnosis: None,
+            stats: EncodingStats::default(),
+            solver_calls: 1,
+            search: Stats::default(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_payload() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(1, payload(10));
+        assert_eq!(cache.get(1), Some(payload(10)));
+        assert_eq!(cache.get(2), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_and_respects_capacity() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, payload(1));
+        cache.insert(2, payload(2));
+        // Touch 1 so that 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, payload(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some(), "recently used survives");
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, payload(1));
+        cache.insert(2, payload(2));
+        cache.insert(1, payload(100));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(1), Some(payload(100)));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(1, payload(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+    }
+}

@@ -1,0 +1,539 @@
+//! Job vocabulary of the service: requests, priorities, payloads and
+//! responses — plus [`execute`], the direct (unqueued, uncached) execution
+//! path every worker and every "is the cache bit-identical?" test runs
+//! through.
+
+use std::fmt;
+use std::time::Duration;
+
+use etcs_core::{
+    cache_key, diagnose_cancellable, generate_cancellable, optimize_cancellable,
+    optimize_incremental_cancellable, verify_cancellable, DesignOutcome, Diagnosis, EncoderConfig,
+    EncodingStats, SolvedPlan, TaskError, TaskKind, TaskReport, VerifyOutcome,
+};
+use etcs_network::{Scenario, VssLayout};
+use etcs_obs::Obs;
+use etcs_sat::{Interrupt, Stats};
+
+/// Which of the five task entry points a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// [`etcs_core::verify`] on the request's layout.
+    Verify,
+    /// [`etcs_core::generate`].
+    Generate,
+    /// [`etcs_core::optimize`] (from-scratch loop).
+    Optimize,
+    /// [`etcs_core::optimize_incremental`] (persistent solver).
+    OptimizeIncremental,
+    /// [`etcs_core::diagnose`] on the request's layout.
+    Diagnose,
+}
+
+impl JobKind {
+    /// All five kinds, in a stable order.
+    pub const ALL: [JobKind; 5] = [
+        JobKind::Verify,
+        JobKind::Generate,
+        JobKind::Optimize,
+        JobKind::OptimizeIncremental,
+        JobKind::Diagnose,
+    ];
+
+    /// The wire name (`verify`, `generate`, `optimize`,
+    /// `optimize_incremental`, `diagnose`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Verify => "verify",
+            JobKind::Generate => "generate",
+            JobKind::Optimize => "optimize",
+            JobKind::OptimizeIncremental => "optimize_incremental",
+            JobKind::Diagnose => "diagnose",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<JobKind> {
+        JobKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for JobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Admission priority class. Workers always drain higher classes first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Interactive / latency-sensitive jobs.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Bulk / best-effort jobs.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const CLASSES: usize = 3;
+
+    /// Queue index: 0 (high) to 2 (low).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The wire name (`high`, `normal`, `low`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        [Priority::High, Priority::Normal, Priority::Low]
+            .into_iter()
+            .find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of work for the service.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: String,
+    /// Which task to run.
+    pub kind: JobKind,
+    /// The scenario to run it on.
+    pub scenario: Scenario,
+    /// The layout for [`JobKind::Verify`] / [`JobKind::Diagnose`]
+    /// (ignored by the design tasks, which choose their own).
+    pub layout: VssLayout,
+    /// Admission class.
+    pub priority: Priority,
+    /// Per-job wall-clock budget, armed when a worker picks the job up
+    /// (queueing time does not count). `None` = the service default.
+    pub deadline: Option<Duration>,
+}
+
+impl JobRequest {
+    /// A normal-priority request with a pure-TTD layout and no deadline.
+    pub fn new(id: impl Into<String>, kind: JobKind, scenario: Scenario) -> Self {
+        JobRequest {
+            id: id.into(),
+            kind,
+            scenario,
+            layout: VssLayout::pure_ttd(),
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Sets the layout (for verify/diagnose jobs).
+    pub fn with_layout(mut self, layout: VssLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the admission class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The encoder-level task this request maps to.
+    pub fn task_kind(&self) -> TaskKind {
+        match self.kind {
+            JobKind::Verify => TaskKind::Verify(self.layout.clone()),
+            JobKind::Generate => TaskKind::Generate,
+            JobKind::Optimize => TaskKind::Optimize,
+            JobKind::OptimizeIncremental => TaskKind::OptimizeIncremental,
+            JobKind::Diagnose => TaskKind::Diagnose(self.layout.clone()),
+        }
+    }
+
+    /// The content-addressed cache key of this request under `config`
+    /// (see [`etcs_core::cache_key`] for the canonicalisation contract).
+    pub fn cache_key(&self, config: &EncoderConfig) -> u128 {
+        cache_key(&self.scenario, &self.task_kind(), config)
+    }
+}
+
+/// The deterministic result of a completed job — everything a caller can
+/// compare bit-for-bit between a cache hit and a cold solve. Wall-clock
+/// data lives on [`JobResponse`], never here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPayload {
+    /// The task that produced this payload.
+    pub kind: JobKind,
+    /// Verification/design verdict (`true` for a feasible diagnosis).
+    pub feasible: bool,
+    /// Proven optimal objective costs, lexicographic (empty for
+    /// verify/diagnose).
+    pub costs: Vec<u64>,
+    /// The witness/solved plan, if one exists.
+    pub plan: Option<SolvedPlan>,
+    /// The diagnosis, for [`JobKind::Diagnose`] jobs.
+    pub diagnosis: Option<Diagnosis>,
+    /// Encoding size statistics.
+    pub stats: EncodingStats,
+    /// Solver invocations the task made.
+    pub solver_calls: usize,
+    /// Accumulated CDCL search statistics.
+    pub search: Stats,
+}
+
+impl JobPayload {
+    /// A 128-bit digest over the *entire* payload, including every train's
+    /// full step-by-step positions. Two payloads are equal iff their wire
+    /// JSON **and** this digest agree, so responses can stay compact while
+    /// the bit-identical guarantee still covers the full plan.
+    pub fn digest(&self) -> u128 {
+        let mut h = Fnv2::new();
+        h.str(self.kind.name());
+        h.u64(u64::from(self.feasible));
+        h.u64(self.costs.len() as u64);
+        for &c in &self.costs {
+            h.u64(c);
+        }
+        match &self.plan {
+            None => h.u64(0),
+            Some(plan) => {
+                h.u64(1);
+                h.u64(plan.layout.num_borders() as u64);
+                for b in plan.layout.borders() {
+                    h.u64(b.index() as u64);
+                }
+                h.u64(plan.plans.len() as u64);
+                for train in &plan.plans {
+                    h.str(&train.name);
+                    h.u64(train.positions.len() as u64);
+                    for step in &train.positions {
+                        h.u64(step.len() as u64);
+                        for e in step {
+                            h.u64(e.index() as u64);
+                        }
+                    }
+                }
+            }
+        }
+        match &self.diagnosis {
+            None => h.u64(0),
+            Some(Diagnosis::Feasible) => h.u64(1),
+            Some(Diagnosis::Structural) => h.u64(2),
+            Some(Diagnosis::Conflict { trains, names }) => {
+                h.u64(3);
+                h.u64(trains.len() as u64);
+                for t in trains {
+                    h.u64(t.index() as u64);
+                }
+                for n in names {
+                    h.str(n);
+                }
+            }
+        }
+        for v in [
+            self.stats.border_vars,
+            self.stats.occupies_vars,
+            self.stats.nominal_vars,
+            self.stats.solver_vars,
+            self.stats.clauses,
+            self.solver_calls,
+        ] {
+            h.u64(v as u64);
+        }
+        for v in [
+            self.search.decisions,
+            self.search.propagations,
+            self.search.conflicts,
+            self.search.restarts,
+            self.search.learnt_literals,
+            self.search.deleted_clauses,
+            self.search.solve_calls,
+            self.search.reused_learnts,
+        ] {
+            h.u64(v);
+        }
+        h.finish()
+    }
+}
+
+/// Two-lane FNV-1a-64 with an avalanche finish — the same construction as
+/// `etcs_core::cache_key`, here hashing *outputs* instead of inputs.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv2 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(Self::PRIME);
+        self.b = (self.b ^ u64::from(x)).wrapping_mul(Self::PRIME);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for &byte in s.as_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn finish(self) -> u128 {
+        fn avalanche(mut x: u64) -> u64 {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+        let hi = avalanche(self.a ^ self.b.rotate_left(32));
+        let lo = avalanche(self.b ^ self.a.rotate_left(17));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+/// Why a job was refused at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue was at capacity.
+    QueueFull {
+        /// The configured bound.
+        capacity: usize,
+        /// Depth observed at rejection time.
+        depth: usize,
+    },
+    /// The service is shutting down and accepts no new jobs.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity, depth } => {
+                write!(f, "queue full ({depth}/{capacity})")
+            }
+            RejectReason::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Terminal state of a job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// The task ran to completion. Boxed: a payload (plan, statistics) is
+    /// an order of magnitude larger than the other variants.
+    Done(Box<JobPayload>),
+    /// Admission control refused the job.
+    Rejected(RejectReason),
+    /// The job's [`Interrupt`] was triggered (by [`crate::JobTicket::cancel`]
+    /// or a shared token).
+    Cancelled,
+    /// The per-job wall-clock deadline expired mid-solve.
+    DeadlineExceeded,
+    /// The scenario was malformed ([`etcs_network::NetworkError`] text).
+    Invalid(String),
+}
+
+impl JobOutcome {
+    /// Stable wire name of the state (`done`, `rejected`, `cancelled`,
+    /// `deadline_exceeded`, `invalid`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Done(_) => "done",
+            JobOutcome::Rejected(_) => "rejected",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::DeadlineExceeded => "deadline_exceeded",
+            JobOutcome::Invalid(_) => "invalid",
+        }
+    }
+
+    /// The payload, for completed jobs.
+    pub fn payload(&self) -> Option<&JobPayload> {
+        match self {
+            JobOutcome::Done(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// What the service hands back per job.
+#[derive(Clone, Debug)]
+pub struct JobResponse {
+    /// The request's `id`, echoed.
+    pub id: String,
+    /// Terminal state (payload, rejection, cancellation, …).
+    pub outcome: JobOutcome,
+    /// `true` when the payload came from the result cache.
+    pub cache_hit: bool,
+    /// Wall-clock time from worker pickup (or rejection) to completion.
+    pub wall: Duration,
+}
+
+fn payload_from_report(
+    kind: JobKind,
+    feasible: bool,
+    costs: Vec<u64>,
+    plan: Option<SolvedPlan>,
+    report: TaskReport,
+) -> JobPayload {
+    JobPayload {
+        kind,
+        feasible,
+        costs,
+        plan,
+        diagnosis: None,
+        stats: report.stats,
+        solver_calls: report.solver_calls,
+        search: report.search,
+    }
+}
+
+/// Runs a request directly — no queue, no cache — and maps the result into
+/// a [`JobOutcome`]. This is the exact function the worker pool executes on
+/// cache misses, exposed so callers (and the bit-identical cache tests) can
+/// produce reference payloads.
+pub fn execute(
+    request: &JobRequest,
+    config: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> JobOutcome {
+    let result = match request.kind {
+        JobKind::Verify => {
+            verify_cancellable(&request.scenario, &request.layout, config, interrupt, obs).map(
+                |(outcome, report)| match outcome {
+                    VerifyOutcome::Feasible(plan) => {
+                        payload_from_report(request.kind, true, Vec::new(), Some(plan), report)
+                    }
+                    VerifyOutcome::Infeasible => {
+                        payload_from_report(request.kind, false, Vec::new(), None, report)
+                    }
+                },
+            )
+        }
+        JobKind::Generate => generate_cancellable(&request.scenario, config, interrupt, obs)
+            .map(|(outcome, report)| design_payload(request.kind, outcome, report)),
+        JobKind::Optimize => optimize_cancellable(&request.scenario, config, interrupt, obs)
+            .map(|(outcome, report)| design_payload(request.kind, outcome, report)),
+        JobKind::OptimizeIncremental => {
+            optimize_incremental_cancellable(&request.scenario, config, interrupt, obs)
+                .map(|(outcome, report)| design_payload(request.kind, outcome, report))
+        }
+        JobKind::Diagnose => {
+            diagnose_cancellable(&request.scenario, &request.layout, config, interrupt).map(
+                |diagnosis| JobPayload {
+                    kind: request.kind,
+                    feasible: diagnosis == Diagnosis::Feasible,
+                    costs: Vec::new(),
+                    plan: None,
+                    diagnosis: Some(diagnosis),
+                    stats: EncodingStats::default(),
+                    solver_calls: 0,
+                    search: Stats::default(),
+                },
+            )
+        }
+    };
+    match result {
+        Ok(payload) => JobOutcome::Done(Box::new(payload)),
+        Err(TaskError::Cancelled) => JobOutcome::Cancelled,
+        Err(TaskError::DeadlineExceeded) => JobOutcome::DeadlineExceeded,
+        Err(TaskError::Network(e)) => JobOutcome::Invalid(e.to_string()),
+    }
+}
+
+fn design_payload(kind: JobKind, outcome: DesignOutcome, report: TaskReport) -> JobPayload {
+    match outcome {
+        DesignOutcome::Solved { plan, costs } => {
+            payload_from_report(kind, true, costs, Some(plan), report)
+        }
+        DesignOutcome::Infeasible => payload_from_report(kind, false, Vec::new(), None, report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_network::fixtures;
+
+    #[test]
+    fn kind_and_priority_wire_names_round_trip() {
+        for kind in JobKind::ALL {
+            assert_eq!(JobKind::parse(kind.name()), Some(kind));
+        }
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::parse(p.name()), Some(p));
+        }
+        assert_eq!(JobKind::parse("bogus"), None);
+        assert_eq!(Priority::parse("urgent"), None);
+    }
+
+    #[test]
+    fn execute_verify_matches_library_call() {
+        let scenario = fixtures::running_example();
+        let config = EncoderConfig::default();
+        let request = JobRequest::new("v", JobKind::Verify, scenario.clone());
+        let outcome = execute(&request, &config, &Interrupt::none(), &Obs::disabled());
+        let payload = outcome.payload().expect("runs to completion");
+        let (direct, _) =
+            etcs_core::verify(&scenario, &VssLayout::pure_ttd(), &config).expect("valid");
+        assert_eq!(payload.feasible, direct.is_feasible());
+        assert_eq!(payload.digest(), payload.clone().digest(), "digest is pure");
+    }
+
+    #[test]
+    fn digests_differ_between_kinds() {
+        let scenario = fixtures::simple_layout();
+        let config = EncoderConfig::default();
+        let a = execute(
+            &JobRequest::new("a", JobKind::Generate, scenario.clone()),
+            &config,
+            &Interrupt::none(),
+            &Obs::disabled(),
+        );
+        let b = execute(
+            &JobRequest::new("b", JobKind::Verify, scenario),
+            &config,
+            &Interrupt::none(),
+            &Obs::disabled(),
+        );
+        let (a, b) = (a.payload().unwrap().digest(), b.payload().unwrap().digest());
+        assert_ne!(a, b);
+    }
+}

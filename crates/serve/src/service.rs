@@ -1,0 +1,447 @@
+//! The job service: bounded admission, a worker-thread pool with per-job
+//! deadlines and cooperative cancellation, and a shared result cache with
+//! single-flight duplicate suppression (concurrent jobs with the same
+//! cache key trigger exactly one solve).
+//!
+//! Lifecycle: [`Service::new`] spawns the workers; [`Service::submit`]
+//! runs admission control and returns a [`JobTicket`] (or an immediate
+//! rejection); each ticket can [`JobTicket::cancel`] its job at any point
+//! and [`JobTicket::wait`] for the response. Dropping the service closes
+//! the queue, drains it, and joins every worker.
+//!
+//! Observability vocabulary (all through `etcs-obs`):
+//! `serve.enqueue` / `serve.admit` / `serve.reject` events at admission,
+//! one `serve.job` span per executed job (fields: `job`, `kind`,
+//! `priority`, `worker`, closing with `status` and `cache`), and the
+//! counters `serve.jobs`, `serve.cache.hits`, `serve.cache.misses`,
+//! `serve.cancelled`, `serve.deadline_exceeded`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use etcs_core::EncoderConfig;
+use etcs_obs::Obs;
+use etcs_sat::{Interrupt, InterruptReason};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::{execute, JobOutcome, JobRequest, JobResponse};
+use crate::queue::{JobQueue, QueueStats};
+
+/// Tunables for a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum jobs waiting for a worker before admission control rejects.
+    pub queue_capacity: usize,
+    /// Result-cache entries (`0` disables caching entirely).
+    pub cache_capacity: usize,
+    /// Deadline applied to jobs that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Encoder configuration shared by every job (part of the cache key).
+    pub encoder: EncoderConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline: None,
+            encoder: EncoderConfig::default(),
+        }
+    }
+}
+
+/// One-shot mailbox a worker fills with the finished response.
+struct Slot {
+    result: Mutex<Option<JobResponse>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, response: JobResponse) {
+        *self.result.lock().expect("slot lock") = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> JobResponse {
+        let mut guard = self.result.lock().expect("slot lock");
+        loop {
+            if let Some(response) = guard.take() {
+                return response;
+            }
+            guard = self.ready.wait(guard).expect("slot lock");
+        }
+    }
+}
+
+struct QueuedJob {
+    request: JobRequest,
+    interrupt: Interrupt,
+    slot: Arc<Slot>,
+}
+
+/// The result cache plus its single-flight registry: the first worker to
+/// miss on a key becomes that key's *leader*; workers hitting the same key
+/// while the leader is still solving wait for its result instead of
+/// repeating a multi-second solve.
+struct CacheLayer {
+    results: Mutex<ResultCache>,
+    pending: Mutex<HashMap<u128, Arc<Inflight>>>,
+}
+
+/// Completion latch for one in-flight solve.
+struct Inflight {
+    done: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            done: Mutex::new(false),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().expect("flight lock") = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the leader finishes, polling `interrupt` so a waiting
+    /// job stays cancellable. Returns `false` if the token fired first.
+    fn wait(&self, interrupt: &Interrupt) -> bool {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            if interrupt.is_triggered() {
+                return false;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(done, Duration::from_millis(20))
+                .expect("flight lock");
+            done = guard;
+        }
+        true
+    }
+}
+
+/// Handle to an admitted job.
+#[derive(Clone)]
+pub struct JobTicket {
+    id: String,
+    interrupt: Interrupt,
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket").field("id", &self.id).finish()
+    }
+}
+
+impl JobTicket {
+    /// The request id this ticket tracks.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Requests cooperative cancellation. Takes effect at the solver's
+    /// next poll point; a job still in the queue resolves to `Cancelled`
+    /// without ever running.
+    pub fn cancel(&self) {
+        self.interrupt.trigger();
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(self) -> JobResponse {
+        self.slot.wait()
+    }
+}
+
+/// A long-lived, concurrent job service over the five design tasks.
+pub struct Service {
+    queue: Arc<JobQueue<QueuedJob>>,
+    cache: Option<Arc<CacheLayer>>,
+    workers: Vec<JoinHandle<()>>,
+    obs: Obs,
+    config: ServeConfig,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.config.workers)
+            .field("queue", &self.queue.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts a service with no observability.
+    pub fn new(config: ServeConfig) -> Self {
+        Self::with_obs(config, Obs::disabled())
+    }
+
+    /// Starts a service emitting spans, events and counters through `obs`.
+    pub fn with_obs(config: ServeConfig, obs: Obs) -> Self {
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let cache = (config.cache_capacity > 0).then(|| {
+            Arc::new(CacheLayer {
+                results: Mutex::new(ResultCache::new(config.cache_capacity)),
+                pending: Mutex::new(HashMap::new()),
+            })
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|worker_id| {
+                let queue = Arc::clone(&queue);
+                let cache = cache.clone();
+                let obs = obs.clone();
+                let config = config.clone();
+                std::thread::spawn(move || worker_loop(worker_id, &queue, cache, &config, &obs))
+            })
+            .collect();
+        Service {
+            queue,
+            cache,
+            workers,
+            obs,
+            config,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Offers a job to admission control. On admission returns a
+    /// [`JobTicket`]; on rejection returns a complete (terminal) response
+    /// immediately.
+    pub fn submit(&self, request: JobRequest) -> Result<JobTicket, JobResponse> {
+        self.obs.event(
+            "serve.enqueue",
+            &[
+                ("job", request.id.clone().into()),
+                ("kind", request.kind.name().into()),
+                ("priority", request.priority.name().into()),
+            ],
+        );
+        let interrupt = Interrupt::new();
+        let slot = Slot::new();
+        let queued = QueuedJob {
+            request: request.clone(),
+            interrupt: interrupt.clone(),
+            slot: Arc::clone(&slot),
+        };
+        match self.queue.push(request.priority, queued) {
+            Ok(()) => {
+                self.obs.event(
+                    "serve.admit",
+                    &[
+                        ("job", request.id.clone().into()),
+                        ("depth", (self.queue.stats().depth as u64).into()),
+                    ],
+                );
+                Ok(JobTicket {
+                    id: request.id,
+                    interrupt,
+                    slot,
+                })
+            }
+            Err(reason) => {
+                self.obs.event(
+                    "serve.reject",
+                    &[
+                        ("job", request.id.clone().into()),
+                        ("reason", reason.to_string().into()),
+                    ],
+                );
+                self.obs.counter_add("serve.rejected", 1);
+                Err(JobResponse {
+                    id: request.id,
+                    outcome: JobOutcome::Rejected(reason),
+                    cache_hit: false,
+                    wall: Duration::ZERO,
+                })
+            }
+        }
+    }
+
+    /// Submits a whole batch and waits for every job, preserving input
+    /// order. Rejected jobs appear as terminal responses in place.
+    pub fn run_batch(&self, requests: Vec<JobRequest>) -> Vec<JobResponse> {
+        let tickets: Vec<Result<JobTicket, JobResponse>> =
+            requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(response) => response,
+            })
+            .collect()
+    }
+
+    /// Queue backpressure counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Result-cache counters (`None` when caching is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+            .as_ref()
+            .map(|c| c.results.lock().expect("cache lock").stats())
+    }
+
+    /// Closes admission, drains the queue, and joins every worker.
+    /// Called automatically on drop; explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.obs.flush_metrics();
+        self.obs.flush();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    worker_id: usize,
+    queue: &JobQueue<QueuedJob>,
+    cache: Option<Arc<CacheLayer>>,
+    config: &ServeConfig,
+    obs: &Obs,
+) {
+    while let Some(job) = queue.pop() {
+        let started = Instant::now();
+        let QueuedJob {
+            request,
+            interrupt,
+            slot,
+        } = job;
+        let span = obs.span_with(
+            "serve.job",
+            &[
+                ("job", request.id.clone().into()),
+                ("kind", request.kind.name().into()),
+                ("priority", request.priority.name().into()),
+                ("worker", (worker_id as u64).into()),
+            ],
+        );
+        let (outcome, cache_hit) = if interrupt.is_triggered() {
+            // Cancelled while still queued: never touch solver or cache.
+            (JobOutcome::Cancelled, false)
+        } else {
+            // The deadline clock starts here: queueing time is free,
+            // waiting on another worker's in-flight solve of the same key
+            // is not.
+            if let Some(deadline) = request.deadline.or(config.default_deadline) {
+                interrupt.arm_deadline(deadline);
+            }
+            match &cache {
+                None => (execute(&request, &config.encoder, &interrupt, obs), false),
+                Some(layer) => {
+                    let key = request.cache_key(&config.encoder);
+                    single_flight(layer, key, &request, &config.encoder, &interrupt, obs)
+                }
+            }
+        };
+        obs.counter_add("serve.jobs", 1);
+        match outcome {
+            JobOutcome::Cancelled => obs.counter_add("serve.cancelled", 1),
+            JobOutcome::DeadlineExceeded => obs.counter_add("serve.deadline_exceeded", 1),
+            _ => {}
+        }
+        span.close_with(&[
+            ("status", outcome.status().into()),
+            ("cache", if cache_hit { "hit" } else { "miss" }.into()),
+        ]);
+        slot.fill(JobResponse {
+            id: request.id,
+            outcome,
+            cache_hit,
+            wall: started.elapsed(),
+        });
+    }
+}
+
+/// Cache lookup with duplicate suppression. Exactly one worker solves a
+/// given key at a time; everyone else joining that key waits and is then
+/// answered from the cache (a hit, bit-identical by construction). If the
+/// leader ends without a payload (cancelled, deadline, invalid), a waiter
+/// takes over as the new leader rather than inheriting the failure.
+///
+/// The cache is probed *under the pending lock*, and a leader publishes
+/// its result before releasing its key — so between "no leader running"
+/// and "not in the cache" no completed solve can slip through, and the
+/// hit/miss counters are exact: one miss per executed solve, one hit per
+/// job answered from a stored result.
+fn single_flight(
+    layer: &CacheLayer,
+    key: u128,
+    request: &JobRequest,
+    encoder: &EncoderConfig,
+    interrupt: &Interrupt,
+    obs: &Obs,
+) -> (JobOutcome, bool) {
+    loop {
+        let flight = {
+            let mut pending = layer.pending.lock().expect("pending lock");
+            match pending.get(&key) {
+                Some(flight) => Some(Arc::clone(flight)),
+                None => {
+                    if let Some(payload) = layer.results.lock().expect("cache lock").get(key) {
+                        obs.counter_add("serve.cache.hits", 1);
+                        return (JobOutcome::Done(Box::new(payload)), true);
+                    }
+                    pending.insert(key, Arc::new(Inflight::new()));
+                    None
+                }
+            }
+        };
+        let Some(flight) = flight else {
+            // Leader: solve, publish the result, then release the key.
+            obs.counter_add("serve.cache.misses", 1);
+            let outcome = execute(request, encoder, interrupt, obs);
+            if let JobOutcome::Done(payload) = &outcome {
+                layer
+                    .results
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, (**payload).clone());
+            }
+            if let Some(flight) = layer.pending.lock().expect("pending lock").remove(&key) {
+                flight.finish();
+            }
+            return (outcome, false);
+        };
+        // Joiner: wait for the leader (staying responsive to our own
+        // token), then loop back into the locked cache probe.
+        if !flight.wait(interrupt) {
+            let outcome = match interrupt.probe() {
+                Some(InterruptReason::DeadlineExceeded) => JobOutcome::DeadlineExceeded,
+                _ => JobOutcome::Cancelled,
+            };
+            return (outcome, false);
+        }
+    }
+}

@@ -21,7 +21,10 @@
 //! ([`lint`]). Each design task also has a `*_certified` variant
 //! ([`verify_certified`] and friends) that lints the encoding and checks
 //! every answer — models against a mirrored formula, UNSAT verdicts against
-//! a DRAT proof replayed by an in-repo checker.
+//! a DRAT proof replayed by an in-repo checker. For long-lived deployments,
+//! [`serve`] wraps the tasks in a concurrent job service with admission
+//! control, per-job deadlines, cooperative cancellation and a
+//! content-addressed result cache (the `served` binary speaks JSONL).
 //!
 //! ## Quick start
 //!
@@ -50,14 +53,16 @@
 #![warn(missing_docs)]
 
 pub use etcs_core::{
-    border_tradeoff, diagnose, diagnose_certified, encode, generate, generate_certified,
-    generate_obs, optimize, optimize_all, optimize_all_obs, optimize_all_with_threads,
-    optimize_arrivals, optimize_certified, optimize_incremental, optimize_incremental_obs,
-    optimize_obs, optimize_portfolio, optimize_portfolio_obs, optimize_with_budget, verify,
-    verify_all, verify_all_obs, verify_all_with_threads, verify_certified, verify_obs,
-    Certification, CertifiedVerdict, CertifyError, DesignOutcome, Diagnosis, EncoderConfig,
-    Encoding, EncodingStats, EncodingTrace, ExitPolicy, Instance, LayoutExplorer, OptimizeMode,
-    SolvedPlan, TaskKind, TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
+    border_tradeoff, cache_key, diagnose, diagnose_cancellable, diagnose_certified, encode,
+    generate, generate_cancellable, generate_certified, generate_obs, optimize, optimize_all,
+    optimize_all_obs, optimize_all_with_threads, optimize_arrivals, optimize_cancellable,
+    optimize_certified, optimize_incremental, optimize_incremental_cancellable,
+    optimize_incremental_obs, optimize_obs, optimize_portfolio, optimize_portfolio_obs,
+    optimize_with_budget, verify, verify_all, verify_all_obs, verify_all_with_threads,
+    verify_cancellable, verify_certified, verify_obs, Certification, CertifiedVerdict,
+    CertifyError, DesignOutcome, Diagnosis, EncoderConfig, Encoding, EncodingStats, EncodingTrace,
+    ExitPolicy, Instance, LayoutExplorer, OptimizeMode, SolvedPlan, TaskError, TaskKind,
+    TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
 };
 pub use etcs_network::{
     fixtures, parse_scenario, write_scenario, DiscreteNet, EdgeId, KmPerHour, Meters,
@@ -93,6 +98,13 @@ pub mod lint {
 /// entry points run with tracing off at zero cost.
 pub mod obs {
     pub use etcs_obs::*;
+}
+
+/// Job-scheduling service over the design tasks: bounded priority queue,
+/// worker pool with deadlines and cancellation, content-addressed result
+/// cache. The `served` binary exposes it over JSONL.
+pub mod serve {
+    pub use etcs_serve::*;
 }
 
 /// The most common imports in one place.

@@ -1,13 +1,60 @@
-//! Integration test for the shipped `.rail` sample scenario: parse it from
-//! disk and run the full design pipeline on it.
+//! Integration tests for the shipped `.rail` sample scenarios: every file
+//! in `scenarios/` must parse, validate and round-trip; the branch-line
+//! sample additionally runs the full design pipeline.
 
 use etcs::prelude::*;
 use etcs::{parse_scenario, write_scenario};
+
+fn scenario_files() -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("scenarios/ ships with the repo")
+        .filter_map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            (path.extension().is_some_and(|e| e == "rail")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 3,
+        "expected the shipped sample scenarios, found {files:?}"
+    );
+    files
+}
+
+fn load(path: &std::path::Path) -> Scenario {
+    let text = std::fs::read_to_string(path).expect("sample scenario is readable");
+    parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
 
 fn load_sample() -> Scenario {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/branch_line.rail");
     let text = std::fs::read_to_string(path).expect("sample scenario ships with the repo");
     parse_scenario(&text).expect("sample scenario parses")
+}
+
+#[test]
+fn every_shipped_scenario_parses_validates_and_roundtrips() {
+    for path in scenario_files() {
+        let s = load(&path);
+        s.validate()
+            .unwrap_or_else(|e| panic!("{}: invalid: {e}", path.display()));
+        assert!(
+            s.schedule.len() >= 2,
+            "{}: trivial schedule",
+            path.display()
+        );
+        let back = parse_scenario(&write_scenario(&s))
+            .unwrap_or_else(|e| panic!("{}: roundtrip: {e}", path.display()));
+        assert_eq!(back.network, s.network, "{}", path.display());
+        assert_eq!(back.schedule, s.schedule, "{}", path.display());
+        assert_eq!(
+            (back.name, back.r_s, back.r_t, back.horizon),
+            (s.name, s.r_s, s.r_t, s.horizon),
+            "{}",
+            path.display()
+        );
+    }
 }
 
 #[test]
