@@ -90,4 +90,65 @@ for name in serve.enqueue serve.admit serve.job; do
     }
 done
 
+echo "==> bench artifacts parse (in-repo JSON parser)"
+# Every checked-in BENCH_*.json must be readable by the workspace's own
+# dependency-free parser (etcs_obs::json) — a truncated or hand-mangled
+# artifact fails here instead of breaking downstream tooling.
+cargo run --release -q -p etcs-bench --bin json_check -- BENCH_*.json
+
+echo "==> bench_lazy smoke (release, CEGAR vs eager bit-identity, traced)"
+LAZY_TRACE=target/BENCH_lazy_smoke.trace.jsonl
+cargo run --release -q -p etcs-bench --bin bench_lazy -- \
+    --smoke --out target/BENCH_lazy_smoke.json --trace "$LAZY_TRACE"
+test -s target/BENCH_lazy_smoke.json || {
+    echo "missing bench artifact target/BENCH_lazy_smoke.json"; exit 1;
+}
+# The bench itself asserts eager/lazy cost equality and cross-checks the
+# trace against its LazyReport; here we pin the span vocabulary and that
+# the CEGAR loop actually iterated (a zero-round run would mean the
+# relaxation was never refined and the lazy path was not exercised).
+for name in task.optimize_lazy lazy.round lazy.refine; do
+    grep -q "\"name\":\"$name\"" "$LAZY_TRACE" || {
+        echo "lazy trace lacks expected span/event name '$name'"
+        exit 1
+    }
+done
+grep -q '"rounds":' target/BENCH_lazy_smoke.json || {
+    echo "bench_lazy artifact lacks per-fixture round counts"; exit 1;
+}
+if grep -q '"rounds": 0' target/BENCH_lazy_smoke.json; then
+    echo "bench_lazy smoke fixture converged in 0 rounds (refiner idle)"
+    exit 1
+fi
+
+echo "==> served --lazy smoke (verdict digests identical to eager solves)"
+LAZY_IN=target/serve_lazy.in.jsonl
+EAGER_OUT=target/serve_lazy.eager.jsonl
+LAZY_OUT=target/serve_lazy.lazy.jsonl
+: > "$LAZY_IN"
+for kind in verify optimize optimize_incremental; do
+    printf '{"id": "%s", "kind": "%s", "scenario": "fixture:running_example"}\n' \
+        "$kind" "$kind" >> "$LAZY_IN"
+done
+cargo run --release -q -p etcs-serve --bin served -- \
+    --input "$LAZY_IN" --output "$EAGER_OUT" --workers 2
+cargo run --release -q -p etcs-serve --bin served -- \
+    --input "$LAZY_IN" --output "$LAZY_OUT" --workers 2 --lazy
+test "$(grep -c '"status": "done"' "$LAZY_OUT")" -eq 3 || {
+    echo "served --lazy: not every job completed"; exit 1;
+}
+# The CEGAR loop must reach the same verdict and the same optimal costs:
+# payload.verdict_digest hashes exactly that (the witness plan may
+# legitimately differ, the verdict must not).
+for kind in verify optimize optimize_incremental; do
+    eager_digest=$(grep "\"id\": \"$kind\"" "$EAGER_OUT" \
+        | sed 's/.*"verdict_digest": "\([0-9a-f]*\)".*/\1/')
+    lazy_digest=$(grep "\"id\": \"$kind\"" "$LAZY_OUT" \
+        | sed 's/.*"verdict_digest": "\([0-9a-f]*\)".*/\1/')
+    test -n "$eager_digest" && test "$eager_digest" = "$lazy_digest" || {
+        echo "served --lazy: $kind verdict digest diverged from eager"
+        exit 1
+    }
+done
+
 echo "All checks passed."

@@ -1,0 +1,38 @@
+//! Validates that JSON artifacts parse with the workspace's own parser.
+//!
+//! ```sh
+//! cargo run --release -p etcs-bench --bin json_check -- BENCH_*.json
+//! ```
+//!
+//! Every checked-in `BENCH_*.json` must round-trip through
+//! `etcs_obs::json::parse` — the same dependency-free parser the trace
+//! smoke tests use — so a malformed artifact (truncated write, stray
+//! trailing comma, NaN formatted as `NaN`) fails CI instead of breaking
+//! downstream tooling. Exits non-zero on the first unreadable or
+//! unparseable file; requires at least one argument so an empty glob
+//! cannot silently pass.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("json_check: no files given (empty glob?)");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("json_check: {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = etcs_obs::json::parse(&text) {
+            eprintln!("json_check: {path}: invalid JSON: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("json_check: {path}: ok");
+    }
+    ExitCode::SUCCESS
+}

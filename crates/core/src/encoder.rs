@@ -68,6 +68,79 @@ impl Default for EncoderConfig {
     }
 }
 
+/// Which of the encoder's *deferrable* constraint families to emit.
+///
+/// The eager core — train shape chains, movement/speed, completion
+/// tracking and the task goals — is always emitted: dropping any of it
+/// changes what a "plan" even is. The three pairwise-interaction families
+/// below are the ones a lazy refinement loop (`etcs-lazy`) can instead add
+/// on demand, one violated concrete instance at a time, following Engels &
+/// Wille's lazy constraint selection:
+///
+/// * [`shared`](Self::shared) — two trains must never occupy the same
+///   segment (the `e == f` case of the separation constraint);
+/// * [`separation`](Self::separation) — two trains inside one TTD force an
+///   active VSS border on the chain between them;
+/// * [`collision`](Self::collision) — a moving train's swept path is
+///   exclusive against every other train at both end steps (trains cannot
+///   pass through one another).
+///
+/// With a family disabled its constraint group is still *declared* (under
+/// [`EncoderConfig::trace`]) but left empty, so the `etcs-lint` audit sees
+/// — and, unless given a matching `LazyProfile` allowlist — flags exactly
+/// which families the relaxation dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstraintFamilies {
+    /// Emit shared-segment mutual exclusion eagerly.
+    pub shared: bool,
+    /// Emit same-TTD VSS separation (border-between clauses) eagerly.
+    pub separation: bool,
+    /// Emit the no-passing sweep constraints eagerly.
+    pub collision: bool,
+}
+
+impl ConstraintFamilies {
+    /// Every family eager — the paper's monolithic encoding.
+    pub const ALL: ConstraintFamilies = ConstraintFamilies {
+        shared: true,
+        separation: true,
+        collision: true,
+    };
+
+    /// Only the eager core; all three pairwise families deferred.
+    pub const CORE_ONLY: ConstraintFamilies = ConstraintFamilies {
+        shared: false,
+        separation: false,
+        collision: false,
+    };
+
+    /// `true` when nothing is deferred (the relaxation is the full
+    /// encoding).
+    pub fn is_all(&self) -> bool {
+        *self == ConstraintFamilies::ALL
+    }
+
+    /// Names of the constraint groups this selection leaves (fully or
+    /// partially) relaxed — the allowlist a lint profile needs to accept
+    /// the relaxed formula.
+    pub fn relaxed_groups(&self) -> Vec<&'static str> {
+        let mut groups = Vec::new();
+        if !self.shared || !self.separation {
+            groups.push("separation");
+        }
+        if !self.collision {
+            groups.push("collision");
+        }
+        groups
+    }
+}
+
+impl Default for ConstraintFamilies {
+    fn default() -> Self {
+        ConstraintFamilies::ALL
+    }
+}
+
 /// Which task-specific constraints to add.
 #[derive(Clone, Debug)]
 pub enum TaskKind {
@@ -217,15 +290,32 @@ impl Encoding {
     }
 }
 
-/// Builds the encoding for an instance and task.
+/// Builds the encoding for an instance and task (every constraint family
+/// eager, the paper's monolithic formulation).
 pub fn encode(inst: &Instance, config: &EncoderConfig, task: &TaskKind) -> Encoding {
-    Encoder::new(inst, config, task).build()
+    encode_with(inst, config, task, ConstraintFamilies::ALL)
+}
+
+/// [`encode`] with an explicit eager/lazy split: families disabled in
+/// `families` are *not* emitted — their constraint groups are declared but
+/// left empty — producing a sound relaxation of the full encoding (every
+/// model of the full encoding satisfies the relaxation). The `etcs-lazy`
+/// refinement loop re-adds violated instances of the deferred families as
+/// plain clauses on [`Encoding::solver`].
+pub fn encode_with(
+    inst: &Instance,
+    config: &EncoderConfig,
+    task: &TaskKind,
+    families: ConstraintFamilies,
+) -> Encoding {
+    Encoder::new(inst, config, task, families).build()
 }
 
 struct Encoder<'a> {
     inst: &'a Instance,
     config: &'a EncoderConfig,
     task: &'a TaskKind,
+    families: ConstraintFamilies,
     solver: TracedSolver,
     border: Vec<Option<Var>>,
     occ: Vec<Vec<Vec<Option<Var>>>>,
@@ -242,11 +332,17 @@ struct Encoder<'a> {
 }
 
 impl<'a> Encoder<'a> {
-    fn new(inst: &'a Instance, config: &'a EncoderConfig, task: &'a TaskKind) -> Self {
+    fn new(
+        inst: &'a Instance,
+        config: &'a EncoderConfig,
+        task: &'a TaskKind,
+        families: ConstraintFamilies,
+    ) -> Self {
         Encoder {
             inst,
             config,
             task,
+            families,
             solver: TracedSolver::new(config.trace, config.proof),
             border: Vec::new(),
             occ: Vec::new(),
@@ -623,6 +719,9 @@ impl<'a> Encoder<'a> {
             return;
         }
         self.solver.begin_group(|| "separation".to_owned());
+        if !self.families.shared && !self.families.separation {
+            return; // deferred to the lazy loop; the group stays declared
+        }
         for t in 0..self.inst.t_max {
             for i in 0..num_trains {
                 for j in (i + 1)..num_trains {
@@ -643,8 +742,13 @@ impl<'a> Encoder<'a> {
             return;
         };
         if e == f {
-            self.solver.add_clause([!occ_i, !occ_j]);
+            if self.families.shared {
+                self.solver.add_clause([!occ_i, !occ_j]);
+            }
             return;
+        }
+        if !self.families.separation {
+            return; // deferred to the lazy loop
         }
         if self.inst.net.segment(e).ttd != self.inst.net.segment(f).ttd {
             return; // separated by a TTD border by construction
@@ -696,6 +800,9 @@ impl<'a> Encoder<'a> {
             return; // nothing to collide with
         }
         self.solver.begin_group(|| "collision".to_owned());
+        if !self.families.collision {
+            return; // deferred to the lazy loop; the group stays declared
+        }
         for mover in 0..num_trains {
             let speed = self.inst.trains[mover].speed;
             for t in self.inst.trains[mover].dep_step..self.inst.t_max.saturating_sub(1) {
@@ -1180,6 +1287,74 @@ mod tests {
         // The other tasks allocate no step selectors.
         let plain = encode(&inst, &EncoderConfig::default(), &TaskKind::Optimize);
         assert!(plain.step_selectors.is_empty());
+    }
+
+    #[test]
+    fn relaxed_families_shrink_the_encoding() {
+        let inst = Instance::new(&fixtures::running_example()).expect("valid");
+        let full = encode(&inst, &EncoderConfig::default(), &TaskKind::Generate);
+        let relaxed = encode_with(
+            &inst,
+            &EncoderConfig::default(),
+            &TaskKind::Generate,
+            ConstraintFamilies::CORE_ONLY,
+        );
+        assert!(
+            relaxed.stats.clauses < full.stats.clauses,
+            "deferring three families must drop clauses: {} vs {}",
+            relaxed.stats.clauses,
+            full.stats.clauses
+        );
+        // No sweep variables either.
+        assert!(relaxed.stats.solver_vars < full.stats.solver_vars);
+    }
+
+    #[test]
+    fn relaxed_groups_name_the_deferred_families() {
+        assert!(ConstraintFamilies::ALL.relaxed_groups().is_empty());
+        assert!(ConstraintFamilies::ALL.is_all());
+        assert_eq!(
+            ConstraintFamilies::CORE_ONLY.relaxed_groups(),
+            vec!["separation", "collision"]
+        );
+        let partial = ConstraintFamilies {
+            shared: true,
+            separation: true,
+            collision: false,
+        };
+        assert_eq!(partial.relaxed_groups(), vec!["collision"]);
+    }
+
+    #[test]
+    fn relaxed_encoding_lints_clean_only_with_a_profile() {
+        let inst = Instance::new(&fixtures::running_example()).expect("valid");
+        let config = EncoderConfig {
+            trace: true,
+            ..EncoderConfig::default()
+        };
+        let families = ConstraintFamilies::CORE_ONLY;
+        let enc = encode_with(&inst, &config, &TaskKind::Generate, families);
+        let trace = enc.trace.expect("tracing on");
+        let findings = trace.lint();
+        assert!(
+            findings
+                .iter()
+                .filter(|f| f.kind == etcs_lint::LintKind::EmptyGroup)
+                .count()
+                >= 2,
+            "the plain audit must flag the deferred groups:\n{}",
+            etcs_lint::render_report(&findings)
+        );
+        let mut profile = etcs_lint::LazyProfile::new();
+        for group in families.relaxed_groups() {
+            profile = profile.allow_group(group);
+        }
+        let filtered = trace.lint_with(&profile);
+        assert!(
+            filtered.is_empty(),
+            "the declared relaxation must lint clean:\n{}",
+            etcs_lint::render_report(&filtered)
+        );
     }
 
     #[test]

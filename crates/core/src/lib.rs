@@ -50,7 +50,10 @@ pub use certify::{
 };
 pub use decode::{SolvedPlan, TrainPlan};
 pub use diagnose::{diagnose, diagnose_cancellable, Diagnosis};
-pub use encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind, VarMap};
+pub use encoder::{
+    encode, encode_with, ConstraintFamilies, EncoderConfig, Encoding, EncodingStats, TaskKind,
+    VarMap,
+};
 pub use explorer::LayoutExplorer;
 pub use fingerprint::cache_key;
 pub use instance::{ExitPolicy, Instance, TrainSpec};
@@ -60,9 +63,10 @@ pub use parallel::{
     optimize_portfolio_obs, verify_all, verify_all_obs, verify_all_with_threads, OptimizeMode,
 };
 pub use tasks::{
-    generate, generate_cancellable, generate_obs, optimize, optimize_cancellable,
+    generate, generate_cancellable, generate_obs, minimize_borders, optimize, optimize_cancellable,
     optimize_incremental, optimize_incremental_cancellable, optimize_incremental_obs, optimize_obs,
-    verify, verify_cancellable, verify_obs, DesignOutcome, TaskError, TaskReport, VerifyOutcome,
+    verify, verify_cancellable, verify_obs, DesignOutcome, Stage2, TaskError, TaskReport,
+    VerifyOutcome,
 };
 pub use trace::EncodingTrace;
 pub use tradeoff::{border_tradeoff, optimize_with_budget, TradeoffPoint};

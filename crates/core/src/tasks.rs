@@ -145,7 +145,8 @@ pub(crate) fn interrupt_error(interrupt: &Interrupt) -> TaskError {
 }
 
 /// Outcome of [`minimize_borders`].
-pub(crate) enum Stage2 {
+#[derive(Debug)]
+pub enum Stage2 {
     /// An optimal model was found and decoded.
     Solved(SolvedPlan, u64),
     /// The hard constraints plus assumptions are unsatisfiable.
@@ -163,7 +164,11 @@ pub(crate) enum Stage2 {
 /// objective is temporarily detached from the encoding instead of cloned
 /// (the old per-call `border_objective.clone()`), and restored before
 /// returning.
-pub(crate) fn minimize_borders(
+///
+/// Public so refinement loops built on top of the encoder (`etcs-lazy`)
+/// can rerun the border MaxSAT after adding clauses: the bounds are passed
+/// as assumptions only, so the solver stays reusable afterwards.
+pub fn minimize_borders(
     enc: &mut Encoding,
     inst: &Instance,
     assumptions: &[Lit],

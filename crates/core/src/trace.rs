@@ -30,6 +30,15 @@ impl EncodingTrace {
     pub fn lint(&self) -> Vec<Finding> {
         etcs_lint::audit(&self.formula, Some(&self.provenance))
     }
+
+    /// [`lint`](Self::lint) for lazily relaxed encodings: group
+    /// under-constrained findings (`empty-group` / `dead-group`) whose
+    /// group the `profile` allowlists are suppressed. Build the profile
+    /// from the relaxation itself via
+    /// [`ConstraintFamilies::relaxed_groups`](crate::ConstraintFamilies::relaxed_groups).
+    pub fn lint_with(&self, profile: &etcs_lint::LazyProfile) -> Vec<Finding> {
+        etcs_lint::audit_with_profile(&self.formula, Some(&self.provenance), profile)
+    }
 }
 
 /// Solver wrapper the encoder builds against.

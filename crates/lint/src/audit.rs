@@ -144,6 +144,89 @@ impl std::fmt::Display for Finding {
     }
 }
 
+/// An explicit allowlist of constraint groups a *lazy* solving profile
+/// intentionally leaves relaxed.
+///
+/// A CEGAR-style loop (see `etcs-lazy`) deliberately encodes some
+/// constraint families as empty groups and adds their violated instances
+/// on demand. To the plain [`audit`] such a relaxation is
+/// indistinguishable from a forgotten constraint family — exactly the
+/// defect [`LintKind::EmptyGroup`] / [`LintKind::DeadGroup`] exist to
+/// catch. Instead of hard-failing on relaxed CNFs (or, worse, disabling
+/// those lints), callers declare the deferral: [`audit_with_profile`]
+/// suppresses group-underconstrained findings *only* for the groups named
+/// here, keeping the lints armed for every group the profile does not
+/// claim.
+///
+/// # Examples
+///
+/// ```
+/// use etcs_lint::LazyProfile;
+///
+/// let profile = LazyProfile::new().allow_group("separation");
+/// assert!(profile.allows("separation"));
+/// assert!(!profile.allows("collision"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LazyProfile {
+    groups: Vec<String>,
+}
+
+impl LazyProfile {
+    /// An empty profile: nothing is allowlisted, so
+    /// [`audit_with_profile`] behaves exactly like [`audit`].
+    pub fn new() -> Self {
+        LazyProfile::default()
+    }
+
+    /// Adds a constraint group (by its declared name) to the allowlist.
+    #[must_use]
+    pub fn allow_group(mut self, name: impl Into<String>) -> Self {
+        self.groups.push(name.into());
+        self
+    }
+
+    /// `true` if the named group is allowlisted.
+    pub fn allows(&self, name: &str) -> bool {
+        self.groups.iter().any(|g| g == name)
+    }
+
+    /// The allowlisted group names, in declaration order.
+    pub fn groups(&self) -> &[String] {
+        &self.groups
+    }
+}
+
+/// [`audit`] for lazily relaxed formulas: identical findings, except that
+/// [`LintKind::EmptyGroup`] and [`LintKind::DeadGroup`] findings anchored
+/// to a group the `profile` allowlists are suppressed — the relaxation is
+/// declared, not accidental. All other lints (malformed clauses,
+/// unconstrained variables, dangling gates, under-constrained groups the
+/// profile does *not* claim) stay armed.
+pub fn audit_with_profile(
+    formula: &Formula,
+    provenance: Option<&Provenance>,
+    profile: &LazyProfile,
+) -> Vec<Finding> {
+    let findings = audit(formula, provenance);
+    let Some(prov) = provenance else {
+        return findings; // group lints need provenance; nothing to suppress
+    };
+    findings
+        .into_iter()
+        .filter(|f| {
+            if !matches!(f.kind, LintKind::EmptyGroup | LintKind::DeadGroup) {
+                return true;
+            }
+            let allowed = f
+                .group
+                .and_then(|g| prov.group_name(g))
+                .is_some_and(|name| profile.allows(name));
+            !allowed
+        })
+        .collect()
+}
+
 /// Audits `formula`, returning all findings in discovery order.
 ///
 /// `provenance` (when given) exempts objective-referenced variables from

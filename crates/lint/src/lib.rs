@@ -51,7 +51,7 @@
 mod audit;
 mod provenance;
 
-pub use audit::{audit, Finding, LintKind, Severity};
+pub use audit::{audit, audit_with_profile, Finding, LazyProfile, LintKind, Severity};
 pub use provenance::{Gate, Provenance};
 
 use etcs_sat::Formula;
@@ -284,6 +284,71 @@ mod tests {
         prov.tag_gate(y.var(), start..f.num_clauses());
         prov.mark_objective_var(y.var());
         assert!(audit(&f, Some(&prov)).is_empty());
+    }
+
+    #[test]
+    fn lazy_profile_suppresses_only_allowlisted_groups() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        f.add_clause_from(&[a]);
+        let mut prov = Provenance::new();
+        let g_sep = prov.declare_group("separation");
+        let g_col = prov.declare_group("collision");
+        let findings = audit(&f, Some(&prov));
+        assert_eq!(
+            kinds(&findings),
+            vec![LintKind::EmptyGroup, LintKind::EmptyGroup],
+            "both relaxed groups are flagged without a profile"
+        );
+
+        let profile = LazyProfile::new().allow_group("separation");
+        let filtered = audit_with_profile(&f, Some(&prov), &profile);
+        assert_eq!(kinds(&filtered), vec![LintKind::EmptyGroup]);
+        assert_eq!(filtered[0].group, Some(g_col), "collision stays flagged");
+        let _ = g_sep;
+
+        let full = LazyProfile::new()
+            .allow_group("separation")
+            .allow_group("collision");
+        assert!(audit_with_profile(&f, Some(&prov), &full).is_empty());
+    }
+
+    #[test]
+    fn lazy_profile_does_not_mask_other_lints() {
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let _dangling = f.new_var();
+        f.add_clause_from(&[a, !a]); // tautology
+        let mut prov = Provenance::new();
+        let g = prov.declare_group("separation");
+        prov.tag_clause(0, g);
+        let profile = LazyProfile::new().allow_group("separation");
+        let findings = audit_with_profile(&f, Some(&prov), &profile);
+        let ks = kinds(&findings);
+        assert!(ks.contains(&LintKind::TautologicalClause));
+        assert!(ks.contains(&LintKind::UnconstrainedVar));
+    }
+
+    #[test]
+    fn dead_allowlisted_group_is_suppressed() {
+        // Group 0 root-implies b; group 1 ("separation") is dead — and
+        // declared lazily deferred, so the profile silences it.
+        let mut f = Formula::new();
+        let a = f.new_var().positive();
+        let b = f.new_var().positive();
+        let mut prov = Provenance::new();
+        let g0 = prov.declare_group("border-fix");
+        let g1 = prov.declare_group("separation");
+        f.add_clause_from(&[a]);
+        prov.tag_clause(0, g0);
+        f.add_clause_from(&[!a, b]);
+        prov.tag_clause(1, g0);
+        f.add_clause_from(&[b, a]);
+        prov.tag_clause(2, g1);
+        let findings = audit(&f, Some(&prov));
+        assert!(kinds(&findings).contains(&LintKind::DeadGroup));
+        let profile = LazyProfile::new().allow_group("separation");
+        assert!(audit_with_profile(&f, Some(&prov), &profile).is_empty());
     }
 
     #[test]

@@ -20,19 +20,26 @@
 //!   `full`, or `borders:2,5,9` (discrete-node indices).
 //! * `priority` (optional) — `high` | `normal` (default) | `low`.
 //! * `deadline_ms` (optional) — wall-clock budget, armed at worker pickup.
+//! * `lazy` (optional) — `all-violated` | `first-violated` | `per-train`:
+//!   route the job through the `etcs-lazy` CEGAR loop with that selection
+//!   strategy. The `--lazy` CLI flag applies `all-violated` to every job
+//!   that does not carry its own `lazy` field (diagnose jobs ignore it).
 //!
 //! Response line (`payload` only when `status` is `done`):
 //!
 //! ```json
 //! {"id": "j1", "status": "done", "cache": "miss", "wall_ms": 412,
 //!  "payload": {"kind": "optimize", "feasible": true, "costs": [14, 2],
-//!              "borders": 2, "trains": 2, "digest": "4f2e…"}}
+//!              "borders": 2, "trains": 2, "digest": "4f2e…",
+//!              "verdict_digest": "91ab…"}}
 //! ```
 //!
 //! `payload.digest` is a 128-bit hash over the *complete* result,
 //! including every train's step-by-step positions — two equal digests
 //! mean bit-identical results, which is how the CI smoke test proves
-//! cache hits match fresh solves.
+//! cache hits match fresh solves. `payload.verdict_digest` hashes only
+//! (kind, feasible, costs), the slice guaranteed identical between eager
+//! and lazy runs of the same request — CI compares it across `--lazy`.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -42,7 +49,9 @@ use etcs_core::Instance;
 use etcs_network::{fixtures, parse_scenario, Scenario, VssLayout};
 use etcs_obs::json::{self, Json};
 use etcs_obs::Obs;
-use etcs_serve::{JobKind, JobOutcome, JobPayload, JobRequest, Priority, ServeConfig, Service};
+use etcs_serve::{
+    JobKind, JobOutcome, JobPayload, JobRequest, Priority, SelectionStrategy, ServeConfig, Service,
+};
 
 struct Args {
     input: Option<String>,
@@ -51,11 +60,14 @@ struct Args {
     workers: usize,
     queue: usize,
     cache: usize,
+    lazy: bool,
 }
 
 const USAGE: &str = "usage: served [--input FILE] [--output FILE] [--trace FILE] \
-[--workers N] [--queue N] [--cache N]\n\
+[--workers N] [--queue N] [--cache N] [--lazy]\n\
 Reads one JSON job request per line, writes one JSON response per line.\n\
+--lazy routes every job through the CEGAR loop (strategy all-violated)\n\
+unless the request line carries its own \"lazy\" field.\n\
 See the repository README, \"Running as a service\", for the line formats.";
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue: 256,
         cache: 128,
+        lazy: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--cache must be an integer".to_string())?
             }
+            "--lazy" => args.lazy = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -144,7 +158,7 @@ fn load_layout(spec: &str, scenario: &Scenario) -> Result<VssLayout, String> {
     }
 }
 
-fn parse_request(line: &str, lineno: usize) -> Result<JobRequest, String> {
+fn parse_request(line: &str, lineno: usize, lazy_default: bool) -> Result<JobRequest, String> {
     let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
     let str_field = |key: &str| value.get(key).and_then(Json::as_str);
     let id = str_field("id")
@@ -170,6 +184,13 @@ fn parse_request(line: &str, lineno: usize) -> Result<JobRequest, String> {
             return Err(format!("line {lineno}: deadline_ms must be non-negative"));
         }
         request.deadline = Some(Duration::from_millis(ms as u64));
+    }
+    if let Some(strategy_name) = str_field("lazy") {
+        let strategy = SelectionStrategy::parse(strategy_name)
+            .ok_or_else(|| format!("line {lineno}: unknown lazy strategy {strategy_name:?}"))?;
+        request.lazy = Some(strategy);
+    } else if lazy_default {
+        request.lazy = Some(SelectionStrategy::AllViolated);
     }
     Ok(request)
 }
@@ -199,6 +220,10 @@ fn payload_json(payload: &JobPayload) -> String {
     out.push_str(&format!(", \"solver_calls\": {}", payload.solver_calls));
     out.push_str(&format!(", \"conflicts\": {}", payload.search.conflicts));
     out.push_str(&format!(", \"digest\": \"{:032x}\"", payload.digest()));
+    out.push_str(&format!(
+        ", \"verdict_digest\": \"{:032x}\"",
+        payload.verdict_digest()
+    ));
     out.push('}');
     out
 }
@@ -249,7 +274,7 @@ fn main() -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line, lineno) {
+        match parse_request(&line, lineno, args.lazy) {
             Ok(request) => order.push(Ok(request)),
             Err(message) => order.push(Err((format!("line-{lineno}"), message))),
         }

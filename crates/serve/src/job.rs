@@ -11,6 +11,10 @@ use etcs_core::{
     optimize_incremental_cancellable, verify_cancellable, DesignOutcome, Diagnosis, EncoderConfig,
     EncodingStats, SolvedPlan, TaskError, TaskKind, TaskReport, VerifyOutcome,
 };
+use etcs_lazy::{
+    generate_lazy_cancellable, optimize_lazy_cancellable, verify_lazy_cancellable, LazyConfig,
+    SelectionStrategy,
+};
 use etcs_network::{Scenario, VssLayout};
 use etcs_obs::Obs;
 use etcs_sat::{Interrupt, Stats};
@@ -129,6 +133,14 @@ pub struct JobRequest {
     /// Per-job wall-clock budget, armed when a worker picks the job up
     /// (queueing time does not count). `None` = the service default.
     pub deadline: Option<Duration>,
+    /// Run the task through the `etcs-lazy` CEGAR loop with the given
+    /// selection strategy instead of the eager encoder. Verdicts and
+    /// optima are identical (compare [`JobPayload::verdict_digest`]); the
+    /// payload's statistics and witness plan may differ, so lazy and eager
+    /// runs cache under different keys. Ignored by [`JobKind::Diagnose`],
+    /// which has no lazy variant (its MUS extraction needs the full eager
+    /// formula).
+    pub lazy: Option<SelectionStrategy>,
 }
 
 impl JobRequest {
@@ -141,6 +153,7 @@ impl JobRequest {
             layout: VssLayout::pure_ttd(),
             priority: Priority::Normal,
             deadline: None,
+            lazy: None,
         }
     }
 
@@ -162,6 +175,12 @@ impl JobRequest {
         self
     }
 
+    /// Routes the job through the lazy CEGAR loop with the given strategy.
+    pub fn with_lazy(mut self, strategy: SelectionStrategy) -> Self {
+        self.lazy = Some(strategy);
+        self
+    }
+
     /// The encoder-level task this request maps to.
     pub fn task_kind(&self) -> TaskKind {
         match self.kind {
@@ -175,8 +194,24 @@ impl JobRequest {
 
     /// The content-addressed cache key of this request under `config`
     /// (see [`etcs_core::cache_key`] for the canonicalisation contract).
+    ///
+    /// Lazy jobs mix the strategy into the key: their payloads carry
+    /// different statistics (and possibly different witness plans) than
+    /// eager runs of the same request, and the cache's bit-identical
+    /// guarantee must keep holding per key.
     pub fn cache_key(&self, config: &EncoderConfig) -> u128 {
-        cache_key(&self.scenario, &self.task_kind(), config)
+        let base = cache_key(&self.scenario, &self.task_kind(), config);
+        match self.lazy {
+            None => base,
+            Some(strategy) => {
+                let mut h = Fnv2::new();
+                h.str("etcs-lazy-job-v1");
+                h.u64(base as u64);
+                h.u64((base >> 64) as u64);
+                h.str(strategy.name());
+                h.finish()
+            }
+        }
     }
 }
 
@@ -274,6 +309,23 @@ impl JobPayload {
             self.search.reused_learnts,
         ] {
             h.u64(v);
+        }
+        h.finish()
+    }
+
+    /// A 128-bit digest over the *verdict* only — kind, feasibility and
+    /// the proven optimal costs. This is the part of a payload that is
+    /// guaranteed identical between eager and lazy runs of the same
+    /// request (witness plans and solver statistics legitimately differ),
+    /// so it is what `ci/check.sh` compares across the `--lazy` boundary.
+    pub fn verdict_digest(&self) -> u128 {
+        let mut h = Fnv2::new();
+        h.str("etcs-verdict-v1");
+        h.str(self.kind.name());
+        h.u64(u64::from(self.feasible));
+        h.u64(self.costs.len() as u64);
+        for &c in &self.costs {
+            h.u64(c);
         }
         h.finish()
     }
@@ -434,21 +486,41 @@ pub fn execute(
     interrupt: &Interrupt,
     obs: &Obs,
 ) -> JobOutcome {
+    let lazy = request.lazy.map(LazyConfig::with_strategy);
     let result = match request.kind {
-        JobKind::Verify => {
-            verify_cancellable(&request.scenario, &request.layout, config, interrupt, obs).map(
-                |(outcome, report)| match outcome {
-                    VerifyOutcome::Feasible(plan) => {
-                        payload_from_report(request.kind, true, Vec::new(), Some(plan), report)
-                    }
-                    VerifyOutcome::Infeasible => {
-                        payload_from_report(request.kind, false, Vec::new(), None, report)
-                    }
-                },
+        JobKind::Verify => match lazy {
+            Some(lazy) => verify_lazy_cancellable(
+                &request.scenario,
+                &request.layout,
+                config,
+                &lazy,
+                interrupt,
+                obs,
             )
+            .map(|(outcome, lr)| verify_payload(request.kind, outcome, lr.report)),
+            None => verify_cancellable(&request.scenario, &request.layout, config, interrupt, obs)
+                .map(|(outcome, report)| verify_payload(request.kind, outcome, report)),
+        },
+        JobKind::Generate => match lazy {
+            Some(lazy) => {
+                generate_lazy_cancellable(&request.scenario, config, &lazy, interrupt, obs)
+                    .map(|(outcome, lr)| design_payload(request.kind, outcome, lr.report))
+            }
+            None => generate_cancellable(&request.scenario, config, interrupt, obs)
+                .map(|(outcome, report)| design_payload(request.kind, outcome, report)),
+        },
+        // Both optimisation kinds share one lazy loop: the CEGAR walk is
+        // inherently incremental, and its optima match either eager loop.
+        JobKind::Optimize | JobKind::OptimizeIncremental if lazy.is_some() => {
+            optimize_lazy_cancellable(
+                &request.scenario,
+                config,
+                &lazy.expect("guarded"),
+                interrupt,
+                obs,
+            )
+            .map(|(outcome, lr)| design_payload(request.kind, outcome, lr.report))
         }
-        JobKind::Generate => generate_cancellable(&request.scenario, config, interrupt, obs)
-            .map(|(outcome, report)| design_payload(request.kind, outcome, report)),
         JobKind::Optimize => optimize_cancellable(&request.scenario, config, interrupt, obs)
             .map(|(outcome, report)| design_payload(request.kind, outcome, report)),
         JobKind::OptimizeIncremental => {
@@ -475,6 +547,15 @@ pub fn execute(
         Err(TaskError::Cancelled) => JobOutcome::Cancelled,
         Err(TaskError::DeadlineExceeded) => JobOutcome::DeadlineExceeded,
         Err(TaskError::Network(e)) => JobOutcome::Invalid(e.to_string()),
+    }
+}
+
+fn verify_payload(kind: JobKind, outcome: VerifyOutcome, report: TaskReport) -> JobPayload {
+    match outcome {
+        VerifyOutcome::Feasible(plan) => {
+            payload_from_report(kind, true, Vec::new(), Some(plan), report)
+        }
+        VerifyOutcome::Infeasible => payload_from_report(kind, false, Vec::new(), None, report),
     }
 }
 
@@ -515,6 +596,46 @@ mod tests {
             etcs_core::verify(&scenario, &VssLayout::pure_ttd(), &config).expect("valid");
         assert_eq!(payload.feasible, direct.is_feasible());
         assert_eq!(payload.digest(), payload.clone().digest(), "digest is pure");
+    }
+
+    #[test]
+    fn lazy_jobs_cache_separately_but_agree_on_the_verdict() {
+        let scenario = fixtures::running_example();
+        let config = EncoderConfig::default();
+        let eager = JobRequest::new("e", JobKind::OptimizeIncremental, scenario.clone());
+        let lazy = JobRequest::new("l", JobKind::OptimizeIncremental, scenario)
+            .with_lazy(SelectionStrategy::AllViolated);
+        assert_ne!(
+            eager.cache_key(&config),
+            lazy.cache_key(&config),
+            "lazy payloads differ bit-wise, so they must not share a cache line"
+        );
+        let a = execute(&eager, &config, &Interrupt::none(), &Obs::disabled());
+        let b = execute(&lazy, &config, &Interrupt::none(), &Obs::disabled());
+        let (a, b) = (a.payload().expect("solves"), b.payload().expect("solves"));
+        assert_eq!(a.costs, b.costs, "bit-identical optima");
+        assert_eq!(
+            a.verdict_digest(),
+            b.verdict_digest(),
+            "the verdict digest is the eager/lazy-stable slice of a payload"
+        );
+    }
+
+    #[test]
+    fn lazy_strategies_key_separately() {
+        let scenario = fixtures::simple_layout();
+        let config = EncoderConfig::default();
+        let mut keys: Vec<u128> = SelectionStrategy::ALL
+            .into_iter()
+            .map(|s| {
+                JobRequest::new("k", JobKind::Generate, scenario.clone())
+                    .with_lazy(s)
+                    .cache_key(&config)
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), SelectionStrategy::ALL.len());
     }
 
     #[test]

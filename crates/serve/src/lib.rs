@@ -49,3 +49,7 @@ pub use job::{
 };
 pub use queue::{JobQueue, QueueStats};
 pub use service::{JobTicket, ServeConfig, Service};
+
+// Re-exported so wire-level callers can name the lazy strategy without
+// depending on `etcs-lazy` directly.
+pub use etcs_lazy::SelectionStrategy;

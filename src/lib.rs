@@ -25,6 +25,9 @@
 //! [`serve`] wraps the tasks in a concurrent job service with admission
 //! control, per-job deadlines, cooperative cancellation and a
 //! content-addressed result cache (the `served` binary speaks JSONL).
+//! The [`lazy`] module reruns all of the above as counterexample-guided
+//! (CEGAR) loops that defer the pairwise train-interaction constraints
+//! and refine only the violated instances.
 //!
 //! ## Quick start
 //!
@@ -105,6 +108,14 @@ pub mod obs {
 /// cache. The `served` binary exposes it over JSONL.
 pub mod serve {
     pub use etcs_serve::*;
+}
+
+/// Counterexample-guided lazy constraint solving: CEGAR task loops that
+/// defer the pairwise train-interaction constraints and refine from
+/// violated instances — same verdicts and optima as the eager tasks, far
+/// fewer clauses up front (see `DESIGN.md` §12).
+pub mod lazy {
+    pub use etcs_lazy::*;
 }
 
 /// The most common imports in one place.
