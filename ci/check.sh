@@ -121,6 +121,29 @@ if grep -q '"rounds": 0' target/BENCH_lazy_smoke.json; then
     exit 1
 fi
 
+echo "==> bench_preprocess smoke (release, certified reduction, traced)"
+PP_TRACE=target/BENCH_preprocess_smoke.trace.jsonl
+cargo run --release -q -p etcs-bench --bin bench_preprocess -- \
+    --smoke --out target/BENCH_preprocess_smoke.json --trace "$PP_TRACE"
+test -s target/BENCH_preprocess_smoke.json || {
+    echo "missing bench artifact target/BENCH_preprocess_smoke.json"; exit 1;
+}
+# The bench itself asserts preprocess-on/off optima are bit-identical and
+# cross-checks the traced span fields against PreprocessStats; here we pin
+# the span vocabulary and that the pass actually removed clauses (a
+# zero-reduction run would mean the preprocessor went idle).
+grep -q '"name":"sat.preprocess"' "$PP_TRACE" || {
+    echo "preprocess trace lacks the sat.preprocess span"
+    exit 1
+}
+grep -q '"geomean_clause_reduction"' target/BENCH_preprocess_smoke.json || {
+    echo "bench_preprocess artifact lacks the headline reduction"; exit 1;
+}
+if grep -q '"geomean_clause_reduction": 0\.0000' target/BENCH_preprocess_smoke.json; then
+    echo "bench_preprocess smoke removed no clauses (preprocessor idle)"
+    exit 1
+fi
+
 echo "==> served --lazy smoke (verdict digests identical to eager solves)"
 LAZY_IN=target/serve_lazy.in.jsonl
 EAGER_OUT=target/serve_lazy.eager.jsonl

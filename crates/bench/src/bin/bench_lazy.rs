@@ -25,8 +25,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use etcs_core::{optimize_incremental, verify, DesignOutcome, EncoderConfig};
-use etcs_lazy::{optimize_lazy, optimize_lazy_obs, verify_lazy, LazyConfig, SelectionStrategy};
+use etcs_core::{generate, optimize_incremental, verify, DesignOutcome, EncoderConfig};
+use etcs_lazy::{
+    generate_lazy, optimize_lazy, optimize_lazy_obs, verify_lazy, LazyConfig, SelectionStrategy,
+};
 use etcs_network::generator::{branched_line, single_track_line, BranchConfig, LineConfig};
 use etcs_network::{fixtures, parse_scenario, Scenario, Schedule, VssLayout};
 use etcs_obs::{json, Obs};
@@ -78,6 +80,40 @@ fn compare_optimize(scenario: &Scenario, config: &EncoderConfig, lazy: &LazyConf
         rounds: lazy_report.rounds,
         deadline_steps: eager_costs.0,
         borders: eager_costs.1,
+    }
+}
+
+/// Generation head-to-head: eager `generate` vs the CEGAR `generate_lazy`
+/// loop, pinning the same minimal border count. This is the generation
+/// regime the optimisation rows cannot see — stage 1 (deadline search) is
+/// absent, so the comparison isolates the border-MaxSAT interaction with
+/// lazy separation.
+fn compare_generate(scenario: &Scenario, config: &EncoderConfig, lazy: &LazyConfig) -> Row {
+    let t = Instant::now();
+    let (eager_outcome, eager_report) = generate(scenario, config).expect("well-formed");
+    let eager_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (lazy_outcome, lazy_report) = generate_lazy(scenario, config, lazy).expect("well-formed");
+    let lazy_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let eager_costs = costs_of(&eager_outcome);
+    let lazy_costs = costs_of(&lazy_outcome);
+    assert_eq!(
+        eager_costs, lazy_costs,
+        "lazy generation diverged from eager on {}",
+        scenario.name
+    );
+    Row {
+        eager_wall_ms,
+        lazy_wall_ms,
+        speedup: eager_wall_ms / lazy_wall_ms.max(1e-9),
+        eager_clauses: eager_report.stats.clauses,
+        lazy_clauses: lazy_report.report.stats.clauses,
+        clauses_added: lazy_report.clauses_added,
+        rounds: lazy_report.rounds,
+        deadline_steps: None,
+        borders: eager_costs.0,
     }
 }
 
@@ -253,6 +289,7 @@ fn main() {
     for (i, scenario) in fixtures.iter().enumerate() {
         eprintln!("== {} ==", scenario.name);
         let row = compare_optimize(scenario, &config, &lazy);
+        let gen_row = compare_generate(scenario, &config, &lazy);
         let (verify_eager_ms, verify_lazy_ms) = compare_verify(scenario, &config, &lazy);
         eprintln!(
             "   optimize: eager {:.1} ms | lazy {:.1} ms ({:.2}x) | {} rounds, {} of {} eager clauses",
@@ -262,6 +299,10 @@ fn main() {
             row.rounds,
             row.lazy_clauses + row.clauses_added,
             row.eager_clauses,
+        );
+        eprintln!(
+            "   generate: eager {:.1} ms | lazy {:.1} ms ({:.2}x) | {} rounds",
+            gen_row.eager_wall_ms, gen_row.lazy_wall_ms, gen_row.speedup, gen_row.rounds,
         );
         if HEADLINE.contains(&scenario.name.as_str()) {
             headline_speedups.push(row.speedup);
@@ -288,6 +329,20 @@ fn main() {
             row.rounds,
             opt(row.deadline_steps),
             opt(row.borders),
+        );
+        let _ = writeln!(
+            out,
+            "      \"generate\": {{\"eager_wall_ms\": {:.2}, \"lazy_wall_ms\": {:.2}, \
+             \"speedup\": {:.2}, \"eager_clauses\": {}, \"lazy_clauses\": {}, \
+             \"clauses_added\": {}, \"rounds\": {}, \"borders\": {}}},",
+            gen_row.eager_wall_ms,
+            gen_row.lazy_wall_ms,
+            gen_row.speedup,
+            gen_row.eager_clauses,
+            gen_row.lazy_clauses,
+            gen_row.clauses_added,
+            gen_row.rounds,
+            opt(gen_row.borders),
         );
         let _ = writeln!(
             out,

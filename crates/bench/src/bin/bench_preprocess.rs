@@ -1,0 +1,310 @@
+//! Harness for the certified CNF preprocessor: how much formula does it
+//! remove, and what does that do to end-to-end solve time?
+//!
+//! Writes machine-readable results to `BENCH_preprocess.json`. Each fixture
+//! row records the per-technique reduction statistics of one preprocessing
+//! pass over the `OptimizeIncremental` encoding (clauses/literals before
+//! and after, subsumed, strengthened, failed literals, eliminated
+//! variables) and the wall-clock delta of the full incremental optimisation
+//! with `EncoderConfig::preprocess` off versus on — asserting the optima
+//! are bit-identical, which is the preprocessor's contract.
+//!
+//! Usage: `bench_preprocess [--smoke] [--out <path>] [--trace <path>]`
+//!
+//! `--smoke` restricts to the two generated regimes (`convoy_line`,
+//! `branched_line` — what `ci/check.sh` runs in release mode). `--trace`
+//! re-runs the last fixture's preprocessing with observability on, writes
+//! the JSONL stream to the given path, and cross-checks the
+//! `sat.preprocess` span fields against the returned stats — the timed
+//! runs stay untraced.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use etcs_core::{encode, optimize_incremental, DesignOutcome, EncoderConfig, Instance, TaskKind};
+use etcs_network::generator::{branched_line, single_track_line, BranchConfig, LineConfig};
+use etcs_network::{fixtures, parse_scenario, Scenario, Schedule};
+use etcs_obs::{json, Obs};
+use etcs_sat::{PreprocessConfig, PreprocessStats};
+
+/// One fixture's measurements, flattened for JSON.
+struct Row {
+    stats: PreprocessStats,
+    preprocess_ms: f64,
+    off_wall_ms: f64,
+    on_wall_ms: f64,
+    deadline_steps: Option<u64>,
+    borders: Option<u64>,
+}
+
+fn costs_of(outcome: &DesignOutcome) -> (Option<u64>, Option<u64>) {
+    match outcome {
+        DesignOutcome::Solved { costs, .. } => (costs.first().copied(), costs.get(1).copied()),
+        DesignOutcome::Infeasible => (None, None),
+    }
+}
+
+/// Runs one preprocessing pass over the fixture's incremental-optimisation
+/// encoding (for the reduction stats), then the full task with the
+/// preprocessor off and on (for the solve delta), pinning equal optima.
+fn measure(scenario: &Scenario, obs: &Obs) -> Row {
+    let inst = Instance::new(scenario).expect("valid scenario");
+    let config = EncoderConfig::default();
+    let mut enc = encode(&inst, &config, &TaskKind::OptimizeIncremental);
+    enc.solver.set_obs(obs.clone());
+    let t = Instant::now();
+    let stats = enc.preprocess(&PreprocessConfig::default());
+    let preprocess_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (off_outcome, _) = optimize_incremental(scenario, &config).expect("well-formed");
+    let off_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let on_config = EncoderConfig {
+        preprocess: true,
+        ..config
+    };
+    let t = Instant::now();
+    let (on_outcome, _) = optimize_incremental(scenario, &on_config).expect("well-formed");
+    let on_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let off_costs = costs_of(&off_outcome);
+    let on_costs = costs_of(&on_outcome);
+    assert_eq!(
+        off_costs, on_costs,
+        "preprocessing changed the optimum on {}",
+        scenario.name
+    );
+    Row {
+        stats,
+        preprocess_ms,
+        off_wall_ms,
+        on_wall_ms,
+        deadline_steps: off_costs.0,
+        borders: off_costs.1,
+    }
+}
+
+/// Re-runs the last fixture's preprocessing traced and pins the
+/// `sat.preprocess` span vocabulary: the close event must carry the same
+/// before/after clause counts the pass returned.
+fn traced_cross_check(scenario: &Scenario, path: &str) {
+    let obs = Obs::jsonl(path).expect("create trace file");
+    let row = measure(scenario, &obs);
+    obs.flush();
+
+    let text = std::fs::read_to_string(path).expect("trace readable");
+    let events: Vec<json::Json> = text
+        .lines()
+        .map(|line| json::parse(line).expect("every trace line is valid JSON"))
+        .collect();
+    let str_of = |e: &json::Json, key: &str| {
+        e.get(key)
+            .and_then(json::Json::as_str)
+            .map(str::to_owned)
+            .unwrap_or_default()
+    };
+    let close = events
+        .iter()
+        .find(|e| str_of(e, "name") == "sat.preprocess" && str_of(e, "kind") == "span_close")
+        .expect("trace contains the sat.preprocess close");
+    let field = |key: &str| {
+        close
+            .get("fields")
+            .and_then(|f| f.get(key))
+            .and_then(json::Json::as_f64)
+            .map(|v| v as usize)
+    };
+    assert_eq!(
+        field("clauses_before"),
+        Some(row.stats.clauses_before),
+        "span clauses_before vs PreprocessStats"
+    );
+    assert_eq!(
+        field("clauses_after"),
+        Some(row.stats.clauses_after),
+        "span clauses_after vs PreprocessStats"
+    );
+    eprintln!(
+        "   trace: {} events, {} -> {} clauses -> {path}",
+        events.len(),
+        row.stats.clauses_before,
+        row.stats.clauses_after
+    );
+}
+
+fn branch_line() -> Scenario {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/branch_line.rail"
+    );
+    let text = std::fs::read_to_string(path).expect("branch_line.rail ships with the repo");
+    parse_scenario(&text).expect("sample scenario parses")
+}
+
+/// The convoy-regime fixture (same construction as `bench_lazy`): a
+/// four-train convoy chasing down a ten-station single-track line.
+fn convoy_line() -> Scenario {
+    let mut scenario = single_track_line(&LineConfig {
+        stations: 10,
+        loop_every: 2,
+        trains_per_direction: 4,
+        horizon: etcs_network::Seconds::from_minutes(45),
+        ..LineConfig::default()
+    });
+    let runs = scenario
+        .schedule
+        .runs()
+        .iter()
+        .filter(|r| r.train.name.starts_with("East"))
+        .cloned()
+        .collect();
+    scenario.schedule = Schedule::new(runs);
+    scenario.name = "convoy_line".to_owned();
+    scenario
+}
+
+/// The branched-regime fixture (same construction as `bench_lazy`): two
+/// four-station arms merging onto a shared six-station trunk.
+fn branched() -> Scenario {
+    let mut scenario = branched_line(&BranchConfig {
+        arm_stations: 4,
+        trunk_stations: 6,
+        trains_per_arm: 2,
+        horizon: etcs_network::Seconds::from_minutes(40),
+        ..BranchConfig::default()
+    });
+    scenario.name = "branched_line".to_owned();
+    scenario
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_preprocess.json".to_owned());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let fixtures: Vec<Scenario> = if smoke {
+        vec![convoy_line(), branched()]
+    } else {
+        vec![
+            fixtures::running_example(),
+            fixtures::convoy(),
+            branch_line(),
+            convoy_line(),
+            branched(),
+        ]
+    };
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"preprocess\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"fixtures\": [");
+    let mut reductions = Vec::new();
+    for (i, scenario) in fixtures.iter().enumerate() {
+        eprintln!("== {} ==", scenario.name);
+        let row = measure(scenario, &Obs::disabled());
+        let st = &row.stats;
+        let reduction = st.clauses_removed() as f64 / (st.clauses_before.max(1)) as f64;
+        reductions.push(reduction);
+        eprintln!(
+            "   reduce: {} -> {} clauses (-{:.1}%) in {:.1} ms | {} subsumed, {} strengthened \
+             lits, {} failed lits, {} vars eliminated",
+            st.clauses_before,
+            st.clauses_after,
+            reduction * 100.0,
+            row.preprocess_ms,
+            st.subsumed_removed,
+            st.strengthened_literals,
+            st.failed_literals,
+            st.eliminated_vars,
+        );
+        eprintln!(
+            "   solve:  off {:.1} ms | on {:.1} ms ({:.2}x)",
+            row.off_wall_ms,
+            row.on_wall_ms,
+            row.off_wall_ms / row.on_wall_ms.max(1e-9),
+        );
+        if i + 1 == fixtures.len() {
+            if let Some(path) = &trace_path {
+                traced_cross_check(scenario, path);
+            }
+        }
+        let opt = |v: Option<u64>| v.map_or("null".to_owned(), |x| x.to_string());
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", scenario.name);
+        let _ = writeln!(
+            out,
+            "      \"reduction\": {{\"clauses_before\": {}, \"clauses_after\": {}, \
+             \"literals_before\": {}, \"literals_after\": {}, \"ratio\": {:.4}, \
+             \"rounds\": {}, \"preprocess_ms\": {:.2}}},",
+            st.clauses_before,
+            st.clauses_after,
+            st.literals_before,
+            st.literals_after,
+            reduction,
+            st.rounds,
+            row.preprocess_ms,
+        );
+        let _ = writeln!(
+            out,
+            "      \"techniques\": {{\"tautologies\": {}, \"duplicates\": {}, \
+             \"satisfied\": {}, \"subsumed\": {}, \"strengthened_literals\": {}, \
+             \"failed_literals\": {}, \"eliminated_vars\": {}, \"eliminated_clauses\": {}, \
+             \"resolvents_added\": {}}},",
+            st.tautologies_removed,
+            st.duplicates_removed,
+            st.satisfied_removed,
+            st.subsumed_removed,
+            st.strengthened_literals,
+            st.failed_literals,
+            st.eliminated_vars,
+            st.eliminated_clauses,
+            st.resolvents_added,
+        );
+        let _ = writeln!(
+            out,
+            "      \"optimize_incremental\": {{\"off_wall_ms\": {:.2}, \"on_wall_ms\": {:.2}, \
+             \"speedup\": {:.2}, \"deadline_steps\": {}, \"borders\": {}}}",
+            row.off_wall_ms,
+            row.on_wall_ms,
+            row.off_wall_ms / row.on_wall_ms.max(1e-9),
+            opt(row.deadline_steps),
+            opt(row.borders),
+        );
+        let _ = write!(out, "    }}");
+        out.push_str(if i + 1 < fixtures.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "  ],");
+
+    // The headline: geometric mean of the per-fixture clause-reduction
+    // fractions. The CI smoke asserts this is strictly positive — a
+    // preprocessor that removes nothing is a regression.
+    let geomean = (reductions.iter().map(|r| r.max(1e-12).ln()).sum::<f64>()
+        / reductions.len().max(1) as f64)
+        .exp();
+    eprintln!(
+        "== headline geomean clause reduction: {:.1}% ==",
+        geomean * 100.0
+    );
+    let _ = writeln!(out, "  \"headline\": {{");
+    let _ = writeln!(out, "    \"geomean_clause_reduction\": {geomean:.4}");
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark results");
+    eprintln!("wrote {out_path}");
+}

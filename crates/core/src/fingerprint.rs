@@ -102,7 +102,7 @@ impl Canon {
 /// Computes the content-addressed cache key of a task over `scenario`.
 ///
 /// See the module docs for exactly what is (and is not) canonicalised.
-/// The key is versioned (`etcs-cache-key-v1`): any change to the encoding
+/// The key is versioned (`etcs-cache-key-v2`): any change to the encoding
 /// or decoding pipeline that can alter results must bump the version tag so
 /// stale persisted caches can never alias.
 ///
@@ -120,7 +120,7 @@ impl Canon {
 /// ```
 pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -> u128 {
     let mut c = Canon::new();
-    c.str("etcs-cache-key-v1");
+    c.str("etcs-cache-key-v2");
 
     c.tag(0x01); // encoder configuration
     c.bool(config.prune_to_goal);
@@ -128,6 +128,7 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
     c.bool(config.symmetric_movement);
     c.bool(config.trace);
     c.bool(config.proof);
+    c.bool(config.preprocess);
 
     c.tag(0x02); // resolutions and horizon
     c.u64(scenario.r_s.as_u64());
@@ -287,6 +288,13 @@ mod tests {
         assert_ne!(
             cache_key(&s, &TaskKind::Generate, &config()),
             cache_key(&s, &TaskKind::Generate, &other),
+        );
+        let mut preprocessed = config();
+        preprocessed.preprocess = true;
+        assert_ne!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&s, &TaskKind::Generate, &preprocessed),
+            "preprocess flag addresses distinct cached results"
         );
     }
 

@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 
 use etcs_network::{NetworkError, Scenario, VssLayout};
 use etcs_obs::Obs;
-use etcs_sat::{maxsat, Interrupt, InterruptReason, Lit, SatResult, Stats, Strategy};
+use etcs_sat::{
+    maxsat, Interrupt, InterruptReason, Lit, PreprocessConfig, SatResult, Stats, Strategy,
+};
 
 use crate::decode::SolvedPlan;
 use crate::encoder::{encode, EncoderConfig, Encoding, EncodingStats, TaskKind};
@@ -293,6 +295,9 @@ pub fn verify_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let outcome = match enc.solver.solve() {
         SatResult::Sat(model) => {
@@ -383,6 +388,9 @@ pub fn generate_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let (result, calls) = minimize_borders(&mut enc, &inst, &[], obs);
     let outcome = match result {
@@ -509,6 +517,9 @@ pub fn optimize_cancellable(
         ]);
         enc.solver.set_obs(obs.clone());
         enc.solver.set_interrupt(interrupt.clone());
+        if config.preprocess {
+            enc.preprocess(&PreprocessConfig::default());
+        }
         last_stats = enc.stats;
         let verdict = enc.solver.solve();
         let sat = matches!(verdict, SatResult::Sat(_));
@@ -656,6 +667,9 @@ pub fn optimize_incremental_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let mut calls = 0usize;
 
@@ -712,10 +726,16 @@ pub fn optimize_incremental_cancellable(
         ));
     };
 
-    // Stage 2 — border MaxSAT on the same solver, optimum pinned (with its
-    // cone pruning kept active: the literals are implied by the deadline).
-    let pin = enc.deadline_probe_assumptions(&inst, best_deadline);
-    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &pin, obs);
+    // Stage 2 — border MaxSAT on the same solver, the optimum committed as
+    // unit clauses (the same pin `optimize_lazy` uses): the deadline is
+    // final, so asserting the selector and its cone-pruning literals at
+    // level 0 beats re-propagating thousands of assumption literals on
+    // every descent call of the border MaxSAT — the solver is never probed
+    // at another deadline after this point.
+    for &lit in &enc.deadline_probe_assumptions(&inst, best_deadline) {
+        enc.solver.add_clause([lit]);
+    }
+    let (result, stage2_calls) = minimize_borders(&mut enc, &inst, &[], obs);
     calls += stage2_calls;
     let (plan, border_cost) = match result {
         Stage2::Solved(plan, cost) => (plan, cost),

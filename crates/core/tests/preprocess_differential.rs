@@ -1,0 +1,114 @@
+//! Differential contract of the certified preprocessor: every design task,
+//! on every shipped fixture, must return bit-identical verdicts and optima
+//! with `EncoderConfig::preprocess` on and off. Witness plans may legally
+//! differ (preprocessing changes the search trajectory), but feasibility
+//! and the proven-optimal cost vectors may not — the preprocessor is an
+//! equivalence-preserving rewrite, and this suite is what holds it to that.
+
+use etcs_core::{
+    generate, optimize, optimize_incremental, verify, verify_certified, CertifiedVerdict,
+    DesignOutcome, EncoderConfig, VerifyOutcome,
+};
+use etcs_network::{fixtures, VssLayout};
+
+fn plain() -> EncoderConfig {
+    EncoderConfig::default()
+}
+
+fn preprocessed() -> EncoderConfig {
+    EncoderConfig {
+        preprocess: true,
+        ..EncoderConfig::default()
+    }
+}
+
+fn costs(outcome: &DesignOutcome) -> Option<&[u64]> {
+    match outcome {
+        DesignOutcome::Solved { costs, .. } => Some(costs),
+        DesignOutcome::Infeasible => None,
+    }
+}
+
+#[test]
+fn preprocessed_verification_matches_on_all_fixtures() {
+    for scenario in fixtures::all() {
+        let (off, _) = verify(&scenario, &VssLayout::pure_ttd(), &plain()).expect("well-formed");
+        let (on, _) =
+            verify(&scenario, &VssLayout::pure_ttd(), &preprocessed()).expect("well-formed");
+        assert_eq!(
+            off.is_feasible(),
+            on.is_feasible(),
+            "{}: preprocessing flipped the pure-TTD verdict",
+            scenario.name
+        );
+        // A feasible preprocessed witness must still be a real plan for
+        // the *original* constraints — the sim-backed decoder would have
+        // rejected a model that reconstruction failed to repair.
+        if let VerifyOutcome::Feasible(plan) = &on {
+            assert_eq!(plan.layout, VssLayout::pure_ttd());
+        }
+    }
+}
+
+#[test]
+fn preprocessed_generation_matches_optima_on_all_fixtures() {
+    for scenario in fixtures::all() {
+        let (off, _) = generate(&scenario, &plain()).expect("well-formed");
+        let (on, _) = generate(&scenario, &preprocessed()).expect("well-formed");
+        assert_eq!(
+            costs(&off),
+            costs(&on),
+            "{}: preprocessing changed the minimal border count",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn preprocessed_optimization_matches_optima() {
+    for scenario in [fixtures::running_example(), fixtures::convoy()] {
+        let (off, _) = optimize(&scenario, &plain()).expect("well-formed");
+        let (on, _) = optimize(&scenario, &preprocessed()).expect("well-formed");
+        assert_eq!(
+            costs(&off),
+            costs(&on),
+            "{}: preprocessing changed the (deadline, borders) optimum",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn preprocessed_incremental_optimization_matches_optima() {
+    for scenario in [fixtures::running_example(), fixtures::convoy()] {
+        let (off, _) = optimize_incremental(&scenario, &plain()).expect("well-formed");
+        let (on, _) = optimize_incremental(&scenario, &preprocessed()).expect("well-formed");
+        assert_eq!(
+            costs(&off),
+            costs(&on),
+            "{}: preprocessing changed the incremental optimum",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn certified_verification_accepts_preprocessed_runs() {
+    let scenario = fixtures::running_example();
+
+    // Feasible case: the generated layout; the reconstructed model must
+    // pass the independent model check over the traced (original) formula.
+    let (designed, _) = generate(&scenario, &plain()).expect("well-formed");
+    let layout = designed.plan().expect("feasible").layout.clone();
+    let (outcome, _, cert) =
+        verify_certified(&scenario, &layout, &preprocessed()).expect("certifies");
+    assert!(outcome.is_feasible());
+    assert!(matches!(cert.verdict, CertifiedVerdict::ModelChecked));
+
+    // Infeasible case: pure TTD; the combined preprocessing + search proof
+    // must pass the backward DRAT checker over the original axioms.
+    let (outcome, _, cert) =
+        verify_certified(&scenario, &VssLayout::pure_ttd(), &preprocessed()).expect("certifies");
+    assert!(!outcome.is_feasible());
+    assert!(matches!(cert.verdict, CertifiedVerdict::ProofChecked(_)));
+}

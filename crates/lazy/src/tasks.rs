@@ -24,7 +24,7 @@ use etcs_core::{
 };
 use etcs_network::{NetworkError, Scenario, VssLayout};
 use etcs_obs::{Obs, Span};
-use etcs_sat::{Interrupt, InterruptReason, SatResult};
+use etcs_sat::{Interrupt, InterruptReason, PreprocessConfig, SatResult};
 
 use crate::detect::detect;
 use crate::refine::{refine, RefineState, SelectionStrategy};
@@ -222,6 +222,9 @@ pub fn verify_lazy_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let mut state = LoopState::new();
 
@@ -352,6 +355,9 @@ pub fn generate_lazy_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let mut state = LoopState::new();
 
@@ -502,6 +508,9 @@ pub fn optimize_lazy_cancellable(
     ]);
     enc.solver.set_obs(obs.clone());
     enc.solver.set_interrupt(interrupt.clone());
+    if config.preprocess {
+        enc.preprocess(&PreprocessConfig::default());
+    }
     let stats = enc.stats;
     let mut state = LoopState::new();
 

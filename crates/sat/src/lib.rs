@@ -7,7 +7,9 @@
 //! * [`Solver`] — conflict-driven clause learning with two-watched-literal
 //!   propagation, VSIDS + phase saving, Luby restarts, LBD-based clause
 //!   database reduction, incremental solving under assumptions and
-//!   unsat-core extraction;
+//!   unsat-core extraction, plus certified SatELite-style preprocessing
+//!   ([`Solver::preprocess`], [`PreprocessConfig`]) with DRAT-logged
+//!   derivations and model reconstruction for eliminated variables;
 //! * [`Formula`] / [`CnfSink`] — inspectable CNF construction with Tseitin
 //!   gate helpers;
 //! * [`card`] — arc-consistent cardinality encodings (pairwise, sequential
@@ -73,6 +75,6 @@ pub use maxsat::{
 pub use model::Model;
 pub use pb::{Objective, ObjectiveCounter};
 pub use proof::{check_drat, CheckOutcome, DratProof, ProofError, ProofSink, ProofStep};
-pub use solver::{luby, SatResult, Solver};
+pub use solver::{luby, PreprocessConfig, PreprocessStats, SatResult, Solver};
 pub use stats::Stats;
 pub use types::{LBool, Lit, Var};

@@ -61,13 +61,16 @@ struct Args {
     queue: usize,
     cache: usize,
     lazy: bool,
+    preprocess: bool,
 }
 
 const USAGE: &str = "usage: served [--input FILE] [--output FILE] [--trace FILE] \
-[--workers N] [--queue N] [--cache N] [--lazy]\n\
+[--workers N] [--queue N] [--cache N] [--lazy] [--preprocess]\n\
 Reads one JSON job request per line, writes one JSON response per line.\n\
 --lazy routes every job through the CEGAR loop (strategy all-violated)\n\
 unless the request line carries its own \"lazy\" field.\n\
+--preprocess runs the certified CNF preprocessor before every solve\n\
+(results are bit-identical; the cache key distinguishes the modes).\n\
 See the repository README, \"Running as a service\", for the line formats.";
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         queue: 256,
         cache: 128,
         lazy: false,
+        preprocess: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--cache must be an integer".to_string())?
             }
             "--lazy" => args.lazy = true,
+            "--preprocess" => args.preprocess = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -280,11 +285,16 @@ fn main() -> ExitCode {
         }
     }
 
+    let encoder = etcs_core::EncoderConfig {
+        preprocess: args.preprocess,
+        ..etcs_core::EncoderConfig::default()
+    };
     let mut service = Service::with_obs(
         ServeConfig {
             workers: args.workers,
             queue_capacity: args.queue,
             cache_capacity: args.cache,
+            encoder,
             ..ServeConfig::default()
         },
         obs,
