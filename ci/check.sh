@@ -144,6 +144,29 @@ if grep -q '"geomean_clause_reduction": 0\.0000' target/BENCH_preprocess_smoke.j
     exit 1
 fi
 
+echo "==> bench_parallel smoke (release, portfolio races, clause traffic)"
+PAR_TRACE=target/BENCH_parallel_smoke.trace.jsonl
+cargo run --release -q -p etcs-bench --bin bench_parallel -- \
+    --smoke --out target/BENCH_parallel_smoke.json --trace "$PAR_TRACE"
+test -s target/BENCH_parallel_smoke.json || {
+    echo "missing bench artifact target/BENCH_parallel_smoke.json"; exit 1;
+}
+# The bench itself asserts optima are bit-identical across thread counts
+# and that the 2-thread race imported at least one clause from the pool;
+# here we pin the portfolio event vocabulary (DESIGN.md section 14) and
+# re-assert the import gate on the artifact so a silently-idle share pool
+# cannot pass.
+for name in portfolio.share portfolio.import portfolio.winner; do
+    grep -q "\"name\":\"$name\"" "$PAR_TRACE" || {
+        echo "portfolio trace lacks expected event name '$name'"
+        exit 1
+    }
+done
+grep -q '"imported": [1-9]' target/BENCH_parallel_smoke.json || {
+    echo "bench_parallel: no smoke race imported a clause (pool idle)"
+    exit 1
+}
+
 echo "==> served --lazy smoke (verdict digests identical to eager solves)"
 LAZY_IN=target/serve_lazy.in.jsonl
 EAGER_OUT=target/serve_lazy.eager.jsonl

@@ -1,25 +1,40 @@
 //! Throughput harness for the `etcs-serve` job service: jobs/second at
-//! 1, 2 and 4 workers, warm cache vs. cold.
+//! 1, 2 and 4 workers, warm cache vs. cold, under two job mixes.
 //!
-//! Writes machine-readable results to `BENCH_serve.json`. For every worker
-//! count the same mixed-kind batch is run twice on one service instance —
+//! Writes machine-readable results to `BENCH_serve.json`. Two profiles run
+//! back to back:
+//!
+//! * **`mixed`** — the original duplicate-heavy batch (every fixture ×
+//!   every job kind × several copies). It exercises the cache and the
+//!   single-flight path, but its runtime is dominated by one huge solve,
+//!   so it cannot measure pool scaling.
+//! * **`scaling`** — many *independent* medium jobs (generated line
+//!   scenarios, one per seed, so every cache key is distinct). No job
+//!   dominates and nothing deduplicates, so cold throughput here is the
+//!   pool-scaling measurement.
+//!
+//! For every worker count each batch runs twice on one service instance —
 //! the first pass populates the content-addressed result cache, the second
 //! is answered from it — and the harness asserts that every warm payload
 //! digest matches its cold counterpart (the cache's bit-identical
-//! guarantee, measured rather than assumed).
+//! guarantee, measured rather than assumed). The host's
+//! `available_parallelism` is recorded; scaling assertions only apply when
+//! real cores back the workers (on a 1-core container every worker count
+//! time-slices the same CPU and cold throughput is flat by physics).
 //!
-//! Usage: `bench_serve [--smoke] [--out <path>]`
+//! Usage: `bench_serve [--smoke] [--mix mixed|scaling|both] [--out <path>]`
 //!
-//! `--smoke` restricts to a small batch over the fast fixtures (seconds,
+//! `--smoke` restricts to small batches over the fast fixtures (seconds,
 //! not minutes) — this is what `ci/check.sh` runs in release mode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use etcs_network::fixtures;
+use etcs_network::generator::{single_track_line, LineConfig};
+use etcs_network::{fixtures, Seconds};
 use etcs_serve::{JobKind, JobRequest, JobResponse, ServeConfig, Service};
 
-fn batch(smoke: bool) -> Vec<JobRequest> {
+fn mixed_batch(smoke: bool) -> Vec<JobRequest> {
     let scenarios = if smoke {
         vec![fixtures::running_example(), fixtures::simple_layout()]
     } else {
@@ -46,6 +61,33 @@ fn batch(smoke: bool) -> Vec<JobRequest> {
     jobs
 }
 
+/// Many independent medium solves, so every job misses the cache and no
+/// single solve dominates the batch. The seed stream only draws link
+/// lengths, which quantise to the spatial resolution and can collide
+/// between seeds — the per-job headway makes every schedule (and therefore
+/// every cache key) provably distinct.
+fn scaling_batch(smoke: bool) -> Vec<JobRequest> {
+    let count = if smoke { 6 } else { 16 };
+    (0..count)
+        .map(|seed| {
+            let scenario = single_track_line(&LineConfig {
+                stations: 4,
+                loop_every: 2,
+                trains_per_direction: 2,
+                headway: Seconds(90 + 15 * seed as u64),
+                horizon: Seconds::from_minutes(18),
+                seed: 1000 + seed as u64,
+                ..LineConfig::default()
+            });
+            JobRequest::new(
+                format!("scaling-{seed}"),
+                JobKind::OptimizeIncremental,
+                scenario,
+            )
+        })
+        .collect()
+}
+
 fn digests(responses: &[JobResponse]) -> Vec<u128> {
     responses
         .iter()
@@ -58,28 +100,16 @@ fn digests(responses: &[JobResponse]) -> Vec<u128> {
         .collect()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
-
-    let jobs = batch(smoke);
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": \"serve\",");
-    let _ = writeln!(
-        out,
-        "  \"mode\": \"{}\",",
-        if smoke { "smoke" } else { "full" }
-    );
-    let _ = writeln!(out, "  \"jobs\": {},", jobs.len());
-    let _ = writeln!(out, "  \"runs\": [");
-
+/// Runs one profile over all worker counts, appending its JSON object to
+/// `out`. Returns the cold jobs/s curve.
+fn run_profile(name: &str, jobs: &[JobRequest], unique_keys: bool, out: &mut String) -> Vec<f64> {
     let worker_counts = [1usize, 2, 4];
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"profile\": \"{name}\",");
+    let _ = writeln!(out, "      \"jobs\": {},", jobs.len());
+    let _ = writeln!(out, "      \"runs\": [");
+
+    let mut curve = Vec::new();
     let mut reference: Option<Vec<u128>> = None;
     for (i, &workers) in worker_counts.iter().enumerate() {
         let service = Service::new(ServeConfig {
@@ -90,25 +120,32 @@ fn main() {
         });
 
         let t_cold = Instant::now();
-        let cold = service.run_batch(jobs.clone());
+        let cold = service.run_batch(jobs.to_vec());
         let cold_s = t_cold.elapsed().as_secs_f64();
 
         let t_warm = Instant::now();
-        let warm = service.run_batch(jobs.clone());
+        let warm = service.run_batch(jobs.to_vec());
         let warm_s = t_warm.elapsed().as_secs_f64();
 
         let cold_digests = digests(&cold);
         let warm_digests = digests(&warm);
         assert_eq!(
             cold_digests, warm_digests,
-            "warm cache must be bit-identical to the cold pass ({workers} workers)"
+            "warm cache must be bit-identical to the cold pass ({name}, {workers} workers)"
         );
         match &reference {
             None => reference = Some(cold_digests),
             Some(reference) => assert_eq!(
                 reference, &cold_digests,
-                "worker count changed a result ({workers} workers)"
+                "worker count changed a result ({name}, {workers} workers)"
             ),
+        }
+        if unique_keys {
+            let cold_hits = cold.iter().filter(|r| r.cache_hit).count();
+            assert_eq!(
+                cold_hits, 0,
+                "scaling batch must be duplicate-free ({workers} workers)"
+            );
         }
         let warm_hits = warm.iter().filter(|r| r.cache_hit).count();
         assert!(
@@ -120,29 +157,99 @@ fn main() {
 
         let cold_jps = jobs.len() as f64 / cold_s.max(1e-9);
         let warm_jps = jobs.len() as f64 / warm_s.max(1e-9);
+        curve.push(cold_jps);
         eprintln!(
-            "== {workers} workers: cold {cold_jps:.1} jobs/s, warm {warm_jps:.1} jobs/s \
+            "== {name}, {workers} workers: cold {cold_jps:.2} jobs/s, warm {warm_jps:.1} jobs/s \
              ({} hits / {} misses) ==",
             cache.hits, cache.misses
         );
 
-        let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"workers\": {workers},");
-        let _ = writeln!(out, "      \"cold_wall_ms\": {:.2},", cold_s * 1e3);
-        let _ = writeln!(out, "      \"cold_jobs_per_s\": {cold_jps:.2},");
-        let _ = writeln!(out, "      \"warm_wall_ms\": {:.2},", warm_s * 1e3);
-        let _ = writeln!(out, "      \"warm_jobs_per_s\": {warm_jps:.2},");
-        let _ = writeln!(out, "      \"cache_hits\": {},", cache.hits);
-        let _ = writeln!(out, "      \"cache_misses\": {}", cache.misses);
-        let _ = write!(out, "    }}");
+        let _ = writeln!(out, "        {{");
+        let _ = writeln!(out, "          \"workers\": {workers},");
+        let _ = writeln!(out, "          \"cold_wall_ms\": {:.2},", cold_s * 1e3);
+        let _ = writeln!(out, "          \"cold_jobs_per_s\": {cold_jps:.2},");
+        let _ = writeln!(out, "          \"warm_wall_ms\": {:.2},", warm_s * 1e3);
+        let _ = writeln!(out, "          \"warm_jobs_per_s\": {warm_jps:.2},");
+        let _ = writeln!(out, "          \"cache_hits\": {},", cache.hits);
+        let _ = writeln!(out, "          \"cache_misses\": {}", cache.misses);
+        let _ = write!(out, "        }}");
         out.push_str(if i + 1 < worker_counts.len() {
             ",\n"
         } else {
             "\n"
         });
     }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+    curve
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let mix = arg_value("--mix").unwrap_or_else(|| "both".to_owned());
+    let (run_mixed, run_scaling) = match mix.as_str() {
+        "mixed" => (true, false),
+        "scaling" => (false, true),
+        "both" => (true, true),
+        other => {
+            eprintln!("bench_serve: unknown --mix {other:?} (want mixed|scaling|both)");
+            std::process::exit(2);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(out, "  \"profiles\": [");
+
+    let mut scaling_curve = None;
+    if run_mixed {
+        run_profile("mixed", &mixed_batch(smoke), false, &mut out);
+        out.push_str(if run_scaling { ",\n" } else { "\n" });
+    }
+    if run_scaling {
+        scaling_curve = Some(run_profile(
+            "scaling",
+            &scaling_batch(smoke),
+            true,
+            &mut out,
+        ));
+        out.push('\n');
+    }
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
+
+    // Pool scaling is only physically measurable when the host has a core
+    // per worker; with fewer cores the workers time-slice one CPU and the
+    // curve is legitimately flat.
+    if let Some(curve) = scaling_curve {
+        if cores >= 4 {
+            assert!(
+                curve.windows(2).all(|w| w[1] > w[0]),
+                "cold jobs/s must strictly increase with workers on a \
+                 {cores}-core host: {curve:?}"
+            );
+        } else {
+            eprintln!(
+                "note: only {cores} core(s) available; skipping the strict \
+                 scaling assertion (curve: {curve:?})"
+            );
+        }
+    }
 
     std::fs::write(&out_path, &out).expect("write benchmark results");
     eprintln!("wrote {out_path}");

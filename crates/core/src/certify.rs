@@ -32,7 +32,7 @@ use etcs_sat::{
 
 use crate::decode::SolvedPlan;
 use crate::diagnose::Diagnosis;
-use crate::encoder::{encode, EncoderConfig, EncodingStats, TaskKind};
+use crate::encoder::{encode, EncoderConfig, EncodingStats, SolveMode, TaskKind};
 use crate::instance::Instance;
 use crate::tasks::{DesignOutcome, TaskReport, VerifyOutcome};
 use crate::trace::EncodingTrace;
@@ -75,6 +75,11 @@ pub enum CertifyError {
     BadWitness,
     /// The solver's DRAT proof failed independent validation.
     Proof(ProofError),
+    /// The caller asked for [`SolveMode::Portfolio`]: a portfolio verdict
+    /// cannot be DRAT-certified (imported clauses have no derivation in the
+    /// local proof log), so the certified runners refuse it outright rather
+    /// than silently downgrading to sequential solving.
+    PortfolioUncertified(usize),
 }
 
 impl fmt::Display for CertifyError {
@@ -90,6 +95,11 @@ impl fmt::Display for CertifyError {
                 write!(f, "witness model does not satisfy the traced formula")
             }
             CertifyError::Proof(e) => write!(f, "DRAT proof rejected: {e}"),
+            CertifyError::PortfolioUncertified(n) => write!(
+                f,
+                "certified tasks require SolveMode::Single: a {n}-worker \
+                 clause-sharing portfolio cannot be DRAT-certified"
+            ),
         }
     }
 }
@@ -118,11 +128,18 @@ fn lint_gate(trace: &EncodingTrace) -> Result<Vec<Finding>, CertifyError> {
 }
 
 /// Forces tracing and proof logging on, whatever the caller's config says.
-fn certified_config(config: &EncoderConfig) -> EncoderConfig {
+/// Rejects [`SolveMode::Portfolio`] — the certification boundary: imported
+/// clauses carry no derivation in the local DRAT log, so a portfolio verdict
+/// is not certifiable and silently racing (or silently downgrading) would
+/// misrepresent what the certificate covers.
+fn certified_config(config: &EncoderConfig) -> Result<EncoderConfig, CertifyError> {
+    if let SolveMode::Portfolio(n) = config.solve_mode {
+        return Err(CertifyError::PortfolioUncertified(n));
+    }
     let mut cfg = *config;
     cfg.trace = true;
     cfg.proof = true;
-    cfg
+    Ok(cfg)
 }
 
 /// [`crate::verify`] with a certified verdict.
@@ -155,7 +172,7 @@ pub fn verify_certified(
     let inst = Instance::new(scenario)?;
     let mut enc = encode(
         &inst,
-        &certified_config(config),
+        &certified_config(config)?,
         &TaskKind::Verify(layout.clone()),
     );
     let stats = enc.stats;
@@ -182,7 +199,11 @@ pub fn verify_certified(
             )
         }
         SatResult::Unsat { .. } => {
-            let check = check_drat(trace.formula.clauses(), &proof.borrow(), &[])?;
+            let check = check_drat(
+                trace.formula.clauses(),
+                &proof.lock().expect("proof lock"),
+                &[],
+            )?;
             (
                 VerifyOutcome::Infeasible,
                 CertifiedVerdict::ProofChecked(check),
@@ -225,7 +246,7 @@ pub fn generate_certified(
 ) -> Result<(DesignOutcome, TaskReport, Certification), CertifyError> {
     let start = Instant::now();
     let inst = Instance::new(scenario)?;
-    let mut enc = encode(&inst, &certified_config(config), &TaskKind::Generate);
+    let mut enc = encode(&inst, &certified_config(config)?, &TaskKind::Generate);
     let stats = enc.stats;
     let trace = enc.trace.take().expect("tracing enabled");
     let proof = enc.proof.take().expect("proof logging enabled");
@@ -250,7 +271,11 @@ pub fn generate_certified(
                 )
             }
             maxsat::OptimizeOutcome::Unsat => {
-                let check = check_drat(trace.formula.clauses(), &proof.borrow(), &[])?;
+                let check = check_drat(
+                    trace.formula.clauses(),
+                    &proof.lock().expect("proof lock"),
+                    &[],
+                )?;
                 (
                     DesignOutcome::Infeasible,
                     CertifiedVerdict::ProofChecked(check),
@@ -306,7 +331,7 @@ pub fn optimize_certified(
     let start = Instant::now();
     let open = scenario.without_arrivals();
     let mut inst = Instance::new(&open)?;
-    let cfg = certified_config(config);
+    let cfg = certified_config(config)?;
     let mut calls = 0usize;
     let mut probes = 0usize;
     let mut search = etcs_sat::Stats::default();
@@ -339,7 +364,11 @@ pub fn optimize_certified(
                 break;
             }
             SatResult::Unsat { .. } => {
-                let check = check_drat(trace.formula.clauses(), &proof.borrow(), &[])?;
+                let check = check_drat(
+                    trace.formula.clauses(),
+                    &proof.lock().expect("proof lock"),
+                    &[],
+                )?;
                 probes += 1;
                 last_infeasible = Some((enc.stats, findings, trace, check));
             }
@@ -432,7 +461,7 @@ pub fn diagnose_certified(
     let inst = Instance::new(scenario)?;
     let mut enc = encode(
         &inst,
-        &certified_config(config),
+        &certified_config(config)?,
         &TaskKind::Diagnose(layout.clone()),
     );
     let trace = enc.trace.take().expect("tracing enabled");
@@ -463,7 +492,11 @@ pub fn diagnose_certified(
         SatResult::Unknown => unreachable!("no conflict budget configured"),
     };
     if core.is_empty() {
-        let check = check_drat(trace.formula.clauses(), &proof.borrow(), &[])?;
+        let check = check_drat(
+            trace.formula.clauses(),
+            &proof.lock().expect("proof lock"),
+            &[],
+        )?;
         return Ok((
             Diagnosis::Structural,
             Certification {
@@ -490,7 +523,11 @@ pub fn diagnose_certified(
             SatResult::Unknown => unreachable!("no conflict budget configured"),
         }
         if minimal.is_empty() {
-            let check = check_drat(trace.formula.clauses(), &proof.borrow(), &[])?;
+            let check = check_drat(
+                trace.formula.clauses(),
+                &proof.lock().expect("proof lock"),
+                &[],
+            )?;
             return Ok((
                 Diagnosis::Structural,
                 Certification {
@@ -512,7 +549,11 @@ pub fn diagnose_certified(
         _ => unreachable!("the minimal core was just unsatisfiable"),
     };
     let target: Vec<Lit> = confirmed.iter().map(|&l| !l).collect();
-    let check = check_drat(trace.formula.clauses(), &proof.borrow(), &target)?;
+    let check = check_drat(
+        trace.formula.clauses(),
+        &proof.lock().expect("proof lock"),
+        &target,
+    )?;
 
     let mut trains: Vec<TrainId> = confirmed
         .iter()
@@ -583,14 +624,21 @@ mod tests {
         // it: the encoding is not refutable by unit propagation alone.
         let scenario = fixtures::running_example();
         let inst = Instance::new(&scenario).expect("valid");
-        let cfg = certified_config(&config());
+        let cfg = certified_config(&config()).expect("sequential mode certifies");
         let mut enc = encode(&inst, &cfg, &TaskKind::Verify(VssLayout::pure_ttd()));
         let trace = enc.trace.take().expect("traced");
         let proof = enc.proof.take().expect("proof logged");
         assert!(matches!(enc.solver.solve(), SatResult::Unsat { .. }));
-        check_drat(trace.formula.clauses(), &proof.borrow(), &[])
-            .expect("the genuine proof passes");
-        assert!(proof.borrow().len() > 1, "the refutation required search");
+        check_drat(
+            trace.formula.clauses(),
+            &proof.lock().expect("proof lock"),
+            &[],
+        )
+        .expect("the genuine proof passes");
+        assert!(
+            proof.lock().expect("proof lock").len() > 1,
+            "the refutation required search"
+        );
 
         let mut forged = DratProof::new();
         forged.push(ProofStep::Add(Vec::new()));
@@ -716,5 +764,33 @@ mod tests {
                 "selector for {name} must carry provenance: {labels:?}"
             );
         }
+    }
+
+    #[test]
+    fn portfolio_mode_is_rejected_by_every_certified_runner() {
+        // The certification boundary: clause-sharing portfolio verdicts are
+        // not DRAT-certifiable, and the certified runners must say so with a
+        // typed error instead of silently solving sequentially.
+        let scenario = fixtures::running_example();
+        let cfg = EncoderConfig {
+            solve_mode: SolveMode::Portfolio(4),
+            ..config()
+        };
+        let layout = VssLayout::pure_ttd();
+        assert!(matches!(
+            verify_certified(&scenario, &layout, &cfg),
+            Err(CertifyError::PortfolioUncertified(4))
+        ));
+        assert!(matches!(
+            generate_certified(&scenario, &cfg),
+            Err(CertifyError::PortfolioUncertified(4))
+        ));
+        assert!(matches!(
+            optimize_certified(&scenario, &cfg),
+            Err(CertifyError::PortfolioUncertified(4))
+        ));
+        let err = diagnose_certified(&scenario, &layout, &cfg).unwrap_err();
+        assert!(matches!(err, CertifyError::PortfolioUncertified(4)));
+        assert!(err.to_string().contains("SolveMode::Single"));
     }
 }

@@ -22,17 +22,36 @@
 // Index-coupled loops over parallel tables are intentional here.
 #![allow(clippy::needless_range_loop)]
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use etcs_network::{EdgeId, NodeId, NodeKind, VssLayout};
 use etcs_sat::{
-    CnfSink, DratProof, Lit, Objective, PreprocessConfig, PreprocessStats, Solver, Var,
+    CnfSink, DratProof, Lit, Objective, PortfolioConfig, PreprocessConfig, PreprocessStats, Solver,
+    Var,
 };
 
 use crate::instance::{ExitPolicy, Instance};
 use crate::trace::{EncodingTrace, TracedSolver};
+
+/// How the built encoding's solver executes each (incremental) solve call.
+///
+/// This is a property of the *solving* side, not of the formula: verdicts
+/// and optimal objective values are identical across modes, so every task
+/// loop accepts any mode. Witness plans may differ between modes (several
+/// optimal plans usually exist), and [`SolveMode::Portfolio`] is not
+/// DRAT-certifiable — the `*_certified` task variants reject it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolveMode {
+    /// One sequential CDCL search (the default; required for certification).
+    #[default]
+    Single,
+    /// An in-process clause-sharing portfolio of `n` diversified workers
+    /// racing each solve call, first finisher cancelling the siblings (see
+    /// `etcs_sat::parallel`). Values below 2 behave like
+    /// [`SolveMode::Single`].
+    Portfolio(usize),
+}
 
 /// Tunable encoder behaviour; defaults reproduce the paper's formulation.
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +81,10 @@ pub struct EncoderConfig {
     /// encoder-owned literals frozen. Verdicts, optima and reconstructed
     /// models are unchanged; only solve time is. Off by default.
     pub preprocess: bool,
+    /// How each solve call on the built encoding executes (sequential or
+    /// clause-sharing portfolio). Verdict- and optimum-preserving; see
+    /// [`SolveMode`].
+    pub solve_mode: SolveMode,
 }
 
 impl Default for EncoderConfig {
@@ -73,6 +96,7 @@ impl Default for EncoderConfig {
             trace: false,
             proof: false,
             preprocess: false,
+            solve_mode: SolveMode::Single,
         }
     }
 }
@@ -249,7 +273,7 @@ pub struct Encoding {
     /// Shared handle to the DRAT proof the solver appends to (only with
     /// [`EncoderConfig::proof`]). After an UNSAT solve, check it against
     /// `trace.formula.clauses()` — the mirror is the proof's axiom set.
-    pub proof: Option<Rc<RefCell<DratProof>>>,
+    pub proof: Option<Arc<Mutex<DratProof>>>,
 }
 
 impl Encoding {
@@ -345,6 +369,25 @@ impl Encoding {
             }
         }
         self.solver.preprocess(cfg)
+    }
+
+    /// (Re-)applies [`EncoderConfig::solve_mode`] to the loaded solver:
+    /// installs the clause-sharing portfolio for
+    /// [`SolveMode::Portfolio`], removes it for [`SolveMode::Single`].
+    /// [`encode`] already calls this, so it is only needed when a caller
+    /// changes its mind about the mode after building (the certified task
+    /// variants use it to force sequential solving).
+    ///
+    /// A proof-logging solver ignores an installed portfolio (it falls back
+    /// to the sequential search), so this is safe in any order relative to
+    /// [`EncoderConfig::proof`].
+    pub fn apply_solve_mode(&mut self, config: &EncoderConfig) {
+        match config.solve_mode {
+            SolveMode::Single => self.solver.set_portfolio(None),
+            SolveMode::Portfolio(n) => self
+                .solver
+                .set_portfolio(Some(PortfolioConfig::with_threads(n))),
+        }
     }
 }
 
@@ -458,7 +501,7 @@ impl<'a> Encoder<'a> {
             solver_vars: solver.num_vars(),
             clauses: solver.num_clauses(),
         };
-        Encoding {
+        let mut enc = Encoding {
             solver,
             vars: VarMap {
                 border: self.border,
@@ -475,7 +518,9 @@ impl<'a> Encoder<'a> {
             step_selectors,
             trace,
             proof,
-        }
+        };
+        enc.apply_solve_mode(self.config);
+        enc
     }
 
     // ------------------------------------------------------------------

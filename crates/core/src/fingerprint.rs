@@ -102,9 +102,12 @@ impl Canon {
 /// Computes the content-addressed cache key of a task over `scenario`.
 ///
 /// See the module docs for exactly what is (and is not) canonicalised.
-/// The key is versioned (`etcs-cache-key-v2`): any change to the encoding
+/// The key is versioned (`etcs-cache-key-v3`): any change to the encoding
 /// or decoding pipeline that can alter results must bump the version tag so
-/// stale persisted caches can never alias.
+/// stale persisted caches can never alias. v3 added
+/// [`EncoderConfig::solve_mode`] to the hash — verdicts and optima are
+/// mode-independent, but the witness plan a portfolio race returns may
+/// legitimately differ from the sequential one.
 ///
 /// # Examples
 ///
@@ -120,7 +123,7 @@ impl Canon {
 /// ```
 pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -> u128 {
     let mut c = Canon::new();
-    c.str("etcs-cache-key-v2");
+    c.str("etcs-cache-key-v3");
 
     c.tag(0x01); // encoder configuration
     c.bool(config.prune_to_goal);
@@ -129,6 +132,13 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
     c.bool(config.trace);
     c.bool(config.proof);
     c.bool(config.preprocess);
+    match config.solve_mode {
+        crate::encoder::SolveMode::Single => c.byte(0),
+        crate::encoder::SolveMode::Portfolio(n) => {
+            c.byte(1);
+            c.usize(n);
+        }
+    }
 
     c.tag(0x02); // resolutions and horizon
     c.u64(scenario.r_s.as_u64());
@@ -295,6 +305,19 @@ mod tests {
             cache_key(&s, &TaskKind::Generate, &config()),
             cache_key(&s, &TaskKind::Generate, &preprocessed),
             "preprocess flag addresses distinct cached results"
+        );
+        let mut raced = config();
+        raced.solve_mode = crate::encoder::SolveMode::Portfolio(4);
+        assert_ne!(
+            cache_key(&s, &TaskKind::Generate, &config()),
+            cache_key(&s, &TaskKind::Generate, &raced),
+            "portfolio witness plans may differ; the mode addresses its own slot"
+        );
+        let mut other_width = config();
+        other_width.solve_mode = crate::encoder::SolveMode::Portfolio(2);
+        assert_ne!(
+            cache_key(&s, &TaskKind::Generate, &raced),
+            cache_key(&s, &TaskKind::Generate, &other_width),
         );
     }
 

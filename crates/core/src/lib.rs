@@ -51,8 +51,8 @@ pub use certify::{
 pub use decode::{SolvedPlan, TrainPlan};
 pub use diagnose::{diagnose, diagnose_cancellable, Diagnosis};
 pub use encoder::{
-    encode, encode_with, ConstraintFamilies, EncoderConfig, Encoding, EncodingStats, TaskKind,
-    VarMap,
+    encode, encode_with, ConstraintFamilies, EncoderConfig, Encoding, EncodingStats, SolveMode,
+    TaskKind, VarMap,
 };
 pub use explorer::LayoutExplorer;
 pub use fingerprint::cache_key;

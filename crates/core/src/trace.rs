@@ -10,8 +10,7 @@
 //! emits, and lint findings can be mapped straight back to solver
 //! variables.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use etcs_lint::{Finding, Provenance};
 use etcs_sat::{CnfSink, DratProof, Formula, Lit, Solver, Var};
@@ -50,7 +49,7 @@ impl EncodingTrace {
 #[derive(Debug)]
 pub(crate) struct TracedSolver {
     solver: Solver,
-    proof: Option<Rc<RefCell<DratProof>>>,
+    proof: Option<Arc<Mutex<DratProof>>>,
     trace: Option<EncodingTrace>,
     group: Option<usize>,
     var_context: Option<String>,
@@ -63,8 +62,8 @@ impl TracedSolver {
     pub fn new(trace: bool, proof: bool) -> Self {
         let mut solver = Solver::new();
         let proof = proof.then(|| {
-            let sink = Rc::new(RefCell::new(DratProof::new()));
-            solver.set_proof_sink(Box::new(Rc::clone(&sink)));
+            let sink = Arc::new(Mutex::new(DratProof::new()));
+            solver.set_proof_sink(Box::new(Arc::clone(&sink)));
             sink
         });
         TracedSolver {
@@ -125,13 +124,7 @@ impl TracedSolver {
     /// Dismantles the wrapper into the solver, the trace and the proof
     /// handle.
     #[allow(clippy::type_complexity)]
-    pub fn finish(
-        self,
-    ) -> (
-        Solver,
-        Option<EncodingTrace>,
-        Option<Rc<RefCell<DratProof>>>,
-    ) {
+    pub fn finish(self) -> (Solver, Option<EncodingTrace>, Option<Arc<Mutex<DratProof>>>) {
         (self.solver, self.trace, self.proof)
     }
 }
@@ -234,8 +227,12 @@ mod tests {
         assert!(matches!(solver.solve(), SatResult::Unsat { .. }));
         let trace = trace.expect("tracing was on");
         let proof = proof.expect("proof logging was on");
-        etcs_sat::check_drat(trace.formula.clauses(), &proof.borrow(), &[])
-            .expect("mirror is the axiom set");
+        etcs_sat::check_drat(
+            trace.formula.clauses(),
+            &proof.lock().expect("proof lock"),
+            &[],
+        )
+        .expect("mirror is the axiom set");
     }
 
     #[test]

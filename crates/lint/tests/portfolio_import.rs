@@ -1,0 +1,139 @@
+//! Cross-validation between the portfolio's import filter and this crate's
+//! structural audit. Before an imported clause enters a racing worker's
+//! clause database, `etcs_sat::parallel::clause_is_structurally_clean`
+//! rejects exactly the shapes the encoder lint reports as structural
+//! defects — duplicate literals and tautological `x, ¬x` pairs — so a
+//! foreign lemma can never smuggle in a clause the lint would have flagged
+//! on encoder output. These tests pin that the two layers implement the
+//! same notion of "clean", by enumeration against the audit itself.
+
+use etcs_lint::{audit_formula, LintKind};
+use etcs_sat::parallel::clause_is_structurally_clean;
+use etcs_sat::{CnfSink, Formula, Lit, PortfolioConfig, SatResult, Solver};
+
+/// All clauses of length 1..=3 over three variables (literal codes 0..6).
+fn all_small_clauses() -> Vec<Vec<Lit>> {
+    let codes: Vec<u32> = (0..6).collect();
+    let mut clauses = Vec::new();
+    for &a in &codes {
+        clauses.push(vec![Lit::from_code(a)]);
+        for &b in &codes {
+            clauses.push(vec![Lit::from_code(a), Lit::from_code(b)]);
+            for &c in &codes {
+                clauses.push(vec![
+                    Lit::from_code(a),
+                    Lit::from_code(b),
+                    Lit::from_code(c),
+                ]);
+            }
+        }
+    }
+    clauses
+}
+
+fn has_tautology(lits: &[Lit]) -> bool {
+    lits.iter()
+        .any(|&l| lits.contains(&Lit::from_code(l.code() ^ 1)))
+}
+
+fn has_duplicate(lits: &[Lit]) -> bool {
+    lits.iter().enumerate().any(|(i, l)| lits[..i].contains(l))
+}
+
+#[test]
+fn import_filter_agrees_with_the_audits_tautology_lint() {
+    // For every small clause: the audit reports `TautologicalClause` iff
+    // the clause holds a variable in both polarities, and the import
+    // filter must reject at least that set (plus duplicate literals, which
+    // the audit silently normalises away — covered below).
+    for clause in all_small_clauses() {
+        let mut f = Formula::new();
+        for _ in 0..3 {
+            let _ = f.new_var();
+        }
+        f.add_clause_from(&clause);
+        let findings = audit_formula(&f);
+        let lint_says_tautological = findings
+            .iter()
+            .any(|x| x.kind == LintKind::TautologicalClause);
+        assert_eq!(
+            lint_says_tautological,
+            has_tautology(&clause),
+            "audit tautology disagrees on {clause:?}"
+        );
+        assert_eq!(
+            clause_is_structurally_clean(&clause),
+            !has_tautology(&clause) && !has_duplicate(&clause),
+            "import filter disagrees on {clause:?}"
+        );
+        if lint_says_tautological {
+            assert!(
+                !clause_is_structurally_clean(&clause),
+                "import filter admits a clause the audit flags: {clause:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_literals_are_what_the_audit_normalises_away() {
+    // The audit dedups literals before comparing clauses, so a
+    // duplicate-literal clause is *identical* to its cleaned form in the
+    // audit's eyes — `[a, a, b]` next to `[a, b]` is a `DuplicateClause`
+    // finding. The import filter enforces the same fact up front by
+    // refusing the unnormalised shape.
+    let mut f = Formula::new();
+    let a = f.new_var().positive();
+    let b = f.new_var().positive();
+    f.add_clause_from(&[a, b]);
+    f.add_clause_from(&[a, a, b]);
+    f.add_clause_from(&[!a, !b]); // keep both polarities constrained
+    let findings = audit_formula(&f);
+    assert!(
+        findings
+            .iter()
+            .any(|x| x.kind == LintKind::DuplicateClause && x.clause == Some(1)),
+        "audit must see [a, a, b] as a duplicate of [a, b]: {findings:?}"
+    );
+    assert!(clause_is_structurally_clean(&[a, b]));
+    assert!(!clause_is_structurally_clean(&[a, a, b]));
+}
+
+#[test]
+fn portfolio_races_never_need_the_lint_rejection_path() {
+    // Conflict analysis resolves over distinct variables, so every clause a
+    // worker exports is already structurally clean: after a race on a
+    // conflict-heavy instance the lint-rejection counter must be zero. (The
+    // filter still runs on every import — this pins that it is a no-op on
+    // well-formed traffic, exactly like the audit on encoder output.)
+    let mut solver = Solver::new();
+    // Pigeonhole PHP(5, 4): UNSAT and resolution-hard, so every worker
+    // learns plenty of lemmas to export.
+    let (pigeons, holes) = (5usize, 4usize);
+    let var = |p: usize, h: usize| p * holes + h;
+    let vars: Vec<_> = (0..pigeons * holes).map(|_| solver.new_var()).collect();
+    for p in 0..pigeons {
+        let clause: Vec<_> = (0..holes).map(|h| vars[var(p, h)].positive()).collect();
+        solver.add_clause(clause);
+    }
+    for h in 0..holes {
+        for p in 0..pigeons {
+            for q in (p + 1)..pigeons {
+                solver.add_clause([vars[var(p, h)].negative(), vars[var(q, h)].negative()]);
+            }
+        }
+    }
+    solver.set_portfolio(Some(PortfolioConfig::with_threads(4)));
+    let result = solver.solve();
+    assert!(
+        matches!(result, SatResult::Unsat { .. }),
+        "pigeonhole is unsatisfiable"
+    );
+    let stats = *solver.portfolio_stats();
+    assert_eq!(stats.solves, 1, "the race engaged");
+    assert!(stats.worker_conflicts > 0, "the race actually searched");
+    assert_eq!(
+        stats.lint_rejected, 0,
+        "conflict-analysis clauses are always structurally clean"
+    );
+}

@@ -19,7 +19,7 @@ impl ClauseRef {
 }
 
 /// A single clause plus the metadata CDCL needs for clause management.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Clause {
     lits: Vec<Lit>,
     /// Learnt clauses are subject to database reduction; problem clauses are
@@ -57,7 +57,7 @@ impl Clause {
 }
 
 /// Arena of clauses addressed by [`ClauseRef`].
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ClauseDb {
     clauses: Vec<Clause>,
     /// Number of live (non-deleted) learnt clauses.

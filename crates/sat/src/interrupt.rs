@@ -50,13 +50,21 @@ struct Inner {
 #[derive(Clone, Debug, Default)]
 pub struct Interrupt {
     inner: Option<Arc<Inner>>,
+    /// An upstream token this one also listens to. The in-process portfolio
+    /// gives every worker a private sibling-cancellation token chained to
+    /// the caller's external token, so a deadline or cancellation armed by a
+    /// job scheduler still reaches every racing worker.
+    parent: Option<Arc<Interrupt>>,
 }
 
 impl Interrupt {
     /// A token that can never fire. This is the solver default; probing it
     /// is a single branch.
     pub fn none() -> Self {
-        Interrupt { inner: None }
+        Interrupt {
+            inner: None,
+            parent: None,
+        }
     }
 
     /// A live token with no deadline; fires only via [`Interrupt::trigger`].
@@ -67,7 +75,21 @@ impl Interrupt {
                 deadline_ns: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
+            parent: None,
         }
+    }
+
+    /// A live token that also fires whenever `parent` fires. Triggering the
+    /// child never affects the parent, so a portfolio can cancel its sibling
+    /// workers without cancelling the job that spawned them. The parent's
+    /// reason takes precedence in [`Interrupt::probe`], so supervising code
+    /// probing the *parent* still sees the true external cause.
+    pub fn chained(parent: &Interrupt) -> Self {
+        let mut token = Interrupt::new();
+        if parent.inner.is_some() || parent.parent.is_some() {
+            token.parent = Some(Arc::new(parent.clone()));
+        }
+        token
     }
 
     /// A live token whose deadline is `budget` from now.
@@ -102,9 +124,15 @@ impl Interrupt {
         }
     }
 
-    /// Checks whether the token has fired, and why. Explicit cancellation
+    /// Checks whether the token has fired, and why. A chained parent's
+    /// reason outranks this token's own state, and explicit cancellation
     /// takes precedence over an expired deadline.
     pub fn probe(&self) -> Option<InterruptReason> {
+        if let Some(parent) = &self.parent {
+            if let Some(reason) = parent.probe() {
+                return Some(reason);
+            }
+        }
         let inner = self.inner.as_ref()?;
         if inner.cancelled.load(Ordering::Acquire) {
             return Some(InterruptReason::Cancelled);
@@ -165,5 +193,32 @@ mod tests {
         let t = Interrupt::new();
         std::thread::sleep(Duration::from_millis(1));
         assert_eq!(t.probe(), None);
+    }
+
+    #[test]
+    fn chained_child_fires_with_parent_and_reports_its_reason() {
+        let parent = Interrupt::new();
+        let child = Interrupt::chained(&parent);
+        assert!(child.probe().is_none());
+        parent.arm_deadline(Duration::ZERO);
+        assert_eq!(child.probe(), Some(InterruptReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn triggering_a_chained_child_leaves_the_parent_untouched() {
+        let parent = Interrupt::new();
+        let child = Interrupt::chained(&parent);
+        child.trigger();
+        assert_eq!(child.probe(), Some(InterruptReason::Cancelled));
+        assert_eq!(parent.probe(), None);
+    }
+
+    #[test]
+    fn chaining_a_none_parent_is_a_plain_token() {
+        let child = Interrupt::chained(&Interrupt::none());
+        assert!(child.parent.is_none());
+        assert!(child.probe().is_none());
+        child.trigger();
+        assert_eq!(child.probe(), Some(InterruptReason::Cancelled));
     }
 }

@@ -10,6 +10,10 @@
 //!   unsat-core extraction, plus certified SatELite-style preprocessing
 //!   ([`Solver::preprocess`], [`PreprocessConfig`]) with DRAT-logged
 //!   derivations and model reconstruction for eliminated variables;
+//! * [`parallel`] — an in-process clause-sharing portfolio
+//!   ([`Solver::set_portfolio`], [`PortfolioConfig`]): N diversified CDCL
+//!   workers race one formula, exchanging small-LBD learnt clauses, with
+//!   first-finisher-wins cancellation of the siblings;
 //! * [`Formula`] / [`CnfSink`] — inspectable CNF construction with Tseitin
 //!   gate helpers;
 //! * [`card`] — arc-consistent cardinality encodings (pairwise, sequential
@@ -75,6 +79,10 @@ pub use maxsat::{
 pub use model::Model;
 pub use pb::{Objective, ObjectiveCounter};
 pub use proof::{check_drat, CheckOutcome, DratProof, ProofError, ProofSink, ProofStep};
-pub use solver::{luby, PreprocessConfig, PreprocessStats, SatResult, Solver};
+pub use solver::parallel;
+pub use solver::{
+    luby, PortfolioConfig, PortfolioStats, PreprocessConfig, PreprocessStats, SatResult, Solver,
+    SolverConfig,
+};
 pub use stats::Stats;
 pub use types::{LBool, Lit, Var};

@@ -26,16 +26,20 @@ mod check;
 pub use check::{check_drat, CheckOutcome, ProofError};
 
 use crate::types::Lit;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Receiver for the solver's clause derivation/deletion events.
 ///
 /// Install with [`Solver::set_proof_sink`](crate::Solver::set_proof_sink)
 /// **before adding any clauses** — lemmas derived while loading (level-0
 /// simplifications) are part of the certificate.
-pub trait ProofSink: fmt::Debug {
+///
+/// Sinks are `Send` so a proof-logging solver can move across threads (the
+/// batch layers in `etcs-core` do); the in-process portfolio still refuses
+/// to *race* proof-logging workers, because imported clauses have no local
+/// derivation (see `parallel`).
+pub trait ProofSink: fmt::Debug + Send {
     /// A clause was derived; it is RUP with respect to everything emitted
     /// before it plus the axioms. The empty slice is the empty clause.
     fn add_clause(&mut self, lits: &[Lit]);
@@ -60,19 +64,19 @@ pub enum ProofStep {
 ///
 /// ```
 /// use etcs_sat::{proof::{check_drat, DratProof}, SatResult, Solver};
-/// use std::cell::RefCell;
-/// use std::rc::Rc;
+/// use std::sync::{Arc, Mutex};
 ///
-/// let proof = Rc::new(RefCell::new(DratProof::new()));
+/// let proof = Arc::new(Mutex::new(DratProof::new()));
 /// let mut s = Solver::new();
-/// s.set_proof_sink(Box::new(Rc::clone(&proof)));
+/// s.set_proof_sink(Box::new(Arc::clone(&proof)));
 /// let a = s.new_var().positive();
 /// let axioms = vec![vec![a], vec![!a]];
 /// for c in &axioms {
 ///     s.add_clause(c.iter().copied());
 /// }
 /// assert!(matches!(s.solve(), SatResult::Unsat { .. }));
-/// check_drat(&axioms, &proof.borrow(), &[]).expect("certificate is valid");
+/// let proof = proof.lock().expect("proof lock");
+/// check_drat(&axioms, &proof, &[]).expect("certificate is valid");
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DratProof {
@@ -224,15 +228,19 @@ impl ProofSink for DratProof {
     }
 }
 
-/// Shared-handle sink: the caller keeps one `Rc` and gives the solver the
-/// other, so the proof can be inspected after (or between) solver runs.
-impl ProofSink for Rc<RefCell<DratProof>> {
+/// Shared-handle sink: the caller keeps one `Arc` and gives the solver the
+/// other, so the proof can be inspected after (or between) solver runs. The
+/// mutex is uncontended in practice — a solver emits from one thread at a
+/// time — it exists to keep the handle `Send` for the batch layers.
+impl ProofSink for Arc<Mutex<DratProof>> {
     fn add_clause(&mut self, lits: &[Lit]) {
-        self.borrow_mut().add_clause(lits);
+        self.lock().expect("proof sink poisoned").add_clause(lits);
     }
 
     fn delete_clause(&mut self, lits: &[Lit]) {
-        self.borrow_mut().delete_clause(lits);
+        self.lock()
+            .expect("proof sink poisoned")
+            .delete_clause(lits);
     }
 }
 
@@ -279,11 +287,11 @@ mod tests {
     }
 
     #[test]
-    fn shared_handle_records_through_rc() {
-        let shared = Rc::new(RefCell::new(DratProof::new()));
-        let mut handle: Box<dyn ProofSink> = Box::new(Rc::clone(&shared));
+    fn shared_handle_records_through_arc() {
+        let shared = Arc::new(Mutex::new(DratProof::new()));
+        let mut handle: Box<dyn ProofSink> = Box::new(Arc::clone(&shared));
         handle.add_clause(&[l(1)]);
         handle.delete_clause(&[l(1)]);
-        assert_eq!(shared.borrow().len(), 2);
+        assert_eq!(shared.lock().expect("proof lock").len(), 2);
     }
 }

@@ -765,8 +765,7 @@ mod tests {
     use super::*;
     use crate::proof::{check_drat, DratProof};
     use crate::solver::SatResult;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| s.new_var().positive()).collect()
@@ -905,9 +904,9 @@ mod tests {
         // PHP(4,3) refuted after preprocessing; the DRAT certificate must
         // check against the original axioms, preprocessing steps included.
         let n = 4usize;
-        let proof = Rc::new(RefCell::new(DratProof::new()));
+        let proof = Arc::new(Mutex::new(DratProof::new()));
         let mut s = Solver::new();
-        s.set_proof_sink(Box::new(Rc::clone(&proof)));
+        s.set_proof_sink(Box::new(Arc::clone(&proof)));
         let p: Vec<Vec<Lit>> = (0..n)
             .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
             .collect();
@@ -928,7 +927,8 @@ mod tests {
         let st = s.preprocess(&PreprocessConfig::default());
         assert!(st.rounds >= 1);
         assert!(s.solve().is_unsat());
-        let check = check_drat(&axioms, &proof.borrow(), &[]).expect("proof must check");
+        let check =
+            check_drat(&axioms, &proof.lock().expect("proof lock"), &[]).expect("proof must check");
         assert!(check.checked_lemmas >= 1);
     }
 
@@ -936,9 +936,9 @@ mod tests {
     fn preprocessing_detected_unsat_is_certified() {
         // a ∧ (¬a ∨ b) ∧ (¬a ∨ ¬b): failed-literal probing or cleanup
         // refutes this without search.
-        let proof = Rc::new(RefCell::new(DratProof::new()));
+        let proof = Arc::new(Mutex::new(DratProof::new()));
         let mut s = Solver::new();
-        s.set_proof_sink(Box::new(Rc::clone(&proof)));
+        s.set_proof_sink(Box::new(Arc::clone(&proof)));
         let a = s.new_var().positive();
         let b = s.new_var().positive();
         let axioms = vec![vec![a], vec![!a, b], vec![!a, !b]];
@@ -947,7 +947,7 @@ mod tests {
         }
         s.preprocess(&PreprocessConfig::default());
         assert!(s.solve().is_unsat());
-        check_drat(&axioms, &proof.borrow(), &[]).expect("proof must check");
+        check_drat(&axioms, &proof.lock().expect("proof lock"), &[]).expect("proof must check");
     }
 
     #[test]

@@ -8,8 +8,7 @@
 use etcs_sat::proof::{check_drat, DratProof};
 use etcs_sat::{CnfSink, Formula, PreprocessConfig, SatResult, Solver, Var};
 use etcs_testkit::{cases, Rng};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A random CNF over `2..=max_vars` variables as raw signed integers
 /// (`±(var + 1)` like DIMACS). Clause count scales with the variable
@@ -74,15 +73,16 @@ fn brute_force_sat(nv: usize, clauses: &[Vec<i32>]) -> bool {
 
 /// Solves `f` with proof logging; returns the result and the proof.
 fn solve_logged(f: &Formula) -> (SatResult, DratProof) {
-    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let proof = Arc::new(Mutex::new(DratProof::new()));
     let mut s = Solver::new();
-    s.set_proof_sink(Box::new(Rc::clone(&proof)));
+    s.set_proof_sink(Box::new(Arc::clone(&proof)));
     f.load_into(&mut s);
     let result = s.solve();
     drop(s);
-    let proof = Rc::try_unwrap(proof)
+    let proof = Arc::try_unwrap(proof)
         .expect("solver handle dropped")
-        .into_inner();
+        .into_inner()
+        .expect("proof lock");
     (result, proof)
 }
 
@@ -114,16 +114,17 @@ fn check_one(rng: &mut Rng, max_vars: usize) {
 /// Solves `f` with the certified preprocessor in front of the search;
 /// returns the result and the combined (preprocessing + search) proof.
 fn solve_preprocessed_logged(f: &Formula) -> (SatResult, DratProof) {
-    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let proof = Arc::new(Mutex::new(DratProof::new()));
     let mut s = Solver::new();
-    s.set_proof_sink(Box::new(Rc::clone(&proof)));
+    s.set_proof_sink(Box::new(Arc::clone(&proof)));
     f.load_into(&mut s);
     s.preprocess(&PreprocessConfig::default());
     let result = s.solve();
     drop(s);
-    let proof = Rc::try_unwrap(proof)
+    let proof = Arc::try_unwrap(proof)
         .expect("solver handle dropped")
-        .into_inner();
+        .into_inner()
+        .expect("proof lock");
     (result, proof)
 }
 

@@ -7,20 +7,20 @@
 use etcs_sat::proof::{check_drat, DratProof, ProofError, ProofStep};
 use etcs_sat::{CnfSink, Formula, SatResult, Solver, Var};
 use etcs_testkit::cases;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Solves `f` with proof logging; returns the result and the proof.
 fn solve_logged(f: &Formula) -> (SatResult, DratProof) {
-    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let proof = Arc::new(Mutex::new(DratProof::new()));
     let mut s = Solver::new();
-    s.set_proof_sink(Box::new(Rc::clone(&proof)));
+    s.set_proof_sink(Box::new(Arc::clone(&proof)));
     f.load_into(&mut s);
     let result = s.solve();
     drop(s);
-    let proof = Rc::try_unwrap(proof)
+    let proof = Arc::try_unwrap(proof)
         .expect("solver handle dropped")
-        .into_inner();
+        .into_inner()
+        .expect("proof lock");
     (result, proof)
 }
 
@@ -134,15 +134,15 @@ fn assumption_core_certifies_via_negated_core_lemma() {
     f.implies(a, b);
     f.implies(b, c);
 
-    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let proof = Arc::new(Mutex::new(DratProof::new()));
     let mut s = Solver::new();
-    s.set_proof_sink(Box::new(Rc::clone(&proof)));
+    s.set_proof_sink(Box::new(Arc::clone(&proof)));
     f.load_into(&mut s);
     match s.solve_with(&[a, !c]) {
         SatResult::Unsat { core } => {
             assert!(!core.is_empty());
             let target: Vec<_> = core.iter().map(|&l| !l).collect();
-            check_drat(f.clauses(), &proof.borrow(), &target)
+            check_drat(f.clauses(), &proof.lock().expect("proof lock"), &target)
                 .expect("negated-core lemma certifies");
         }
         other => panic!("expected unsat under assumptions: {other:?}"),
@@ -194,18 +194,20 @@ fn random_assumption_cores_certify() {
         let assumptions: Vec<_> = (0..rng.range(1, 5))
             .map(|_| vars[rng.below(nv)].lit(rng.bool()))
             .collect();
-        let proof = Rc::new(RefCell::new(DratProof::new()));
+        let proof = Arc::new(Mutex::new(DratProof::new()));
         let mut s = Solver::new();
-        s.set_proof_sink(Box::new(Rc::clone(&proof)));
+        s.set_proof_sink(Box::new(Arc::clone(&proof)));
         f.load_into(&mut s);
         if let SatResult::Unsat { core } = s.solve_with(&assumptions) {
             let target: Vec<_> = core.iter().map(|&l| !l).collect();
-            check_drat(f.clauses(), &proof.borrow(), &target).unwrap_or_else(|e| {
-                panic!(
-                    "core certification failed: {e}\ncore: {core:?}\n{}",
-                    proof.borrow().to_drat_text()
-                )
-            });
+            check_drat(f.clauses(), &proof.lock().expect("proof lock"), &target).unwrap_or_else(
+                |e| {
+                    panic!(
+                        "core certification failed: {e}\ncore: {core:?}\n{}",
+                        proof.lock().expect("proof lock").to_drat_text()
+                    )
+                },
+            );
         }
     });
 }
@@ -215,15 +217,16 @@ fn incremental_runs_share_one_proof() {
     // Several solve_with calls against one solver append to one proof; the
     // final refutation must still check against the original axioms.
     let f = pigeonhole(3);
-    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let proof = Arc::new(Mutex::new(DratProof::new()));
     let mut s = Solver::new();
-    s.set_proof_sink(Box::new(Rc::clone(&proof)));
+    s.set_proof_sink(Box::new(Arc::clone(&proof)));
     f.load_into(&mut s);
     let first = Var::from_index(0).positive();
     let _ = s.solve_with(&[first]);
     let _ = s.solve_with(&[!first]);
     assert!(s.solve().is_unsat());
-    check_drat(f.clauses(), &proof.borrow(), &[]).expect("cumulative proof certifies");
+    check_drat(f.clauses(), &proof.lock().expect("proof lock"), &[])
+        .expect("cumulative proof certifies");
 }
 
 #[test]

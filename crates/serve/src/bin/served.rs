@@ -24,6 +24,11 @@
 //!   route the job through the `etcs-lazy` CEGAR loop with that selection
 //!   strategy. The `--lazy` CLI flag applies `all-violated` to every job
 //!   that does not carry its own `lazy` field (diagnose jobs ignore it).
+//! * `portfolio` (optional) — worker count `n ≥ 2`: race every solve of
+//!   this job across an in-process clause-sharing portfolio. Verdicts and
+//!   optima are unchanged (witness plans may differ, so portfolio jobs
+//!   cache under their own keys). The `--portfolio N` CLI flag applies `N`
+//!   to every job that does not carry its own `portfolio` field.
 //!
 //! Response line (`payload` only when `status` is `done`):
 //!
@@ -62,15 +67,19 @@ struct Args {
     cache: usize,
     lazy: bool,
     preprocess: bool,
+    portfolio: Option<usize>,
 }
 
 const USAGE: &str = "usage: served [--input FILE] [--output FILE] [--trace FILE] \
-[--workers N] [--queue N] [--cache N] [--lazy] [--preprocess]\n\
+[--workers N] [--queue N] [--cache N] [--lazy] [--preprocess] [--portfolio N]\n\
 Reads one JSON job request per line, writes one JSON response per line.\n\
 --lazy routes every job through the CEGAR loop (strategy all-violated)\n\
 unless the request line carries its own \"lazy\" field.\n\
 --preprocess runs the certified CNF preprocessor before every solve\n\
 (results are bit-identical; the cache key distinguishes the modes).\n\
+--portfolio N races every solve across an N-worker clause-sharing\n\
+portfolio unless the request line carries its own \"portfolio\" field\n\
+(verdicts and optima are unchanged; witness plans may differ).\n\
 See the repository README, \"Running as a service\", for the line formats.";
 
 fn parse_args() -> Result<Args, String> {
@@ -83,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         cache: 128,
         lazy: false,
         preprocess: false,
+        portfolio: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -111,6 +121,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--lazy" => args.lazy = true,
             "--preprocess" => args.preprocess = true,
+            "--portfolio" => {
+                let n: usize = value("--portfolio")?
+                    .parse()
+                    .map_err(|_| "--portfolio must be a positive integer".to_string())?;
+                if n < 2 {
+                    return Err("--portfolio needs at least 2 workers".to_string());
+                }
+                args.portfolio = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -163,7 +182,12 @@ fn load_layout(spec: &str, scenario: &Scenario) -> Result<VssLayout, String> {
     }
 }
 
-fn parse_request(line: &str, lineno: usize, lazy_default: bool) -> Result<JobRequest, String> {
+fn parse_request(
+    line: &str,
+    lineno: usize,
+    lazy_default: bool,
+    portfolio_default: Option<usize>,
+) -> Result<JobRequest, String> {
     let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
     let str_field = |key: &str| value.get(key).and_then(Json::as_str);
     let id = str_field("id")
@@ -196,6 +220,16 @@ fn parse_request(line: &str, lineno: usize, lazy_default: bool) -> Result<JobReq
         request.lazy = Some(strategy);
     } else if lazy_default {
         request.lazy = Some(SelectionStrategy::AllViolated);
+    }
+    if let Some(n) = value.get("portfolio").and_then(Json::as_f64) {
+        if n.fract() != 0.0 || n < 2.0 {
+            return Err(format!(
+                "line {lineno}: portfolio must be an integer of at least 2"
+            ));
+        }
+        request.portfolio = Some(n as usize);
+    } else {
+        request.portfolio = portfolio_default;
     }
     Ok(request)
 }
@@ -279,7 +313,7 @@ fn main() -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line, lineno, args.lazy) {
+        match parse_request(&line, lineno, args.lazy, args.portfolio) {
             Ok(request) => order.push(Ok(request)),
             Err(message) => order.push(Err((format!("line-{lineno}"), message))),
         }

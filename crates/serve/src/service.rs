@@ -1,7 +1,9 @@
 //! The job service: bounded admission, a worker-thread pool with per-job
 //! deadlines and cooperative cancellation, and a shared result cache with
 //! single-flight duplicate suppression (concurrent jobs with the same
-//! cache key trigger exactly one solve).
+//! cache key trigger exactly one solve — and the workers that popped the
+//! duplicates park them on the leader's flight and go straight back to the
+//! queue, so duplicate-heavy mixes never serialise the pool).
 //!
 //! Lifecycle: [`Service::new`] spawns the workers; [`Service::submit`]
 //! runs admission control and returns a [`JobTicket`] (or an immediate
@@ -22,7 +24,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use etcs_core::EncoderConfig;
-use etcs_obs::Obs;
+use etcs_obs::{Obs, Span};
 use etcs_sat::{Interrupt, InterruptReason};
 
 use crate::cache::{CacheStats, ResultCache};
@@ -93,49 +95,35 @@ struct QueuedJob {
 }
 
 /// The result cache plus its single-flight registry: the first worker to
-/// miss on a key becomes that key's *leader*; workers hitting the same key
-/// while the leader is still solving wait for its result instead of
-/// repeating a multi-second solve.
+/// miss on a key becomes that key's *leader*; jobs hitting the same key
+/// while the leader is still solving are handed to it as [`Waiter`]s and
+/// answered from its published result instead of repeating a multi-second
+/// solve — while the worker that popped them goes straight back to the
+/// queue for independent work.
 struct CacheLayer {
     results: Mutex<ResultCache>,
     pending: Mutex<HashMap<u128, Arc<Inflight>>>,
 }
 
-/// Completion latch for one in-flight solve.
+/// One in-flight solve and the jobs parked on it. The registry entry lives
+/// in [`CacheLayer::pending`] for exactly as long as the leader is solving;
+/// registration and removal both happen under the pending lock, so a waiter
+/// can never be orphaned on a finished flight.
 struct Inflight {
-    done: Mutex<bool>,
-    ready: Condvar,
+    waiters: Mutex<Vec<Waiter>>,
 }
 
-impl Inflight {
-    fn new() -> Self {
-        Inflight {
-            done: Mutex::new(false),
-            ready: Condvar::new(),
-        }
-    }
-
-    fn finish(&self) {
-        *self.done.lock().expect("flight lock") = true;
-        self.ready.notify_all();
-    }
-
-    /// Blocks until the leader finishes, polling `interrupt` so a waiting
-    /// job stays cancellable. Returns `false` if the token fired first.
-    fn wait(&self, interrupt: &Interrupt) -> bool {
-        let mut done = self.done.lock().expect("flight lock");
-        while !*done {
-            if interrupt.is_triggered() {
-                return false;
-            }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(done, Duration::from_millis(20))
-                .expect("flight lock");
-            done = guard;
-        }
-        true
-    }
+/// Everything needed to finish a parked job on the leader's thread: the
+/// popping worker keeps none of it and is immediately free for other work.
+/// This is what fixes the pool's flat scaling on duplicate-heavy job mixes
+/// — the old design blocked the popping worker until the leader finished,
+/// collapsing N workers onto one effective solve stream.
+struct Waiter {
+    request: JobRequest,
+    interrupt: Interrupt,
+    slot: Arc<Slot>,
+    span: Span,
+    started: Instant,
 }
 
 /// Handle to an admitted job.
@@ -347,101 +335,200 @@ fn worker_loop(
                 ("worker", (worker_id as u64).into()),
             ],
         );
-        let (outcome, cache_hit) = if interrupt.is_triggered() {
+        if interrupt.is_triggered() {
             // Cancelled while still queued: never touch solver or cache.
-            (JobOutcome::Cancelled, false)
-        } else {
-            // The deadline clock starts here: queueing time is free,
-            // waiting on another worker's in-flight solve of the same key
-            // is not.
-            if let Some(deadline) = request.deadline.or(config.default_deadline) {
-                interrupt.arm_deadline(deadline);
-            }
-            match &cache {
-                None => (execute(&request, &config.encoder, &interrupt, obs), false),
-                Some(layer) => {
-                    let key = request.cache_key(&config.encoder);
-                    single_flight(layer, key, &request, &config.encoder, &interrupt, obs)
-                }
-            }
-        };
-        obs.counter_add("serve.jobs", 1);
-        match outcome {
-            JobOutcome::Cancelled => obs.counter_add("serve.cancelled", 1),
-            JobOutcome::DeadlineExceeded => obs.counter_add("serve.deadline_exceeded", 1),
-            _ => {}
+            finish_job(
+                obs,
+                span,
+                JobOutcome::Cancelled,
+                false,
+                started,
+                &slot,
+                request.id,
+            );
+            continue;
         }
-        span.close_with(&[
-            ("status", outcome.status().into()),
-            ("cache", if cache_hit { "hit" } else { "miss" }.into()),
-        ]);
-        slot.fill(JobResponse {
-            id: request.id,
-            outcome,
-            cache_hit,
-            wall: started.elapsed(),
-        });
+        // The deadline clock starts here: queueing time is free, riding on
+        // another worker's in-flight solve of the same key is not.
+        if let Some(deadline) = request.deadline.or(config.default_deadline) {
+            interrupt.arm_deadline(deadline);
+        }
+        match &cache {
+            None => {
+                let outcome = execute(&request, &config.encoder, &interrupt, obs);
+                finish_job(obs, span, outcome, false, started, &slot, request.id);
+            }
+            Some(layer) => {
+                let job = Waiter {
+                    request,
+                    interrupt,
+                    slot,
+                    span,
+                    started,
+                };
+                single_flight(layer, &config.encoder, obs, job);
+            }
+        }
     }
 }
 
+/// Closes the books on one job, wherever it was resolved: the `serve.jobs`
+/// counter, the terminal-state counters, the `serve.job` span and the
+/// caller's mailbox. Every popped job goes through this exactly once.
+fn finish_job(
+    obs: &Obs,
+    span: Span,
+    outcome: JobOutcome,
+    cache_hit: bool,
+    started: Instant,
+    slot: &Slot,
+    id: String,
+) {
+    obs.counter_add("serve.jobs", 1);
+    match outcome {
+        JobOutcome::Cancelled => obs.counter_add("serve.cancelled", 1),
+        JobOutcome::DeadlineExceeded => obs.counter_add("serve.deadline_exceeded", 1),
+        _ => {}
+    }
+    span.close_with(&[
+        ("status", outcome.status().into()),
+        ("cache", if cache_hit { "hit" } else { "miss" }.into()),
+    ]);
+    slot.fill(JobResponse {
+        id,
+        outcome,
+        cache_hit,
+        wall: started.elapsed(),
+    });
+}
+
 /// Cache lookup with duplicate suppression. Exactly one worker solves a
-/// given key at a time; everyone else joining that key waits and is then
-/// answered from the cache (a hit, bit-identical by construction). If the
-/// leader ends without a payload (cancelled, deadline, invalid), a waiter
-/// takes over as the new leader rather than inheriting the failure.
+/// given key at a time; every other job hitting that key is parked on the
+/// leader's flight — its worker returns to the queue immediately — and is
+/// answered from the published result (a hit, bit-identical by
+/// construction). If the leader ends without a payload (cancelled,
+/// deadline, invalid), the first waiter whose own token has not fired is
+/// promoted to re-run the solve on the leader's thread rather than
+/// inheriting the failure.
 ///
 /// The cache is probed *under the pending lock*, and a leader publishes
 /// its result before releasing its key — so between "no leader running"
 /// and "not in the cache" no completed solve can slip through, and the
 /// hit/miss counters are exact: one miss per executed solve, one hit per
 /// job answered from a stored result.
-fn single_flight(
-    layer: &CacheLayer,
-    key: u128,
-    request: &JobRequest,
-    encoder: &EncoderConfig,
-    interrupt: &Interrupt,
-    obs: &Obs,
-) -> (JobOutcome, bool) {
+fn single_flight(layer: &CacheLayer, encoder: &EncoderConfig, obs: &Obs, job: Waiter) {
+    let key = job.request.cache_key(encoder);
+    {
+        let mut pending = layer.pending.lock().expect("pending lock");
+        if let Some(flight) = pending.get(&key) {
+            // Park on the running leader; this worker is free again.
+            flight.waiters.lock().expect("waiter lock").push(job);
+            return;
+        }
+        if let Some(payload) = layer.results.lock().expect("cache lock").get(key) {
+            drop(pending);
+            obs.counter_add("serve.cache.hits", 1);
+            finish_job(
+                obs,
+                job.span,
+                JobOutcome::Done(Box::new(payload)),
+                true,
+                job.started,
+                &job.slot,
+                job.request.id,
+            );
+            return;
+        }
+        pending.insert(
+            key,
+            Arc::new(Inflight {
+                waiters: Mutex::new(Vec::new()),
+            }),
+        );
+    }
+    lead(layer, key, encoder, obs, job);
+}
+
+/// Runs the in-flight solve for `key` as its leader, publishes the result,
+/// finishes the leader's own job, then drains every parked waiter —
+/// backfilling them as cache hits, resolving fired tokens to their own
+/// interrupt outcome, and promoting a live waiter to a fresh leader when
+/// the solve ended without a payload.
+fn lead(layer: &CacheLayer, key: u128, encoder: &EncoderConfig, obs: &Obs, job: Waiter) {
+    let mut leader = job;
     loop {
-        let flight = {
-            let mut pending = layer.pending.lock().expect("pending lock");
-            match pending.get(&key) {
-                Some(flight) => Some(Arc::clone(flight)),
-                None => {
-                    if let Some(payload) = layer.results.lock().expect("cache lock").get(key) {
-                        obs.counter_add("serve.cache.hits", 1);
-                        return (JobOutcome::Done(Box::new(payload)), true);
-                    }
-                    pending.insert(key, Arc::new(Inflight::new()));
-                    None
-                }
-            }
-        };
-        let Some(flight) = flight else {
-            // Leader: solve, publish the result, then release the key.
-            obs.counter_add("serve.cache.misses", 1);
-            let outcome = execute(request, encoder, interrupt, obs);
-            if let JobOutcome::Done(payload) = &outcome {
+        obs.counter_add("serve.cache.misses", 1);
+        let outcome = execute(&leader.request, encoder, &leader.interrupt, obs);
+        let payload = match &outcome {
+            JobOutcome::Done(p) => {
+                let payload = (**p).clone();
                 layer
                     .results
                     .lock()
                     .expect("cache lock")
-                    .insert(key, (**payload).clone());
+                    .insert(key, payload.clone());
+                Some(payload)
             }
-            if let Some(flight) = layer.pending.lock().expect("pending lock").remove(&key) {
-                flight.finish();
-            }
-            return (outcome, false);
+            _ => None,
         };
-        // Joiner: wait for the leader (staying responsive to our own
-        // token), then loop back into the locked cache probe.
-        if !flight.wait(interrupt) {
-            let outcome = match interrupt.probe() {
-                Some(InterruptReason::DeadlineExceeded) => JobOutcome::DeadlineExceeded,
-                _ => JobOutcome::Cancelled,
+        finish_job(
+            obs,
+            leader.span,
+            outcome,
+            false,
+            leader.started,
+            &leader.slot,
+            leader.request.id,
+        );
+
+        // Drain the flight: promotion keeps the key registered (late
+        // arrivals keep parking on it); completion removes it atomically
+        // with taking the waiter list, so nobody can park on a dead flight.
+        let mut promoted = None;
+        let drained = {
+            let mut pending = layer.pending.lock().expect("pending lock");
+            let flight = pending.get(&key).expect("leader owns the key");
+            let mut waiters = flight.waiters.lock().expect("waiter lock");
+            if payload.is_none() {
+                if let Some(pos) = waiters.iter().position(|w| !w.interrupt.is_triggered()) {
+                    promoted = Some(waiters.remove(pos));
+                }
+            }
+            if promoted.is_none() {
+                let drained = std::mem::take(&mut *waiters);
+                drop(waiters);
+                pending.remove(&key);
+                drained
+            } else {
+                Vec::new()
+            }
+        };
+        for w in drained {
+            let (outcome, hit) = match w.interrupt.probe() {
+                Some(InterruptReason::DeadlineExceeded) => (JobOutcome::DeadlineExceeded, false),
+                Some(_) => (JobOutcome::Cancelled, false),
+                None => match &payload {
+                    Some(p) => {
+                        obs.counter_add("serve.cache.hits", 1);
+                        // Answer through the cache so its hit counters and
+                        // recency stay exact; fall back to the leader's
+                        // copy if eviction already raced the entry out.
+                        let stored = layer.results.lock().expect("cache lock").get(key);
+                        (
+                            JobOutcome::Done(Box::new(stored.unwrap_or_else(|| p.clone()))),
+                            true,
+                        )
+                    }
+                    // Unreachable: with no payload, a waiter with a live
+                    // token would have been promoted instead of drained.
+                    None => (JobOutcome::Cancelled, false),
+                },
             };
-            return (outcome, false);
+            finish_job(obs, w.span, outcome, hit, w.started, &w.slot, w.request.id);
+        }
+        match promoted {
+            Some(next) => leader = next,
+            None => return,
         }
     }
 }

@@ -64,7 +64,7 @@ pub use etcs_core::{
     optimize_with_budget, verify, verify_all, verify_all_obs, verify_all_with_threads,
     verify_cancellable, verify_certified, verify_obs, Certification, CertifiedVerdict,
     CertifyError, DesignOutcome, Diagnosis, EncoderConfig, Encoding, EncodingStats, EncodingTrace,
-    ExitPolicy, Instance, LayoutExplorer, OptimizeMode, SolvedPlan, TaskError, TaskKind,
+    ExitPolicy, Instance, LayoutExplorer, OptimizeMode, SolveMode, SolvedPlan, TaskError, TaskKind,
     TaskReport, TradeoffPoint, TrainPlan, TrainSpec, VerifyOutcome,
 };
 pub use etcs_network::{
@@ -125,7 +125,7 @@ pub mod prelude {
         optimize_all, optimize_arrivals, optimize_certified, optimize_incremental,
         optimize_portfolio, verify, verify_all, verify_certified, Certification, CertifiedVerdict,
         DesignOutcome, Diagnosis, EncoderConfig, Instance, LayoutExplorer, NetworkBuilder,
-        OptimizeMode, Scenario, Schedule, Train, TrainRun, VerifyOutcome, VssLayout,
+        OptimizeMode, Scenario, Schedule, SolveMode, Train, TrainRun, VerifyOutcome, VssLayout,
     };
     pub use crate::{KmPerHour, Meters, Seconds};
 }
