@@ -167,6 +167,39 @@ grep -q '"imported": [1-9]' target/BENCH_parallel_smoke.json || {
     exit 1
 }
 
+echo "==> bench_corpus smoke (release, corpus sweep + differential gate)"
+cargo run --release -q -p etcs-bench --bin bench_corpus -- \
+    --smoke --out target/BENCH_corpus_smoke.json
+cargo run --release -q -p etcs-bench --bin json_check -- \
+    target/BENCH_corpus_smoke.json
+# The bench itself asserts that all four solve configurations agree on
+# verdict and optima on every corpus instance and that p50<=p90<=max per
+# distribution; here we pin the artifact shape: the ordering flag must be
+# recorded true and at least two families must report nonzero instance
+# counts (an empty sweep would otherwise pass silently).
+grep -q '"ordering_ok": true' target/BENCH_corpus_smoke.json || {
+    echo "bench_corpus: percentile ordering flag missing or false"; exit 1;
+}
+fam=$(grep -c '"instances": [1-9]' target/BENCH_corpus_smoke.json)
+test "$fam" -ge 2 || {
+    echo "bench_corpus: fewer than two families with instances (got $fam)"
+    exit 1
+}
+
+echo "==> served corpus-exemplar smoke (generated .rail files load end-to-end)"
+CORPUS_IN=target/serve_corpus.in.jsonl
+CORPUS_OUT=target/serve_corpus.out.jsonl
+: > "$CORPUS_IN"
+for fam in grid_ladder station_throat moving_block; do
+    printf '{"id": "corpus-%s", "kind": "generate", "scenario": "file:scenarios/corpus/%s_small.rail"}\n' \
+        "$fam" "$fam" >> "$CORPUS_IN"
+done
+cargo run --release -q -p etcs-serve --bin served -- \
+    --input "$CORPUS_IN" --output "$CORPUS_OUT" --workers 2
+test "$(grep -c '"status": "done"' "$CORPUS_OUT")" -eq 3 || {
+    echo "served: corpus exemplars did not all solve"; exit 1;
+}
+
 echo "==> served --lazy smoke (verdict digests identical to eager solves)"
 LAZY_IN=target/serve_lazy.in.jsonl
 EAGER_OUT=target/serve_lazy.eager.jsonl

@@ -101,6 +101,20 @@ impl Default for EncoderConfig {
     }
 }
 
+impl EncoderConfig {
+    /// Returns a copy with [`solve_mode`](Self::solve_mode) replaced —
+    /// convenience for sweeping one scenario across solve configurations
+    /// (the `etcs-corpus` benchmark wiring).
+    pub fn with_solve_mode(self, solve_mode: SolveMode) -> Self {
+        EncoderConfig { solve_mode, ..self }
+    }
+
+    /// Returns a copy with [`preprocess`](Self::preprocess) set.
+    pub fn with_preprocess(self, preprocess: bool) -> Self {
+        EncoderConfig { preprocess, ..self }
+    }
+}
+
 /// Which of the encoder's *deferrable* constraint families to emit.
 ///
 /// The eager core — train shape chains, movement/speed, completion

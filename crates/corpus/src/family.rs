@@ -1,0 +1,418 @@
+//! Corpus families and size classes: the parameter space of the corpus.
+//!
+//! A family is a *shape* of railway operation; a size class scales that
+//! shape from today's fixture sizes to hundreds of trains. The mapping
+//! from (family, size, seed) to a concrete [`Scenario`] is pure and
+//! version-pinned (see [`crate::Manifest::FORMAT_VERSION`]): the seed only
+//! feeds the deterministic link-length stream of the underlying
+//! `etcs_network::generator` builders.
+
+use etcs_network::generator::{
+    branched_line, grid_ladder, single_track_line, station_throat, BranchConfig, GridConfig,
+    LineConfig, ThroatConfig,
+};
+use etcs_network::{Scenario, Schedule, Seconds};
+use etcs_testkit::Rng;
+
+/// A scenario family of the corpus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// Parallel single-track lines joined by crossover rungs: the
+    /// junction-rich grid/ladder regime (every rung column is a cluster of
+    /// degree-3/4 nodes; cross trains must thread a rung).
+    GridLadder,
+    /// A one-directional convoy chasing down a single-track line with
+    /// crossing loops: same-direction conflicts in a narrow space-time
+    /// band trailing the leader (the lazy loop's favourable regime).
+    ConvoyChain,
+    /// `arms` single-track arms merging into one shared trunk: a
+    /// star-shaped mesh whose junction node has degree `arms + 1`.
+    BranchedMesh,
+    /// Two approaches meeting a yard of parallel sidings between two
+    /// throat nodes: the interlocking regime where VSS borders inside the
+    /// sidings decide staging capacity.
+    StationThroat,
+    /// A moving-block/hybrid-Level-3 line following Engels & Wille
+    /// (arXiv:2405.18977): no crossing loops, a fine spatial grid and a
+    /// tight-headway convoy, so capacity comes entirely from VSS borders
+    /// trailing each train.
+    MovingBlock,
+}
+
+impl Family {
+    /// Every family, in canonical order.
+    pub const ALL: [Family; 5] = [
+        Family::GridLadder,
+        Family::ConvoyChain,
+        Family::BranchedMesh,
+        Family::StationThroat,
+        Family::MovingBlock,
+    ];
+
+    /// Stable snake_case name (used in manifests, artifacts and exemplar
+    /// file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::GridLadder => "grid_ladder",
+            Family::ConvoyChain => "convoy_chain",
+            Family::BranchedMesh => "branched_mesh",
+            Family::StationThroat => "station_throat",
+            Family::MovingBlock => "moving_block",
+        }
+    }
+
+    /// Inverse of [`Family::name`].
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// How big an instance of a family is.
+///
+/// `Small` mirrors the sizes of the repository's hand-built fixtures (the
+/// regime every solve configuration handles in milliseconds); `Huge`
+/// reaches hundreds of trains — generation and validation stay cheap
+/// there, solving is benchmark territory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SizeClass {
+    /// Fixture-sized: a handful of stations and 2–5 trains.
+    Small,
+    /// Roughly double the fixtures in every dimension.
+    Medium,
+    /// Tens of trains on a junction-rich topology.
+    Large,
+    /// Hundreds of trains; generation-and-analysis scale.
+    Huge,
+}
+
+impl SizeClass {
+    /// Every size class, smallest first.
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::Huge,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Large => "large",
+            SizeClass::Huge => "huge",
+        }
+    }
+
+    /// Inverse of [`SizeClass::name`].
+    pub fn from_name(name: &str) -> Option<SizeClass> {
+        SizeClass::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One corpus instance: family × size × seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstanceSpec {
+    /// The scenario family.
+    pub family: Family,
+    /// The size class.
+    pub size: SizeClass,
+    /// Seed for the family's deterministic parameter stream.
+    pub seed: u64,
+}
+
+impl InstanceSpec {
+    /// Creates a spec.
+    pub fn new(family: Family, size: SizeClass, seed: u64) -> Self {
+        InstanceSpec { family, size, seed }
+    }
+
+    /// The canonical scenario name, `corpus-{family}-{size}-seed{seed}`.
+    pub fn canonical_name(&self) -> String {
+        format!(
+            "corpus-{}-{}-seed{}",
+            self.family.name(),
+            self.size.name(),
+            self.seed
+        )
+    }
+
+    /// Builds the scenario. Pure: equal specs yield identical scenarios.
+    ///
+    /// Every run is given an arrival deadline at the horizon (see
+    /// [`Scenario::with_horizon_arrivals`]) so the verification and
+    /// generation tasks are well-defined on corpus instances.
+    pub fn build(&self) -> Scenario {
+        let mut scenario = match self.family {
+            Family::GridLadder => build_grid(self.size, self.seed),
+            Family::ConvoyChain => build_convoy(self.size, self.seed),
+            Family::BranchedMesh => build_mesh(self.size, self.seed),
+            Family::StationThroat => build_throat(self.size, self.seed),
+            Family::MovingBlock => build_moving_block(self.size, self.seed),
+        }
+        .with_horizon_arrivals();
+        scenario.name = self.canonical_name();
+        scenario
+    }
+}
+
+/// Builds `count` scenarios of one family and size, with per-instance
+/// seeds drawn from a splitmix64 stream over `base_seed` — the sampling
+/// entry point the test suites use (`etcs_testkit::Rng` provides the
+/// stream, so a failing instance is replayable from its printed seed).
+pub fn sample(family: Family, size: SizeClass, count: usize, base_seed: u64) -> Vec<Scenario> {
+    sample_specs(family, size, count, base_seed)
+        .iter()
+        .map(InstanceSpec::build)
+        .collect()
+}
+
+/// The specs [`sample`] builds, for callers that need the seeds too.
+pub fn sample_specs(
+    family: Family,
+    size: SizeClass,
+    count: usize,
+    base_seed: u64,
+) -> Vec<InstanceSpec> {
+    let mut rng = Rng::new(base_seed);
+    (0..count)
+        .map(|_| InstanceSpec::new(family, size, rng.next_u64()))
+        .collect()
+}
+
+fn build_grid(size: SizeClass, seed: u64) -> Scenario {
+    let (rows, cols, rung_every, trains_per_row, cross_trains, horizon_min) = match size {
+        SizeClass::Small => (2, 3, 1, 1, 1, 12),
+        // Dense rungs (`rung_every: 1`) are load-bearing at this size: with
+        // rungs only every other column, two trains per row contending for
+        // the sparse crossovers push the optimiser past 100s per instance,
+        // while the dense grid solves in under a second.
+        SizeClass::Medium => (2, 5, 1, 2, 2, 20),
+        SizeClass::Large => (3, 8, 2, 3, 4, 35),
+        SizeClass::Huge => (6, 24, 3, 10, 15, 120),
+    };
+    grid_ladder(&GridConfig {
+        rows,
+        cols,
+        rung_every,
+        trains_per_row,
+        cross_trains,
+        horizon: Seconds::from_minutes(horizon_min),
+        seed,
+        ..GridConfig::default()
+    })
+}
+
+fn build_convoy(size: SizeClass, seed: u64) -> Scenario {
+    let (stations, loop_every, convoy, horizon_min) = match size {
+        SizeClass::Small => (4, 2, 3, 15),
+        SizeClass::Medium => (8, 2, 5, 30),
+        SizeClass::Large => (14, 2, 8, 50),
+        SizeClass::Huge => (60, 3, 250, 600),
+    };
+    let mut scenario = single_track_line(&LineConfig {
+        stations,
+        loop_every,
+        trains_per_direction: convoy,
+        horizon: Seconds::from_minutes(horizon_min),
+        seed,
+        ..LineConfig::default()
+    });
+    // Keep only the eastbound half: a one-directional convoy chain.
+    let runs = scenario
+        .schedule
+        .runs()
+        .iter()
+        .filter(|r| r.train.name.starts_with("East"))
+        .cloned()
+        .collect();
+    scenario.schedule = Schedule::new(runs);
+    scenario
+}
+
+fn build_mesh(size: SizeClass, seed: u64) -> Scenario {
+    let (arms, arm_stations, trunk_stations, trains_per_arm, horizon_min) = match size {
+        SizeClass::Small => (2, 0, 1, 1, 12),
+        SizeClass::Medium => (3, 1, 2, 2, 20),
+        SizeClass::Large => (5, 2, 3, 3, 35),
+        SizeClass::Huge => (12, 4, 6, 18, 120),
+    };
+    branched_line(&BranchConfig {
+        arms,
+        arm_stations,
+        trunk_stations,
+        trains_per_arm,
+        horizon: Seconds::from_minutes(horizon_min),
+        seed,
+        ..BranchConfig::default()
+    })
+}
+
+fn build_throat(size: SizeClass, seed: u64) -> Scenario {
+    let (sidings, approach_stations, trains_per_direction, horizon_min) = match size {
+        SizeClass::Small => (2, 0, 1, 12),
+        SizeClass::Medium => (3, 1, 2, 20),
+        SizeClass::Large => (4, 2, 5, 40),
+        SizeClass::Huge => (12, 3, 60, 240),
+    };
+    station_throat(&ThroatConfig {
+        sidings,
+        approach_stations,
+        trains_per_direction,
+        horizon: Seconds::from_minutes(horizon_min),
+        seed,
+        ..ThroatConfig::default()
+    })
+}
+
+fn build_moving_block(size: SizeClass, seed: u64) -> Scenario {
+    let (stations, convoy, horizon_min) = match size {
+        SizeClass::Small => (3, 2, 12),
+        SizeClass::Medium => (5, 4, 25),
+        SizeClass::Large => (8, 6, 45),
+        SizeClass::Huge => (30, 200, 600),
+    };
+    let mut scenario = single_track_line(&LineConfig {
+        stations,
+        // Moving block: no crossing loops — following distance is governed
+        // purely by VSS borders trailing each train.
+        loop_every: 0,
+        trains_per_direction: convoy,
+        // A finer spatial grid (more candidate borders per TTD) and a
+        // tight headway: the hybrid-Level-3 setting of Engels & Wille.
+        r_s: etcs_network::Meters(250),
+        link_m: 750,
+        headway: Seconds::from_minutes(1),
+        horizon: Seconds::from_minutes(horizon_min),
+        seed,
+        ..LineConfig::default()
+    });
+    let runs = scenario
+        .schedule
+        .runs()
+        .iter()
+        .filter(|r| r.train.name.starts_with("East"))
+        .cloned()
+        .collect();
+    scenario.schedule = Schedule::new(runs);
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for f in Family::ALL {
+            assert_eq!(Family::from_name(f.name()), Some(f));
+        }
+        for s in SizeClass::ALL {
+            assert_eq!(SizeClass::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Family::from_name("nope"), None);
+        assert_eq!(SizeClass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_family_small_and_medium_is_valid_and_discretises() {
+        for family in Family::ALL {
+            for size in [SizeClass::Small, SizeClass::Medium] {
+                for seed in [1, 7, 99] {
+                    let spec = InstanceSpec::new(family, size, seed);
+                    let s = spec.build();
+                    s.validate()
+                        .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+                    let d = s
+                        .discretise()
+                        .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+                    assert!(d.num_edges() > 0);
+                    assert!(!s.schedule.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_instances_are_valid_per_family() {
+        for family in Family::ALL {
+            let spec = InstanceSpec::new(family, SizeClass::Large, 5);
+            let s = spec.build();
+            s.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+            s.discretise()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+        }
+    }
+
+    #[test]
+    fn huge_instances_reach_hundreds_of_trains() {
+        // The corpus scaling claim, pinned: the Huge convoy and
+        // moving-block instances carry 200+ trains and still validate and
+        // discretise (solving them is bench territory, not test).
+        for (family, min_trains) in [
+            (Family::ConvoyChain, 250),
+            (Family::MovingBlock, 200),
+            (Family::BranchedMesh, 200),
+            (Family::StationThroat, 100),
+            (Family::GridLadder, 100),
+        ] {
+            let spec = InstanceSpec::new(family, SizeClass::Huge, 1);
+            let s = spec.build();
+            assert!(
+                s.schedule.len() >= min_trains,
+                "{}: {} trains",
+                spec.canonical_name(),
+                s.schedule.len()
+            );
+            s.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+            s.discretise()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.canonical_name()));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        for family in Family::ALL {
+            let spec = InstanceSpec::new(family, SizeClass::Small, 1234);
+            let a = spec.build();
+            let b = spec.build();
+            assert_eq!(a.network, b.network, "{}", spec.canonical_name());
+            assert_eq!(a.schedule, b.schedule, "{}", spec.canonical_name());
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_network() {
+        // A Small instance has so few links that two seeds can quantise to
+        // the same lengths; a Large grid has dozens of independent draws,
+        // so distinct seeds must differ there.
+        let a = InstanceSpec::new(Family::GridLadder, SizeClass::Large, 1234).build();
+        let c = InstanceSpec::new(Family::GridLadder, SizeClass::Large, 4321).build();
+        assert_ne!(a.network, c.network);
+    }
+
+    #[test]
+    fn every_run_has_an_arrival_deadline() {
+        for family in Family::ALL {
+            let s = InstanceSpec::new(family, SizeClass::Small, 2).build();
+            assert!(
+                s.schedule.runs().iter().all(|r| r.arrival.is_some()),
+                "{family:?}: corpus instances must have deadlines"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_derives_distinct_seeds() {
+        let specs = sample_specs(Family::ConvoyChain, SizeClass::Small, 8, 7);
+        let seeds: std::collections::BTreeSet<_> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 8, "splitmix stream must not collide");
+        let again = sample_specs(Family::ConvoyChain, SizeClass::Small, 8, 7);
+        assert_eq!(specs, again, "sampling is deterministic per base seed");
+        let scenarios = sample(Family::ConvoyChain, SizeClass::Small, 3, 7);
+        assert_eq!(scenarios.len(), 3);
+        assert_ne!(scenarios[0].network, scenarios[1].network);
+    }
+}

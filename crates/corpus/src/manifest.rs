@@ -1,0 +1,145 @@
+//! Versioned corpus manifests: which instances make up a corpus.
+//!
+//! A manifest is a list of (family, size, count, base seed) rows; the
+//! concrete instance seeds are derived from each row's base seed through
+//! the `etcs_testkit` splitmix64 stream. The manifest plus
+//! [`Manifest::FORMAT_VERSION`] fully determines every scenario in the
+//! corpus — `BENCH_corpus.json` records both so an artifact is replayable
+//! from its header alone.
+
+use crate::family::{sample_specs, Family, InstanceSpec, SizeClass};
+
+/// One row of a [`Manifest`]: `count` instances of a family at one size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The scenario family.
+    pub family: Family,
+    /// The size class.
+    pub size: SizeClass,
+    /// How many instances this row contributes.
+    pub count: usize,
+    /// Base seed of the row's splitmix64 seed stream.
+    pub base_seed: u64,
+}
+
+impl ManifestEntry {
+    /// The instance specs of this row, seeds derived deterministically
+    /// from `base_seed`.
+    pub fn specs(&self) -> Vec<InstanceSpec> {
+        sample_specs(self.family, self.size, self.count, self.base_seed)
+    }
+}
+
+/// A named, versioned corpus: the unit `bench_corpus` sweeps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Corpus format version (see [`Manifest::FORMAT_VERSION`]).
+    pub version: u32,
+    /// Human-readable corpus label (artifact key).
+    pub label: &'static str,
+    /// The rows.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// The corpus format version. Bump this when any family's
+    /// construction changes — checked-in exemplars and `BENCH_corpus.json`
+    /// are only comparable within one version.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// The CI-sized corpus: every family at [`SizeClass::Small`], a few
+    /// instances each. `bench_corpus --smoke` sweeps this in seconds.
+    pub fn smoke() -> Manifest {
+        Manifest {
+            version: Self::FORMAT_VERSION,
+            label: "smoke",
+            entries: Family::ALL
+                .into_iter()
+                .map(|family| ManifestEntry {
+                    family,
+                    size: SizeClass::Small,
+                    count: 2,
+                    base_seed: 0xC0FFEE,
+                })
+                .collect(),
+        }
+    }
+
+    /// The standard distribution corpus behind the checked-in
+    /// `BENCH_corpus.json`: every family at Small and Medium, 55
+    /// instances in total.
+    pub fn standard() -> Manifest {
+        let mut entries = Vec::new();
+        for family in Family::ALL {
+            entries.push(ManifestEntry {
+                family,
+                size: SizeClass::Small,
+                count: 7,
+                base_seed: 0xE7C5_0001,
+            });
+            entries.push(ManifestEntry {
+                family,
+                size: SizeClass::Medium,
+                count: 4,
+                base_seed: 0xE7C5_0002,
+            });
+        }
+        Manifest {
+            version: Self::FORMAT_VERSION,
+            label: "standard",
+            entries,
+        }
+    }
+
+    /// Every instance spec of the corpus, manifest order.
+    pub fn specs(&self) -> Vec<InstanceSpec> {
+        self.entries.iter().flat_map(ManifestEntry::specs).collect()
+    }
+
+    /// Total instance count.
+    pub fn total(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// The distinct families the manifest covers.
+    pub fn families(&self) -> Vec<Family> {
+        let mut fams: Vec<_> = self.entries.iter().map(|e| e.family).collect();
+        fams.sort();
+        fams.dedup();
+        fams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_has_at_least_fifty_instances_across_four_families() {
+        let m = Manifest::standard();
+        assert!(m.total() >= 50, "{} instances", m.total());
+        assert!(m.families().len() >= 4, "{:?}", m.families());
+        assert_eq!(m.specs().len(), m.total());
+        assert_eq!(m.version, Manifest::FORMAT_VERSION);
+    }
+
+    #[test]
+    fn smoke_covers_every_family() {
+        let m = Manifest::smoke();
+        assert_eq!(m.families(), Family::ALL.to_vec());
+        assert!(m.total() >= 10);
+        assert!(m.specs().iter().all(|s| s.size == SizeClass::Small));
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_distinct() {
+        let a = Manifest::standard().specs();
+        let b = Manifest::standard().specs();
+        assert_eq!(a, b);
+        let distinct: std::collections::BTreeSet<_> = a
+            .iter()
+            .map(|s| (s.family.name(), s.size.name(), s.seed))
+            .collect();
+        assert_eq!(distinct.len(), a.len(), "corpus instances must be unique");
+    }
+}

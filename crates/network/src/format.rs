@@ -41,19 +41,27 @@ use crate::units::{KmPerHour, Meters, Seconds};
 /// Error produced when parsing a `.rail` document fails.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseScenarioError {
-    /// 1-based line number.
+    /// 1-based line number (0 for whole-document errors such as a missing
+    /// directive or a validation failure of the completed network).
     pub line: usize,
+    /// 1-based column of the offending fragment within the raw line
+    /// (0 when the error has no line, or no narrower span than the line).
+    pub column: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseScenarioError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "scenario parse error at line {}: {}",
-            self.line, self.message
-        )
+        match (self.line, self.column) {
+            (0, _) => write!(f, "scenario parse error: {}", self.message),
+            (line, 0) => write!(f, "scenario parse error at line {line}: {}", self.message),
+            (line, column) => write!(
+                f,
+                "scenario parse error at line {line}, column {column}: {}",
+                self.message
+            ),
+        }
     }
 }
 
@@ -61,7 +69,25 @@ impl std::error::Error for ParseScenarioError {}
 
 impl From<(usize, String)> for ParseScenarioError {
     fn from((line, message): (usize, String)) -> Self {
-        ParseScenarioError { line, message }
+        ParseScenarioError {
+            line,
+            column: 0,
+            message,
+        }
+    }
+}
+
+/// 1-based column of `fragment` within `raw`, or 0 when `fragment` is not
+/// a subslice of `raw`. Pure pointer arithmetic on the borrowed slices —
+/// every parser fragment is carved out of its raw line, so the offset *is*
+/// the column (bytes; `.rail` documents are ASCII in practice).
+fn column_of(raw: &str, fragment: &str) -> usize {
+    let base = raw.as_ptr() as usize;
+    let p = fragment.as_ptr() as usize;
+    if p >= base && p + fragment.len() <= base + raw.len() {
+        p - base + 1
+    } else {
+        0
     }
 }
 
@@ -90,8 +116,17 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
         if line.is_empty() {
             continue;
         }
+        // `err` blames the whole directive (column of its first keyword
+        // character); `err_at` narrows the span to the offending fragment,
+        // which every reference/number error below points at.
         let err = |message: String| ParseScenarioError {
             line: lineno,
+            column: column_of(raw, line),
+            message,
+        };
+        let err_at = |fragment: &str, message: String| ParseScenarioError {
+            line: lineno,
+            column: column_of(raw, fragment),
             message,
         };
         let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
@@ -101,18 +136,19 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
             "rs" => {
                 let metres: u64 = rest
                     .parse()
-                    .map_err(|_| err(format!("invalid rs `{rest}` (metres)")))?;
+                    .map_err(|_| err_at(rest, format!("invalid rs `{rest}` (metres)")))?;
                 r_s = Some(Meters(metres));
             }
             "rt" => {
                 let secs: u64 = rest
                     .parse()
-                    .map_err(|_| err(format!("invalid rt `{rest}` (seconds)")))?;
+                    .map_err(|_| err_at(rest, format!("invalid rt `{rest}` (seconds)")))?;
                 r_t = Some(Seconds(secs));
             }
             "horizon" => {
                 horizon = Some(
-                    Seconds::parse_hms(rest).map_err(|e| err(format!("invalid horizon: {e}")))?,
+                    Seconds::parse_hms(rest)
+                        .map_err(|e| err_at(rest, format!("invalid horizon: {e}")))?,
                 );
             }
             "node" => {
@@ -120,7 +156,7 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                     return Err(err("node needs a name".into()));
                 }
                 if nodes.contains_key(rest) {
-                    return Err(err(format!("duplicate node `{rest}`")));
+                    return Err(err_at(rest, format!("duplicate node `{rest}`")));
                 }
                 let id = builder.node();
                 nodes.insert(rest.to_owned(), id);
@@ -137,7 +173,7 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                     .ok_or_else(|| err("track needs a length".into()))?;
                 let length: u64 = len
                     .parse()
-                    .map_err(|_| err(format!("invalid track length `{len}`")))?;
+                    .map_err(|_| err_at(len, format!("invalid track length `{len}`")))?;
                 // Node names may themselves contain dashes (`westhaven-end`),
                 // so the separator is a dash surrounded by whitespace.
                 let (a, b) = ends
@@ -146,10 +182,10 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                     .ok_or_else(|| err("track endpoints need `a - b`".into()))?;
                 let a = nodes
                     .get(a.trim())
-                    .ok_or_else(|| err(format!("unknown node `{}`", a.trim())))?;
+                    .ok_or_else(|| err_at(a.trim(), format!("unknown node `{}`", a.trim())))?;
                 let b = nodes
                     .get(b.trim())
-                    .ok_or_else(|| err(format!("unknown node `{}`", b.trim())))?;
+                    .ok_or_else(|| err_at(b.trim(), format!("unknown node `{}`", b.trim())))?;
                 let id = builder.track(*a, *b, Meters(length), tname);
                 tracks.insert(tname.to_owned(), id);
             }
@@ -157,7 +193,7 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let (tname, members) = rest
                     .split_once(':')
                     .ok_or_else(|| err("ttd needs `name : tracks…`".into()))?;
-                let members = parse_track_list(members, &tracks).map_err(&err)?;
+                let members = parse_track_list(members, &tracks).map_err(|(f, m)| err_at(f, m))?;
                 builder.ttd(tname.trim(), members);
             }
             "station" => {
@@ -171,9 +207,9 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let boundary = match kind {
                     "boundary" => true,
                     "interior" => false,
-                    other => return Err(err(format!("unknown station kind `{other}`"))),
+                    other => return Err(err_at(other, format!("unknown station kind `{other}`"))),
                 };
-                let members = parse_track_list(members, &tracks).map_err(&err)?;
+                let members = parse_track_list(members, &tracks).map_err(|(f, m)| err_at(f, m))?;
                 let id = builder.station(sname.trim(), members, boundary);
                 stations.insert(sname.trim().to_owned(), id);
             }
@@ -187,10 +223,10 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 };
                 let length: u64 = length
                     .parse()
-                    .map_err(|_| err(format!("invalid train length `{length}`")))?;
+                    .map_err(|_| err_at(length, format!("invalid train length `{length}`")))?;
                 let speed: u32 = speed
                     .parse()
-                    .map_err(|_| err(format!("invalid train speed `{speed}`")))?;
+                    .map_err(|_| err_at(speed, format!("invalid train speed `{speed}`")))?;
                 let train = Train::new(tname.trim(), Meters(length), KmPerHour(speed));
                 trains.insert(tname.trim().to_owned(), (train, usize::MAX));
             }
@@ -202,29 +238,35 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let tname = tname.trim();
                 let (train, run_slot) = trains
                     .get_mut(tname)
-                    .ok_or_else(|| err(format!("unknown train `{tname}`")))?;
+                    .ok_or_else(|| err_at(tname, format!("unknown train `{tname}`")))?;
                 let (route, times) = spec
                     .split_once(" dep ")
                     .ok_or_else(|| err("run needs ` dep <time>`".into()))?;
                 let (origin, dest) = route
                     .split_once("->")
                     .ok_or_else(|| err("run route needs `origin -> dest`".into()))?;
-                let origin = *stations
-                    .get(origin.trim())
-                    .ok_or_else(|| err(format!("unknown station `{}`", origin.trim())))?;
-                let dest = *stations
-                    .get(dest.trim())
-                    .ok_or_else(|| err(format!("unknown station `{}`", dest.trim())))?;
+                let origin = *stations.get(origin.trim()).ok_or_else(|| {
+                    err_at(
+                        origin.trim(),
+                        format!("unknown station `{}`", origin.trim()),
+                    )
+                })?;
+                let dest = *stations.get(dest.trim()).ok_or_else(|| {
+                    err_at(dest.trim(), format!("unknown station `{}`", dest.trim()))
+                })?;
                 let (dep_text, arr_text) = match times.trim().split_once(" arr ") {
                     Some((d, a)) => (d.trim(), Some(a.trim())),
                     None => (times.trim(), None),
                 };
                 let departure = Seconds::parse_hms(dep_text)
-                    .map_err(|e| err(format!("invalid departure: {e}")))?;
-                let arrival = arr_text
-                    .map(Seconds::parse_hms)
-                    .transpose()
-                    .map_err(|e| err(format!("invalid arrival: {e}")))?;
+                    .map_err(|e| err_at(dep_text, format!("invalid departure: {e}")))?;
+                let arrival = match arr_text {
+                    Some(a) => Some(
+                        Seconds::parse_hms(a)
+                            .map_err(|e| err_at(a, format!("invalid arrival: {e}")))?,
+                    ),
+                    None => None,
+                };
                 *run_slot = runs.len();
                 runs.push(TrainRun::new(
                     train.clone(),
@@ -242,35 +284,42 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
                 let run_ix = trains
                     .get(tname.trim())
                     .filter(|(_, ix)| *ix != usize::MAX)
-                    .ok_or_else(|| err(format!("stop before run for train `{}`", tname.trim())))?
+                    .ok_or_else(|| {
+                        err_at(
+                            tname.trim(),
+                            format!("stop before run for train `{}`", tname.trim()),
+                        )
+                    })?
                     .1;
                 let (sname, deadline) = match spec.trim().split_once(" arr ") {
                     Some((s, t)) => (
                         s.trim(),
                         Some(
                             Seconds::parse_hms(t.trim())
-                                .map_err(|e| err(format!("invalid stop time: {e}")))?,
+                                .map_err(|e| err_at(t.trim(), format!("invalid stop time: {e}")))?,
                         ),
                     ),
                     None => (spec.trim(), None),
                 };
                 let station = *stations
                     .get(sname)
-                    .ok_or_else(|| err(format!("unknown station `{sname}`")))?;
+                    .ok_or_else(|| err_at(sname, format!("unknown station `{sname}`")))?;
                 runs[run_ix].stops.push((station, deadline));
             }
-            other => return Err(err(format!("unknown keyword `{other}`"))),
+            other => return Err(err_at(other, format!("unknown keyword `{other}`"))),
         }
     }
 
     let missing = |what: &str| ParseScenarioError {
         line: 0,
+        column: 0,
         message: format!("missing `{what}` directive"),
     };
     let network = builder
         .build()
         .map_err(|e: NetworkError| ParseScenarioError {
             line: 0,
+            column: 0,
             message: format!("network validation failed: {e}"),
         })?;
     let scenario = Scenario {
@@ -283,15 +332,16 @@ pub fn parse_scenario(input: &str) -> Result<Scenario, ParseScenarioError> {
     };
     scenario.validate().map_err(|e| ParseScenarioError {
         line: 0,
+        column: 0,
         message: format!("schedule validation failed: {e}"),
     })?;
     Ok(scenario)
 }
 
-fn parse_track_list(
-    text: &str,
+fn parse_track_list<'a>(
+    text: &'a str,
     tracks: &BTreeMap<String, TrackId>,
-) -> Result<Vec<TrackId>, String> {
+) -> Result<Vec<TrackId>, (&'a str, String)> {
     // Track names may contain spaces, so match greedily against the known
     // names: split on two-or-more spaces first; fall back to whitespace.
     let mut out = Vec::new();
@@ -302,11 +352,11 @@ fn parse_track_list(
         }
         match tracks.get(token) {
             Some(&id) => out.push(id),
-            None => return Err(format!("unknown track `{token}`")),
+            None => return Err((token, format!("unknown track `{token}`"))),
         }
     }
     if out.is_empty() {
-        return Err("empty track list".into());
+        return Err((text, "empty track list".into()));
     }
     Ok(out)
 }
@@ -476,7 +526,33 @@ stop T : M arr 0:04:00
         let text = "scenario X\nrs 500\nrt 30\nhorizon 0:01:00\nbogus directive\n";
         let e = parse_scenario(text).expect_err("fails");
         assert_eq!(e.line, 5);
+        assert_eq!(e.column, 1, "the unknown keyword starts the line");
         assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn error_reports_columns_of_the_offending_fragment() {
+        // `rs nope` — the bad number starts at column 4.
+        let e = parse_scenario("scenario X\nrs nope\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (2, 4));
+
+        // The unknown node `c` of the track endpoints, not the directive.
+        let text = "scenario X\nrs 500\nrt 30\nhorizon 0:01:00\nnode a\ntrack t : a - c 500\n";
+        let e = parse_scenario(text).expect_err("fails");
+        assert_eq!((e.line, e.column), (6, 15), "{e}");
+        assert!(e.message.contains("unknown node `c`"));
+
+        // Leading whitespace and inline comments do not shift the span:
+        // the column is measured in the raw line.
+        let e = parse_scenario("scenario X\n   rs nope # comment\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (2, 7));
+    }
+
+    #[test]
+    fn column_of_rejects_foreign_fragments() {
+        assert_eq!(column_of("abc", "abc"), 1);
+        assert_eq!(column_of("abc", &"abc"[1..]), 2);
+        assert_eq!(column_of("abc", "elsewhere"), 0);
     }
 
     #[test]
@@ -523,8 +599,16 @@ track t : a - b 500
     fn display_of_error_mentions_line() {
         let e = ParseScenarioError {
             line: 7,
+            column: 3,
             message: "boom".into(),
         };
-        assert!(format!("{e}").contains("line 7"));
+        assert!(format!("{e}").contains("line 7, column 3"));
+        let whole_line = ParseScenarioError {
+            line: 7,
+            column: 0,
+            message: "boom".into(),
+        };
+        assert!(format!("{whole_line}").contains("line 7"));
+        assert!(!format!("{whole_line}").contains("column"));
     }
 }

@@ -89,6 +89,30 @@ impl Scenario {
             ..self.clone()
         }
     }
+
+    /// Returns a copy where every run without an arrival deadline is given
+    /// one at the scenario horizon.
+    ///
+    /// The synthetic generators emit open schedules (no deadlines); the
+    /// verification and generation tasks need one per train to be
+    /// well-defined, and "arrive by the end of the scenario" is the
+    /// weakest deadline the time grid can express. Runs that already carry
+    /// a deadline keep it.
+    pub fn with_horizon_arrivals(&self) -> Scenario {
+        let runs = self
+            .schedule
+            .runs()
+            .iter()
+            .map(|r| crate::TrainRun {
+                arrival: r.arrival.or(Some(self.horizon)),
+                ..r.clone()
+            })
+            .collect();
+        Scenario {
+            schedule: Schedule::new(runs),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,15 @@ pub mod serve {
     pub use etcs_serve::*;
 }
 
+/// Seeded, deterministic scenario corpus: parameterized families (grid
+/// ladders, convoy chains, branched meshes, station throats, moving-block
+/// lines) scaling from fixture sizes to hundreds of trains, versioned
+/// manifests, and the solve configurations `bench_corpus` sweeps (see
+/// `DESIGN.md` §15).
+pub mod corpus {
+    pub use etcs_corpus::*;
+}
+
 /// Counterexample-guided lazy constraint solving: CEGAR task loops that
 /// defer the pairwise train-interaction constraints and refine from
 /// violated instances — same verdicts and optima as the eager tasks, far

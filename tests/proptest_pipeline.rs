@@ -7,9 +7,11 @@
 //! paper's rules independently, so an encoding bug would surface as a
 //! validation failure on some random topology.
 
+use etcs::corpus::{Family, InstanceSpec, SizeClass};
 use etcs::network::generator::{branched_line, single_track_line, BranchConfig, LineConfig};
 use etcs::prelude::*;
 use etcs::sim;
+use etcs::{parse_scenario, write_scenario};
 use etcs_testkit::{cases, Rng};
 
 fn small_line(rng: &mut Rng) -> Scenario {
@@ -51,6 +53,16 @@ fn small_topology(rng: &mut Rng) -> Scenario {
     } else {
         small_branch(rng)
     }
+}
+
+/// Draws a random Small corpus instance: any family, fresh seed. The
+/// corpus families are richer than the local line/branch generators above
+/// (grids with crossover rungs, station throats, moving-block convoys),
+/// so the encoder/validator differentials below see junction shapes the
+/// original topologies never produce.
+fn corpus_instance(rng: &mut Rng) -> Scenario {
+    let family = Family::ALL[rng.below(Family::ALL.len())];
+    InstanceSpec::new(family, SizeClass::Small, rng.next_u64()).build()
 }
 
 // Each case runs a full SAT pipeline; keep the counts moderate.
@@ -115,6 +127,40 @@ fn pruning_does_not_change_answers() {
         let (a, _) = verify(&scenario, &VssLayout::pure_ttd(), &pruned).expect("well-formed");
         let (b, _) = verify(&scenario, &VssLayout::pure_ttd(), &unpruned).expect("well-formed");
         assert_eq!(a.is_feasible(), b.is_feasible(), "pruning must be sound");
+    });
+}
+
+#[test]
+fn corpus_generated_plans_pass_independent_validation() {
+    cases(15, |rng| {
+        let scenario = corpus_instance(rng);
+        let config = EncoderConfig::default();
+        let inst = Instance::new(&scenario).expect("corpus scenarios are valid");
+        let (outcome, _) = generate(&scenario, &config).expect("well-formed");
+        if let Some(plan) = outcome.plan() {
+            let report = sim::validate(&inst, plan, true);
+            assert!(report.is_valid(), "{}:\n{report}", scenario.name);
+        }
+    });
+}
+
+#[test]
+fn corpus_rail_roundtrip_preserves_answers() {
+    // The `.rail` round-trip must be semantics-preserving, not just
+    // structurally lossless: the reparsed scenario yields the same
+    // generation verdict and the same minimal border count.
+    cases(10, |rng| {
+        let scenario = corpus_instance(rng);
+        let config = EncoderConfig::default();
+        let back = parse_scenario(&write_scenario(&scenario))
+            .unwrap_or_else(|e| panic!("{}: roundtrip: {e}", scenario.name));
+        let (a, _) = generate(&scenario, &config).expect("well-formed");
+        let (b, _) = generate(&back, &config).expect("well-formed");
+        let costs = |o: &DesignOutcome| match o {
+            DesignOutcome::Solved { costs, .. } => Some(costs.clone()),
+            DesignOutcome::Infeasible => None,
+        };
+        assert_eq!(costs(&a), costs(&b), "{}", scenario.name);
     });
 }
 
