@@ -230,4 +230,106 @@ for kind in verify optimize optimize_incremental; do
     }
 done
 
+echo "==> fleet smoke (two served --listen shards, digests bit-identical to served)"
+# The same 51-job batch the served smoke ran, now routed across two
+# loopback shards by fleetd. The fleet's core guarantee is that the
+# output is bit-identical to the single-process run above.
+FLEET_OUT=target/fleet_smoke.out.jsonl
+FLEET_TRACE=target/fleet_smoke.trace.jsonl
+FLEET_LOG=target/fleet_smoke.fleetd.log
+cargo build --release -q -p etcs-serve -p etcs-fleet
+target/release/served --listen 127.0.0.1:47841 --name s1 --workers 2 \
+    2> target/fleet_shard1.log &
+FLEET_S1=$!
+target/release/served --listen 127.0.0.1:47842 --name s2 --workers 2 \
+    2> target/fleet_shard2.log &
+FLEET_S2=$!
+target/release/fleetd --shard 127.0.0.1:47841 --shard 127.0.0.1:47842 \
+    --input "$SERVE_IN" --output "$FLEET_OUT" --trace "$FLEET_TRACE" \
+    --replicas 1 --check-histories --shutdown-shards 2> "$FLEET_LOG"
+wait $FLEET_S1
+wait $FLEET_S2
+test "$(wc -l < "$FLEET_OUT")" -eq 51 || {
+    echo "fleetd: expected 51 response lines"; exit 1;
+}
+test "$(grep -c '"status": "done"' "$FLEET_OUT")" -eq 51 || {
+    echo "fleetd: not every job completed"; exit 1;
+}
+# Bit-identity against the single-process served run: for every job kind
+# (and the file-loaded job) the fleet must produce exactly the digest the
+# single process produced.
+for kind in verify generate optimize optimize_incremental diagnose file-job; do
+    ref=$(grep "\"id\": \"$kind" "$SERVE_OUT" \
+        | sed 's/.*"digest": "\([0-9a-f]*\)".*/\1/' | sort -u)
+    got=$(grep "\"id\": \"$kind" "$FLEET_OUT" \
+        | sed 's/.*"digest": "\([0-9a-f]*\)".*/\1/' | sort -u)
+    test -n "$ref" && test "$ref" = "$got" || {
+        echo "fleetd: $kind digests diverged from single-process served"
+        exit 1
+    }
+done
+for name in fleet.forward fleet.replicate; do
+    grep -q "\"name\":\"$name\"" "$FLEET_TRACE" || {
+        echo "fleet trace lacks expected event name '$name'"
+        exit 1
+    }
+done
+grep -q '"record": "consistency", "verdict": "ok"' "$FLEET_LOG" || {
+    echo "fleetd: consistency check did not pass"; exit 1;
+}
+grep -q '"record": "stats"' target/fleet_shard1.log || {
+    echo "shard 1 emitted no final stats record"; exit 1;
+}
+
+echo "==> fleet crash smoke (one shard killed mid-batch, no job dropped)"
+# Same batch, fresh ports, and shard 2 deterministically exits (as if
+# kill -9'd) after its 5th job. fleetd must mark it lost, re-dispatch the
+# in-flight jobs onto the survivor, still produce 51 bit-identical
+# responses, and the survivor's history must still pass the checker.
+FLEET2_OUT=target/fleet_crash.out.jsonl
+FLEET2_TRACE=target/fleet_crash.trace.jsonl
+FLEET2_LOG=target/fleet_crash.fleetd.log
+target/release/served --listen 127.0.0.1:47843 --name s1 --workers 2 \
+    2> target/fleet_crash_shard1.log &
+FLEET_S1=$!
+target/release/served --listen 127.0.0.1:47844 --name s2 --workers 2 \
+    --crash-after 5 2> target/fleet_crash_shard2.log &
+FLEET_S2=$!
+target/release/fleetd --shard 127.0.0.1:47843 --shard 127.0.0.1:47844 \
+    --input "$SERVE_IN" --output "$FLEET2_OUT" --trace "$FLEET2_TRACE" \
+    --replicas 1 --check-histories --shutdown-shards 2> "$FLEET2_LOG"
+wait $FLEET_S1
+wait $FLEET_S2 && { echo "crash shard exited cleanly (hook never fired)"; exit 1; } || true
+test "$(grep -c '"status": "done"' "$FLEET2_OUT")" -eq 51 || {
+    echo "fleetd: shard loss dropped a job"; exit 1;
+}
+for kind in verify generate optimize optimize_incremental diagnose file-job; do
+    ref=$(grep "\"id\": \"$kind" "$SERVE_OUT" \
+        | sed 's/.*"digest": "\([0-9a-f]*\)".*/\1/' | sort -u)
+    got=$(grep "\"id\": \"$kind" "$FLEET2_OUT" \
+        | sed 's/.*"digest": "\([0-9a-f]*\)".*/\1/' | sort -u)
+    test -n "$ref" && test "$ref" = "$got" || {
+        echo "fleetd: $kind digests diverged after shard loss"
+        exit 1
+    }
+done
+grep -q '"name":"fleet.shard_lost"' "$FLEET2_TRACE" || {
+    echo "fleet trace lacks the shard_lost event"; exit 1;
+}
+grep -q '"record": "consistency", "verdict": "ok"' "$FLEET2_LOG" || {
+    echo "fleetd: post-crash consistency check did not pass"; exit 1;
+}
+grep -q '"record": "crash_injected"' target/fleet_crash_shard2.log || {
+    echo "crash shard never recorded its injected exit"; exit 1;
+}
+
+echo "==> bench_fleet smoke (release, jobs/s vs shard count, digest gate)"
+cargo run --release -q -p etcs-bench --bin bench_fleet -- \
+    --smoke --out target/BENCH_fleet_smoke.json
+cargo run --release -q -p etcs-bench --bin json_check -- \
+    target/BENCH_fleet_smoke.json
+grep -q '"replicated_keys": [1-9]' target/BENCH_fleet_smoke.json || {
+    echo "bench_fleet: no run replicated a cache entry"; exit 1;
+}
+
 echo "All checks passed."

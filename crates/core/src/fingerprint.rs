@@ -36,6 +36,13 @@ use etcs_network::Scenario;
 
 use crate::encoder::{EncoderConfig, TaskKind};
 
+/// The version tag mixed into every [`cache_key`]. Any change to the
+/// encoding or decoding pipeline that can alter results must bump this so
+/// stale persisted (or replicated) caches can never alias. Distributed
+/// components exchange this string in their handshakes: two processes may
+/// only share cache entries when their versions agree.
+pub const CACHE_KEY_VERSION: &str = "etcs-cache-key-v3";
+
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
 const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
@@ -123,7 +130,7 @@ impl Canon {
 /// ```
 pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -> u128 {
     let mut c = Canon::new();
-    c.str("etcs-cache-key-v3");
+    c.str(CACHE_KEY_VERSION);
 
     c.tag(0x01); // encoder configuration
     c.bool(config.prune_to_goal);

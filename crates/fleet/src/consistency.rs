@@ -1,0 +1,300 @@
+//! The dbcop-style consistency checker over recorded shard histories.
+//!
+//! Each shard records an append-only, `seq`-ordered history of cache
+//! events ([`etcs_serve::HistoryEvent`]): one **put** per payload stored
+//! under its content-addressed fingerprint (by a local solve or a fleet
+//! replication), one **hit** per payload served from the cache. The
+//! checker consumes the histories of a whole fleet and verifies the two
+//! invariants the replicated cache promises:
+//!
+//! 1. **Canonicality** — across *all* shards, a fingerprint is only ever
+//!    bound to one result digest. Two different puts (or a put and a hit)
+//!    for the same key with different digests mean the replicated cache
+//!    forked: some client got a result another client would not have.
+//! 2. **Freshness** — on each shard, every hit is preceded (in that
+//!    shard's own recorded order, which is a linearisation of its cache's
+//!    lock order) by a put of the same key, and serves exactly the digest
+//!    that put bound. A hit with no prior local put is a *stale read*:
+//!    the shard served a value it never visibly stored.
+//!
+//! Additionally the histories must all be recorded under the same
+//! [`etcs_core::CACHE_KEY_VERSION`] — fingerprints from different key
+//! versions are incomparable by design, so mixing them is itself a
+//! violation — and each shard's `seq` numbers must be gap-free from 0
+//! (a gap means events were lost, and a checker that passes on partial
+//! evidence would be vacuous).
+//!
+//! Like dbcop, the checker is only credible because it can *fail*: the
+//! test suite feeds it hand-built histories with an injected stale read
+//! and an injected digest fork and asserts both are rejected.
+
+use std::collections::HashMap;
+
+use etcs_serve::{HistoryOp, ShardHistory};
+
+/// A proven violation of the fleet's cache-consistency model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsistencyViolation {
+    /// One fingerprint was bound to two distinct result digests.
+    DigestFork {
+        /// The forked fingerprint.
+        key: u128,
+        /// First binding: (shard, digest).
+        first: (String, u128),
+        /// Conflicting binding: (shard, digest).
+        second: (String, u128),
+    },
+    /// A shard served a hit for a key it never put first.
+    StaleHit {
+        /// The shard that served it.
+        shard: String,
+        /// Sequence number of the offending hit.
+        seq: u64,
+        /// The fingerprint that was never locally put.
+        key: u128,
+    },
+    /// A hit served a different digest than the shard's own put bound.
+    NonCanonicalHit {
+        /// The shard that served it.
+        shard: String,
+        /// Sequence number of the offending hit.
+        seq: u64,
+        /// The fingerprint.
+        key: u128,
+        /// What the shard's put bound.
+        put: u128,
+        /// What the hit served.
+        served: u128,
+    },
+    /// Histories recorded under different cache-key versions were mixed.
+    VersionMismatch {
+        /// (shard, version) of the first history.
+        first: (String, String),
+        /// (shard, version) of the disagreeing history.
+        second: (String, String),
+    },
+    /// A shard's history has missing or out-of-order sequence numbers.
+    SequenceGap {
+        /// The shard with the broken history.
+        shard: String,
+        /// The expected next sequence number.
+        expected: u64,
+        /// The sequence number actually recorded.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyViolation::DigestFork { key, first, second } => write!(
+                f,
+                "digest fork on key {key:032x}: {} bound {:032x}, {} bound {:032x}",
+                first.0, first.1, second.0, second.1
+            ),
+            ConsistencyViolation::StaleHit { shard, seq, key } => write!(
+                f,
+                "stale hit on {shard} (seq {seq}): key {key:032x} was never put on that shard"
+            ),
+            ConsistencyViolation::NonCanonicalHit {
+                shard,
+                seq,
+                key,
+                put,
+                served,
+            } => write!(
+                f,
+                "non-canonical hit on {shard} (seq {seq}): key {key:032x} was put as \
+                 {put:032x} but served as {served:032x}"
+            ),
+            ConsistencyViolation::VersionMismatch { first, second } => write!(
+                f,
+                "cache-key version mismatch: {} recorded under {:?}, {} under {:?}",
+                first.0, first.1, second.0, second.1
+            ),
+            ConsistencyViolation::SequenceGap {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "sequence gap on {shard}: expected seq {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyViolation {}
+
+/// Summary of a passing check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Shards whose histories were checked.
+    pub shards: usize,
+    /// Total events across all histories.
+    pub events: usize,
+    /// Distinct fingerprints seen.
+    pub keys: usize,
+    /// Total puts.
+    pub puts: usize,
+    /// Total hits.
+    pub hits: usize,
+    /// Fingerprints put on more than one shard (i.e. actually replicated).
+    pub replicated_keys: usize,
+}
+
+/// Checks a fleet's recorded histories against the consistency model.
+///
+/// Returns the first violation found (shards scanned in the given order,
+/// each shard's events in `seq` order), or a [`ConsistencyReport`] when
+/// every invariant holds.
+///
+/// # Errors
+///
+/// The first [`ConsistencyViolation`] encountered.
+pub fn check(histories: &[ShardHistory]) -> Result<ConsistencyReport, ConsistencyViolation> {
+    let mut report = ConsistencyReport {
+        shards: histories.len(),
+        ..ConsistencyReport::default()
+    };
+    if let Some(first) = histories.first() {
+        for other in &histories[1..] {
+            if other.version != first.version {
+                return Err(ConsistencyViolation::VersionMismatch {
+                    first: (first.shard.clone(), first.version.clone()),
+                    second: (other.shard.clone(), other.version.clone()),
+                });
+            }
+        }
+    }
+    // key → (first-binding shard, digest), across the whole fleet.
+    let mut global: HashMap<u128, (String, u128)> = HashMap::new();
+    // key → shard count, for the replication statistic.
+    let mut put_shards: HashMap<u128, Vec<String>> = HashMap::new();
+    for history in histories {
+        // key → digest as bound on *this* shard (local visibility).
+        let mut local: HashMap<u128, u128> = HashMap::new();
+        for (expected_seq, event) in history.events.iter().enumerate() {
+            if event.seq != expected_seq as u64 {
+                return Err(ConsistencyViolation::SequenceGap {
+                    shard: history.shard.clone(),
+                    expected: expected_seq as u64,
+                    found: event.seq,
+                });
+            }
+            report.events += 1;
+            match event.op {
+                HistoryOp::Put => {
+                    report.puts += 1;
+                    // Canonicality is global: any two bindings of one key
+                    // must agree, whichever shards recorded them.
+                    match global.get(&event.key) {
+                        Some((shard, digest)) if *digest != event.digest => {
+                            return Err(ConsistencyViolation::DigestFork {
+                                key: event.key,
+                                first: (shard.clone(), *digest),
+                                second: (history.shard.clone(), event.digest),
+                            });
+                        }
+                        Some(_) => {}
+                        None => {
+                            global.insert(event.key, (history.shard.clone(), event.digest));
+                        }
+                    }
+                    local.insert(event.key, event.digest);
+                    let shards = put_shards.entry(event.key).or_default();
+                    if !shards.contains(&history.shard) {
+                        shards.push(history.shard.clone());
+                    }
+                }
+                HistoryOp::Hit => {
+                    report.hits += 1;
+                    match local.get(&event.key) {
+                        None => {
+                            return Err(ConsistencyViolation::StaleHit {
+                                shard: history.shard.clone(),
+                                seq: event.seq,
+                                key: event.key,
+                            });
+                        }
+                        Some(put) if *put != event.digest => {
+                            return Err(ConsistencyViolation::NonCanonicalHit {
+                                shard: history.shard.clone(),
+                                seq: event.seq,
+                                key: event.key,
+                                put: *put,
+                                served: event.digest,
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    report.keys = put_shards.len();
+    report.replicated_keys = put_shards.values().filter(|s| s.len() > 1).count();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etcs_serve::HistoryEvent;
+
+    fn shard(name: &str, events: Vec<(HistoryOp, u128, u128)>) -> ShardHistory {
+        ShardHistory {
+            shard: name.into(),
+            version: etcs_core::CACHE_KEY_VERSION.into(),
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (op, key, digest))| HistoryEvent {
+                    seq: i as u64,
+                    op,
+                    key,
+                    digest,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn a_clean_replicated_run_passes() {
+        use HistoryOp::{Hit, Put};
+        let histories = [
+            shard("a", vec![(Put, 1, 10), (Hit, 1, 10), (Put, 2, 20)]),
+            shard("b", vec![(Put, 2, 20), (Hit, 2, 20), (Hit, 2, 20)]),
+        ];
+        let report = check(&histories).expect("consistent");
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.puts, 3);
+        assert_eq!(report.hits, 3);
+        assert_eq!(report.keys, 2);
+        assert_eq!(report.replicated_keys, 1, "key 2 lives on both shards");
+    }
+
+    #[test]
+    fn version_mixing_is_rejected() {
+        let mut histories = vec![shard("a", vec![]), shard("b", vec![])];
+        histories[1].version = "etcs-cache-key-v2".into();
+        assert!(matches!(
+            check(&histories),
+            Err(ConsistencyViolation::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_gaps_are_rejected() {
+        let mut history = shard("a", vec![(HistoryOp::Put, 1, 10), (HistoryOp::Hit, 1, 10)]);
+        history.events[1].seq = 5;
+        assert_eq!(
+            check(&[history]),
+            Err(ConsistencyViolation::SequenceGap {
+                shard: "a".into(),
+                expected: 1,
+                found: 5
+            })
+        );
+    }
+}

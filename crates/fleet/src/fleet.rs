@@ -1,0 +1,547 @@
+//! The fleet frontend: rendezvous-hashed job routing over a set of
+//! `served --listen` shards, with cache replication and crash failover.
+//!
+//! Every job is routed by its canonical [`etcs_core::cache_key`]
+//! fingerprint: [`crate::hash::ranked`] orders the shards per key, the
+//! first *alive* shard is the key's home, and the next-ranked shards are
+//! its replicas. A completed cold solve is replicated (full payload, over
+//! the wire codec) to [`FleetConfig::replicas`] further shards, so the
+//! next frontend — or the same one after its home shard dies — finds the
+//! entry warm.
+//!
+//! Failover: any wire error on a shard marks it dead (`fleet.shard_lost`),
+//! drains its queued jobs and re-dispatches them — and the in-flight job
+//! that observed the error — onto the surviving shards in rendezvous order
+//! with linear backoff (`fleet.retry`). A job is never silently dropped:
+//! it either completes on some shard or terminates with an explicit
+//! `error` result after [`FleetConfig::max_attempts`] attempts (or when no
+//! shard is left alive).
+//!
+//! Observability vocabulary: `fleet.forward` / `fleet.replicate` /
+//! `fleet.retry` / `fleet.shard_lost` events, and the counters
+//! `fleet.forwarded`, `fleet.replicated`, `fleet.retries`,
+//! `fleet.shards_lost` plus a per-shard `fleet.shard.<addr>.forwarded`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use etcs_obs::Obs;
+use etcs_serve::wire::{JobDone, ShardClient, WireError};
+use etcs_serve::ShardHistory;
+
+use crate::hash;
+
+/// Tunables for a [`Fleet`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Shard addresses (`host:port`). Order is irrelevant to routing —
+    /// rendezvous weights depend only on the address strings.
+    pub shards: Vec<String>,
+    /// How many *additional* shards receive a copy of each completed cold
+    /// solve (0 disables replication).
+    pub replicas: usize,
+    /// Concurrent connections per shard (each is an independent
+    /// request/response stream, so this bounds per-shard parallelism).
+    pub streams: usize,
+    /// Base of the linear retry backoff: attempt `n` sleeps `n × retry_base`.
+    pub retry_base: Duration,
+    /// Attempts before a job terminates with an `error` result.
+    pub max_attempts: usize,
+    /// Connection attempts per shard at startup (shards may still be
+    /// binding when the frontend starts).
+    pub connect_retries: usize,
+    /// Delay between startup connection attempts.
+    pub connect_delay: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: Vec::new(),
+            replicas: 1,
+            streams: 2,
+            retry_base: Duration::from_millis(50),
+            max_attempts: 8,
+            connect_retries: 40,
+            connect_delay: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why the fleet could not be assembled or queried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// Every configured shard is unreachable (or none were configured).
+    NoShardsAlive,
+    /// A wire-level failure outside the per-job retry machinery.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoShardsAlive => write!(f, "no shards alive"),
+            FleetError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<WireError> for FleetError {
+    fn from(e: WireError) -> Self {
+        FleetError::Wire(e)
+    }
+}
+
+/// One job for [`Fleet::run_batch`], already parsed and fingerprinted by
+/// the caller (invalid request lines never reach the fleet — the frontend
+/// answers them locally, exactly like single-process `served`).
+#[derive(Clone, Debug)]
+pub struct FleetJob {
+    /// Position in the caller's batch (echoed on the result).
+    pub index: usize,
+    /// The request id (for events and error results).
+    pub id: String,
+    /// The verbatim `served`-format request line.
+    pub spec: String,
+    /// The canonical routing fingerprint ([`etcs_core::cache_key`]).
+    pub key: u128,
+}
+
+/// Terminal result of one fleet job.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// The job's batch position.
+    pub index: usize,
+    /// Terminal status (`done`, `invalid`, …, or the fleet-level `error`).
+    pub status: String,
+    /// Whether some shard answered from its cache.
+    pub cache_hit: bool,
+    /// The shard that answered (`None` for fleet-level errors).
+    pub shard: Option<String>,
+    /// The response line to emit — byte-identical to what a
+    /// single-process `served` would have written for this outcome.
+    pub line: String,
+    /// Whether this result counts as a failure for the exit code.
+    pub failed: bool,
+}
+
+struct Task {
+    index: usize,
+    id: String,
+    spec: String,
+    key: u128,
+    attempts: usize,
+}
+
+struct ShardState {
+    addr: String,
+    alive: AtomicBool,
+    queue: Mutex<VecDeque<Task>>,
+    cv: Condvar,
+    /// Leaked once per shard at startup: `Obs` counter names are
+    /// `&'static str`, and the set of shards is fixed and small.
+    forwarded_counter: &'static str,
+}
+
+/// A connected fleet frontend.
+pub struct Fleet {
+    shards: Vec<ShardState>,
+    config: FleetConfig,
+    obs: Obs,
+    done: AtomicBool,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("shards", &self.config.shards)
+            .field("alive", &self.alive_addrs())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Probes every configured shard (with startup retries — shards may
+    /// still be binding) and assembles the fleet. Unreachable shards are
+    /// marked dead (`fleet.shard_lost`), not fatal; at least one shard
+    /// must answer.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoShardsAlive`] when no shard answered its handshake.
+    pub fn connect(config: FleetConfig, obs: Obs) -> Result<Fleet, FleetError> {
+        let mut shards = Vec::with_capacity(config.shards.len());
+        for addr in &config.shards {
+            let mut alive = false;
+            for attempt in 0..config.connect_retries.max(1) {
+                match ShardClient::connect(addr) {
+                    Ok(_probe) => {
+                        alive = true;
+                        break;
+                    }
+                    Err(WireError::VersionMismatch { .. } | WireError::Handshake { .. }) => {
+                        // A reachable shard we must not talk to: retrying
+                        // cannot help, and silently skipping it would mask
+                        // a deployment error.
+                        break;
+                    }
+                    Err(_) if attempt + 1 < config.connect_retries.max(1) => {
+                        std::thread::sleep(config.connect_delay);
+                    }
+                    Err(_) => {}
+                }
+            }
+            shards.push(ShardState {
+                addr: addr.clone(),
+                alive: AtomicBool::new(alive),
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                forwarded_counter: Box::leak(
+                    format!("fleet.shard.{addr}.forwarded").into_boxed_str(),
+                ),
+            });
+        }
+        let fleet = Fleet {
+            shards,
+            config,
+            obs,
+            done: AtomicBool::new(false),
+        };
+        for shard in &fleet.shards {
+            if !shard.alive.load(Ordering::SeqCst) {
+                fleet.note_shard_lost(shard, "unreachable at startup");
+            }
+        }
+        if fleet.alive_addrs().is_empty() {
+            return Err(FleetError::NoShardsAlive);
+        }
+        Ok(fleet)
+    }
+
+    /// Addresses of the shards currently considered alive.
+    pub fn alive_addrs(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .map(|s| s.addr.clone())
+            .collect()
+    }
+
+    fn addrs(&self) -> Vec<String> {
+        self.shards.iter().map(|s| s.addr.clone()).collect()
+    }
+
+    fn note_shard_lost(&self, shard: &ShardState, reason: &str) {
+        self.obs.event(
+            "fleet.shard_lost",
+            &[
+                ("shard", shard.addr.clone().into()),
+                ("reason", reason.to_string().into()),
+            ],
+        );
+        self.obs.counter_add("fleet.shards_lost", 1);
+    }
+
+    /// Marks a shard dead and re-dispatches everything queued on it.
+    /// Idempotent: only the transition from alive emits the event.
+    fn lose_shard(&self, index: usize, reason: &str, results: &mpsc::Sender<FleetResult>) {
+        let shard = &self.shards[index];
+        if shard.alive.swap(false, Ordering::SeqCst) {
+            self.note_shard_lost(shard, reason);
+        }
+        let orphans: Vec<Task> = {
+            let mut queue = shard.queue.lock().expect("shard queue");
+            queue.drain(..).collect()
+        };
+        for task in orphans {
+            self.redispatch(task, results);
+        }
+    }
+
+    /// Routes a task to the best alive shard in its rendezvous order, or
+    /// terminates it with an explicit error result. Never drops a task.
+    fn redispatch(&self, task: Task, results: &mpsc::Sender<FleetResult>) {
+        if task.attempts >= self.config.max_attempts {
+            self.finish_error(
+                task,
+                &format!("gave up after {} attempts", self.config.max_attempts),
+                results,
+            );
+            return;
+        }
+        let addrs = self.addrs();
+        let target = hash::ranked(task.key, &addrs)
+            .into_iter()
+            .find(|&i| self.shards[i].alive.load(Ordering::SeqCst));
+        match target {
+            None => self.finish_error(task, "no shards alive", results),
+            Some(i) => {
+                let shard = &self.shards[i];
+                self.obs.event(
+                    "fleet.forward",
+                    &[
+                        ("job", task.id.clone().into()),
+                        ("shard", shard.addr.clone().into()),
+                        ("key", format!("{:032x}", task.key).into()),
+                        ("attempt", (task.attempts as u64).into()),
+                    ],
+                );
+                self.obs.counter_add("fleet.forwarded", 1);
+                self.obs.counter_add(shard.forwarded_counter, 1);
+                shard.queue.lock().expect("shard queue").push_back(task);
+                shard.cv.notify_one();
+            }
+        }
+    }
+
+    fn finish_error(&self, task: Task, reason: &str, results: &mpsc::Sender<FleetResult>) {
+        let line = format!(
+            "{{\"id\": {}, \"status\": \"error\", \"reason\": {}}}",
+            etcs_obs::json::quote(&task.id),
+            etcs_obs::json::quote(reason)
+        );
+        let _ = results.send(FleetResult {
+            index: task.index,
+            status: "error".into(),
+            cache_hit: false,
+            shard: None,
+            line,
+            failed: true,
+        });
+    }
+
+    /// Blocking pop from one shard's queue; `None` once the batch is done.
+    fn pop(&self, shard: &ShardState) -> Option<Task> {
+        let mut queue = shard.queue.lock().expect("shard queue");
+        loop {
+            if let Some(task) = queue.pop_front() {
+                return Some(task);
+            }
+            if self.done.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Timed wait: robust against wakeups racing the done flag.
+            let (guard, _) = shard
+                .cv
+                .wait_timeout(queue, Duration::from_millis(20))
+                .expect("shard queue");
+            queue = guard;
+        }
+    }
+
+    /// Replicates a completed cold solve to the next-ranked alive shards.
+    fn replicate(&self, done: &JobDone, executed_on: usize) {
+        let Some(key) = done.key else { return };
+        let Some(payload) = &done.payload else { return };
+        if self.config.replicas == 0 {
+            return;
+        }
+        let addrs = self.addrs();
+        let targets: Vec<usize> = hash::ranked(key, &addrs)
+            .into_iter()
+            .filter(|&i| i != executed_on && self.shards[i].alive.load(Ordering::SeqCst))
+            .take(self.config.replicas)
+            .collect();
+        for i in targets {
+            let shard = &self.shards[i];
+            let outcome =
+                ShardClient::connect(&shard.addr).and_then(|mut client| client.put(key, payload));
+            match outcome {
+                Ok(digest) if digest == payload.digest() => {
+                    self.obs.event(
+                        "fleet.replicate",
+                        &[
+                            ("key", format!("{key:032x}").into()),
+                            ("from", self.shards[executed_on].addr.clone().into()),
+                            ("to", shard.addr.clone().into()),
+                        ],
+                    );
+                    self.obs.counter_add("fleet.replicated", 1);
+                }
+                Ok(digest) => {
+                    // The replica decoded a different payload than we sent:
+                    // surface loudly; the history checker will catch any
+                    // fork this could cause.
+                    self.obs.event(
+                        "fleet.replicate_mismatch",
+                        &[
+                            ("key", format!("{key:032x}").into()),
+                            ("to", shard.addr.clone().into()),
+                            ("digest", format!("{digest:032x}").into()),
+                        ],
+                    );
+                }
+                Err(_) => {
+                    // Replication is best-effort: a dead replica target
+                    // is noted but never fails the job.
+                    self.obs.event(
+                        "fleet.replicate_failed",
+                        &[
+                            ("key", format!("{key:032x}").into()),
+                            ("to", shard.addr.clone().into()),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// One shard stream: a dedicated connection working that shard's queue.
+    fn stream_loop(&self, shard_index: usize, results: &mpsc::Sender<FleetResult>) {
+        let shard = &self.shards[shard_index];
+        let mut client: Option<ShardClient> = None;
+        while let Some(mut task) = self.pop(shard) {
+            if !shard.alive.load(Ordering::SeqCst) {
+                self.redispatch(task, results);
+                continue;
+            }
+            if client.is_none() {
+                match ShardClient::connect(&shard.addr) {
+                    Ok(c) => client = Some(c),
+                    Err(e) => {
+                        self.lose_shard(shard_index, &e.to_string(), results);
+                        task.attempts += 1;
+                        self.retry(task, results);
+                        continue;
+                    }
+                }
+            }
+            let connected = client.as_mut().expect("connected above");
+            match connected.job(&task.spec) {
+                Ok(done) => {
+                    let shard_name = connected.shard().to_owned();
+                    if done.status == "done" && !done.cache_hit {
+                        self.replicate(&done, shard_index);
+                    }
+                    let _ = results.send(FleetResult {
+                        index: task.index,
+                        status: done.status.clone(),
+                        cache_hit: done.cache_hit,
+                        shard: Some(shard_name),
+                        // Rejections are queue-local backpressure, not an
+                        // answer — but the shard still answered, so emit
+                        // its line verbatim either way.
+                        failed: done.status != "done"
+                            && done.status != "cancelled"
+                            && done.status != "deadline_exceeded",
+                        line: done.response,
+                    });
+                }
+                Err(e) => {
+                    // The connection (or the whole shard) died mid-job:
+                    // the job was possibly half-executed over there, but
+                    // results are deterministic and content-addressed, so
+                    // re-running elsewhere is always safe.
+                    client = None;
+                    self.lose_shard(shard_index, &e.to_string(), results);
+                    task.attempts += 1;
+                    self.retry(task, results);
+                }
+            }
+        }
+    }
+
+    fn retry(&self, task: Task, results: &mpsc::Sender<FleetResult>) {
+        self.obs.event(
+            "fleet.retry",
+            &[
+                ("job", task.id.clone().into()),
+                ("attempt", (task.attempts as u64).into()),
+            ],
+        );
+        self.obs.counter_add("fleet.retries", 1);
+        // Linear backoff before the re-dispatch; run on this stream's
+        // thread so the sleeping never blocks the main collector.
+        std::thread::sleep(self.config.retry_base * task.attempts as u32);
+        self.redispatch(task, results);
+    }
+
+    /// Runs a whole batch across the fleet and returns one result per job
+    /// (in arbitrary order; use [`FleetResult::index`] to restore the
+    /// caller's order). `on_result` observes each result as it lands —
+    /// fleetd uses it for incremental ordered output.
+    pub fn run_batch(
+        &self,
+        jobs: Vec<FleetJob>,
+        mut on_result: impl FnMut(&FleetResult),
+    ) -> Vec<FleetResult> {
+        let expected = jobs.len();
+        let (tx, rx) = mpsc::channel::<FleetResult>();
+        self.done.store(false, Ordering::SeqCst);
+        for job in jobs {
+            self.redispatch(
+                Task {
+                    index: job.index,
+                    id: job.id,
+                    spec: job.spec,
+                    key: job.key,
+                    attempts: 0,
+                },
+                &tx,
+            );
+        }
+        let mut collected = Vec::with_capacity(expected);
+        std::thread::scope(|scope| {
+            for shard_index in 0..self.shards.len() {
+                for _ in 0..self.config.streams.max(1) {
+                    let tx = tx.clone();
+                    scope.spawn(move || self.stream_loop(shard_index, &tx));
+                }
+            }
+            drop(tx);
+            while collected.len() < expected {
+                match rx.recv() {
+                    Ok(result) => {
+                        on_result(&result);
+                        collected.push(result);
+                    }
+                    Err(_) => break, // every stream exited — can't happen before done
+                }
+            }
+            self.done.store(true, Ordering::SeqCst);
+            for shard in &self.shards {
+                shard.cv.notify_all();
+            }
+        });
+        collected
+    }
+
+    /// Fetches the recorded cache history of every alive shard.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoShardsAlive`] if no shard is left, or the first
+    /// wire failure while fetching.
+    pub fn fetch_histories(&self) -> Result<Vec<ShardHistory>, FleetError> {
+        let mut histories = Vec::new();
+        for shard in &self.shards {
+            if !shard.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut client = ShardClient::connect(&shard.addr)?;
+            histories.push(client.histories()?);
+        }
+        if histories.is_empty() {
+            return Err(FleetError::NoShardsAlive);
+        }
+        Ok(histories)
+    }
+
+    /// Sends `shutdown` to every alive shard (dead ones are skipped;
+    /// errors on the way out are ignored — the shard is going away).
+    pub fn shutdown_shards(&self) {
+        for shard in &self.shards {
+            if !shard.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            if let Ok(mut client) = ShardClient::connect(&shard.addr) {
+                let _ = client.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Rendezvous (highest-random-weight) hashing: key → shard routing.
+//!
+//! Every (fingerprint, shard) pair gets a pseudo-random weight; a key's
+//! *home* shard is the alive shard with the highest weight, and its
+//! replicas are the next-ranked shards. The decisive property for
+//! failover: when a shard dies, only the keys it owned move (each to its
+//! next-ranked survivor) — every other key keeps its home, so a crash
+//! never invalidates the surviving shards' caches the way modulo hashing
+//! would.
+//!
+//! The weight function reuses the repository's two-lane FNV-1a + avalanche
+//! construction (`etcs_core::cache_key`, `JobPayload::digest`): no
+//! cryptographic claim, just a well-mixed 64-bit weight per pair.
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous weight of `shard` for `key`. Deterministic across
+/// processes and runs: every frontend ranks shards identically.
+pub fn weight(key: u128, shard: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    for &byte in shard.as_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    avalanche(h ^ (shard.len() as u64).rotate_left(32))
+}
+
+/// Shard indices ranked by descending weight for `key` (ties broken by
+/// index, so the ranking is total and stable). `ranked(...)[0]` is the
+/// key's home shard; the following entries are its replica order.
+pub fn ranked(key: u128, shards: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(key, &shards[i])), i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 47000 + i)).collect()
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_total() {
+        let shards = shards(5);
+        for key in [0u128, 1, 0xdead_beef, u128::MAX] {
+            let a = ranked(key, &shards);
+            let b = ranked(key, &shards);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "a permutation of all shards");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let all = shards(4);
+        let survivors: Vec<String> = all.iter().filter(|s| *s != &all[2]).cloned().collect();
+        for key in 0..500u128 {
+            let before = ranked(key, &all);
+            let home_before = &all[before[0]];
+            let after = ranked(key, &survivors);
+            let home_after = &survivors[after[0]];
+            if home_before != &all[2] {
+                assert_eq!(
+                    home_before, home_after,
+                    "key {key} moved although its home shard survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let shards = shards(4);
+        let mut counts = [0usize; 4];
+        for key in 0..1000u128 {
+            counts[ranked(key * 0x9e37_79b9_7f4a_7c15, &shards)[0]] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 100,
+                "shard {i} owns only {c}/1000 keys — the weight function is skewed"
+            );
+        }
+    }
+}

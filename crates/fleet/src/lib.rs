@@ -1,0 +1,42 @@
+//! # etcs-fleet — shard-aware distributed serve fleet
+//!
+//! The next scale step after `etcs-serve`'s single-process worker pool:
+//! several `served --listen ADDR` shards behind a routing frontend, tied
+//! together by three pieces:
+//!
+//! * a **versioned wire protocol** ([`etcs_serve::wire`], re-exported
+//!   here): dependency-free JSONL over TCP with an explicit `hello`
+//!   handshake carrying both the protocol version and the
+//!   [`etcs_core::CACHE_KEY_VERSION`] — two processes only exchange jobs
+//!   and cache entries when both agree;
+//! * a **frontend** ([`Fleet`], and the `fleetd` binary): rendezvous
+//!   hashing of each job's canonical [`etcs_core::cache_key`] fingerprint
+//!   onto shards, replication of completed cache entries to the
+//!   next-ranked shards, and crash failover that re-dispatches in-flight
+//!   jobs onto survivors — never silently dropping one;
+//! * a **consistency checker** ([`consistency`]): every shard records its
+//!   cache put/hit history, and the checker (a library harness and
+//!   `fleetd --check-histories`) verifies, dbcop-style, that no
+//!   fingerprint ever maps to two distinct result digests anywhere in the
+//!   fleet and no hit precedes its put.
+//!
+//! Because results are deterministic and content-addressed, the fleet's
+//! correctness statement is sharp: a batch run through `fleetd` produces
+//! **bit-identical** verdict digests to a single-process `served` run —
+//! including runs where a shard is killed mid-batch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod consistency;
+mod fleet;
+pub mod hash;
+
+pub use consistency::{check, ConsistencyReport, ConsistencyViolation};
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetJob, FleetResult};
+
+// The wire protocol lives in `etcs-serve` (the shard side needs it too);
+// re-export it so fleet users have a single crate to depend on.
+pub use etcs_serve::wire;
+pub use etcs_serve::{HistoryEvent, HistoryOp, ShardHistory};

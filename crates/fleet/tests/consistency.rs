@@ -1,0 +1,107 @@
+//! The consistency checker is only credible because it can *fail*: these
+//! tests hand-build shard histories with injected violations — a stale
+//! read and a digest fork — and assert the checker rejects each one with
+//! the right typed verdict. Clean histories of the same shape pass.
+
+use etcs_fleet::{check, ConsistencyViolation};
+use etcs_serve::{HistoryEvent, HistoryOp, ShardHistory};
+
+fn shard(name: &str, events: &[(HistoryOp, u128, u128)]) -> ShardHistory {
+    ShardHistory {
+        shard: name.into(),
+        version: etcs_core::CACHE_KEY_VERSION.into(),
+        events: events
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, key, digest))| HistoryEvent {
+                seq: i as u64,
+                op,
+                key,
+                digest,
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn an_injected_stale_read_is_rejected() {
+    use HistoryOp::{Hit, Put};
+    // Shard "b" serves a hit for key 7 it never put: a value it never
+    // visibly stored. (A put on *another* shard does not excuse it — the
+    // freshness invariant is per-shard.)
+    let histories = [
+        shard("a", &[(Put, 7, 70), (Hit, 7, 70)]),
+        shard("b", &[(Put, 9, 90), (Hit, 7, 70)]),
+    ];
+    assert_eq!(
+        check(&histories),
+        Err(ConsistencyViolation::StaleHit {
+            shard: "b".into(),
+            seq: 1,
+            key: 7,
+        })
+    );
+
+    // The same histories with the missing put restored pass.
+    let repaired = [
+        shard("a", &[(Put, 7, 70), (Hit, 7, 70)]),
+        shard("b", &[(Put, 9, 90), (Put, 7, 70), (Hit, 7, 70)]),
+    ];
+    let report = check(&repaired).expect("repaired histories are consistent");
+    assert_eq!(report.replicated_keys, 1, "key 7 now lives on both shards");
+}
+
+#[test]
+fn an_injected_digest_fork_is_rejected() {
+    use HistoryOp::{Hit, Put};
+    // Two shards bind the same fingerprint to different result digests:
+    // the replicated cache forked, and some client saw a result another
+    // client would never have gotten.
+    let histories = [
+        shard("a", &[(Put, 7, 70), (Hit, 7, 70)]),
+        shard("b", &[(Put, 7, 71)]),
+    ];
+    assert_eq!(
+        check(&histories),
+        Err(ConsistencyViolation::DigestFork {
+            key: 7,
+            first: ("a".into(), 70),
+            second: ("b".into(), 71),
+        })
+    );
+
+    // A fork is a fork regardless of which shard is scanned first.
+    let reversed = [
+        shard("b", &[(Put, 7, 71)]),
+        shard("a", &[(Put, 7, 70), (Hit, 7, 70)]),
+    ];
+    assert!(matches!(
+        check(&reversed),
+        Err(ConsistencyViolation::DigestFork { key: 7, .. })
+    ));
+}
+
+#[test]
+fn a_hit_that_disagrees_with_its_own_put_is_rejected() {
+    use HistoryOp::{Hit, Put};
+    // Subtler than the cross-shard fork: one shard's hit serves a digest
+    // different from what its own put bound.
+    let histories = [shard("a", &[(Put, 7, 70), (Hit, 7, 71)])];
+    assert_eq!(
+        check(&histories),
+        Err(ConsistencyViolation::NonCanonicalHit {
+            shard: "a".into(),
+            seq: 1,
+            key: 7,
+            put: 70,
+            served: 71,
+        })
+    );
+}
+
+#[test]
+fn the_empty_fleet_is_vacuously_consistent() {
+    let report = check(&[]).expect("nothing to violate");
+    assert_eq!(report.shards, 0);
+    assert_eq!(report.events, 0);
+}

@@ -5,6 +5,11 @@
 //! response per line (to `--output FILE` or stdout), preserving input
 //! order. Optionally emits an observability trace with `--trace FILE`.
 //!
+//! With `--listen ADDR` the process becomes a fleet *shard* instead: the
+//! same worker-pool service behind a TCP socket speaking the versioned
+//! fleet wire protocol (see [`etcs_serve::wire`]), with cache-history
+//! recording on so a `fleetd --check-histories` run can audit it.
+//!
 //! Request line:
 //!
 //! ```json
@@ -45,18 +50,27 @@
 //! cache hits match fresh solves. `payload.verdict_digest` hashes only
 //! (kind, feasible, costs), the slice guaranteed identical between eager
 //! and lazy runs of the same request — CI compares it across `--lazy`.
+//!
+//! On shutdown (both modes) the process emits one machine-readable summary
+//! record on stderr:
+//!
+//! ```json
+//! {"record": "stats", "queue": {"submitted": 51, "admitted": 51,
+//!  "rejected": 0, "high_water": 51}, "jobs": {"done": 51, "cancelled": 0,
+//!  "deadline_exceeded": 0, "invalid": 0}, "cache": {"hits": 40,
+//!  "misses": 11, "insertions": 11, "evictions": 0}}
+//! ```
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
 
-use etcs_core::Instance;
-use etcs_network::{fixtures, parse_scenario, Scenario, VssLayout};
-use etcs_obs::json::{self, Json};
+use etcs_obs::json;
 use etcs_obs::Obs;
-use etcs_serve::{
-    JobKind, JobOutcome, JobPayload, JobRequest, Priority, SelectionStrategy, ServeConfig, Service,
+use etcs_serve::wire::{
+    parse_request_line, response_line, stats_body_json, JobHook, ShardServer, ShardServerConfig,
 };
+use etcs_serve::{JobRequest, ServeConfig, Service};
 
 struct Args {
     input: Option<String>,
@@ -68,10 +82,14 @@ struct Args {
     lazy: bool,
     preprocess: bool,
     portfolio: Option<usize>,
+    listen: Option<String>,
+    name: Option<String>,
+    crash_after: Option<u64>,
 }
 
 const USAGE: &str = "usage: served [--input FILE] [--output FILE] [--trace FILE] \
-[--workers N] [--queue N] [--cache N] [--lazy] [--preprocess] [--portfolio N]\n\
+[--workers N] [--queue N] [--cache N] [--lazy] [--preprocess] [--portfolio N] \
+[--listen ADDR] [--name NAME] [--crash-after N]\n\
 Reads one JSON job request per line, writes one JSON response per line.\n\
 --lazy routes every job through the CEGAR loop (strategy all-violated)\n\
 unless the request line carries its own \"lazy\" field.\n\
@@ -80,6 +98,10 @@ unless the request line carries its own \"lazy\" field.\n\
 --portfolio N races every solve across an N-worker clause-sharing\n\
 portfolio unless the request line carries its own \"portfolio\" field\n\
 (verdicts and optima are unchanged; witness plans may differ).\n\
+--listen ADDR serves the fleet wire protocol on a TCP socket instead of\n\
+reading a batch (a fleet shard); --name labels the shard; --crash-after N\n\
+aborts the whole process after N jobs (deterministic fault injection for\n\
+fleet failover tests).\n\
 See the repository README, \"Running as a service\", for the line formats.";
 
 fn parse_args() -> Result<Args, String> {
@@ -93,6 +115,9 @@ fn parse_args() -> Result<Args, String> {
         lazy: false,
         preprocess: false,
         portfolio: None,
+        listen: None,
+        name: None,
+        crash_after: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -130,141 +155,95 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.portfolio = Some(n);
             }
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--name" => args.name = Some(value("--name")?),
+            "--crash-after" => {
+                args.crash_after = Some(
+                    value("--crash-after")?
+                        .parse()
+                        .map_err(|_| "--crash-after must be an integer".to_string())?,
+                )
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
+    if args.listen.is_some() && (args.input.is_some() || args.output.is_some()) {
+        return Err(format!(
+            "--listen is a socket mode: it takes no --input/--output\n{USAGE}"
+        ));
+    }
     Ok(args)
 }
 
-fn load_scenario(spec: &str) -> Result<Scenario, String> {
-    if let Some(name) = spec.strip_prefix("fixture:") {
-        match name {
-            "running_example" => Ok(fixtures::running_example()),
-            "simple_layout" => Ok(fixtures::simple_layout()),
-            "complex_layout" => Ok(fixtures::complex_layout()),
-            "nordlandsbanen" => Ok(fixtures::nordlandsbanen()),
-            "convoy" => Ok(fixtures::convoy()),
-            other => Err(format!("unknown fixture {other:?}")),
-        }
-    } else if let Some(path) = spec.strip_prefix("file:") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        parse_scenario(&text).map_err(|e| format!("{path}: {e}"))
-    } else if let Some(text) = spec.strip_prefix("rail:") {
-        parse_scenario(text).map_err(|e| e.to_string())
-    } else {
-        Err(format!(
-            "scenario must start with fixture:, file: or rail: (got {spec:?})"
-        ))
+fn print_stats_record(shard: Option<&str>, service: &Service) {
+    let body = stats_body_json(
+        &service.queue_stats(),
+        &service.terminal_stats(),
+        &service.cache_stats().unwrap_or_default(),
+    );
+    match shard {
+        Some(name) => eprintln!(
+            "{{\"record\": \"stats\", \"shard\": {}, {body}}}",
+            json::quote(name)
+        ),
+        None => eprintln!("{{\"record\": \"stats\", {body}}}"),
     }
 }
 
-fn load_layout(spec: &str, scenario: &Scenario) -> Result<VssLayout, String> {
-    if spec == "pure_ttd" {
-        Ok(VssLayout::pure_ttd())
-    } else if spec == "full" {
-        let inst = Instance::new(scenario).map_err(|e| e.to_string())?;
-        Ok(VssLayout::full(&inst.net))
-    } else if let Some(list) = spec.strip_prefix("borders:") {
-        let mut nodes = Vec::new();
-        for part in list.split(',').filter(|p| !p.is_empty()) {
-            let index: usize = part
-                .trim()
-                .parse()
-                .map_err(|_| format!("bad border index {part:?}"))?;
-            nodes.push(etcs_network::NodeId::from_index(index));
-        }
-        Ok(VssLayout::with_borders(nodes))
-    } else {
-        Err(format!(
-            "layout must be pure_ttd, full or borders:i,j,… (got {spec:?})"
-        ))
-    }
-}
-
-fn parse_request(
-    line: &str,
-    lineno: usize,
-    lazy_default: bool,
-    portfolio_default: Option<usize>,
-) -> Result<JobRequest, String> {
-    let value = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
-    let str_field = |key: &str| value.get(key).and_then(Json::as_str);
-    let id = str_field("id")
-        .map(str::to_owned)
-        .unwrap_or_else(|| format!("line-{lineno}"));
-    let kind_name = str_field("kind").ok_or_else(|| format!("line {lineno}: missing \"kind\""))?;
-    let kind = JobKind::parse(kind_name)
-        .ok_or_else(|| format!("line {lineno}: unknown kind {kind_name:?}"))?;
-    let scenario_spec =
-        str_field("scenario").ok_or_else(|| format!("line {lineno}: missing \"scenario\""))?;
-    let scenario = load_scenario(scenario_spec).map_err(|e| format!("line {lineno}: {e}"))?;
-    let mut request = JobRequest::new(id, kind, scenario);
-    if let Some(layout_spec) = str_field("layout") {
-        request.layout = load_layout(layout_spec, &request.scenario)
-            .map_err(|e| format!("line {lineno}: {e}"))?;
-    }
-    if let Some(priority_name) = str_field("priority") {
-        request.priority = Priority::parse(priority_name)
-            .ok_or_else(|| format!("line {lineno}: unknown priority {priority_name:?}"))?;
-    }
-    if let Some(ms) = value.get("deadline_ms").and_then(Json::as_f64) {
-        if ms < 0.0 {
-            return Err(format!("line {lineno}: deadline_ms must be non-negative"));
-        }
-        request.deadline = Some(Duration::from_millis(ms as u64));
-    }
-    if let Some(strategy_name) = str_field("lazy") {
-        let strategy = SelectionStrategy::parse(strategy_name)
-            .ok_or_else(|| format!("line {lineno}: unknown lazy strategy {strategy_name:?}"))?;
-        request.lazy = Some(strategy);
-    } else if lazy_default {
-        request.lazy = Some(SelectionStrategy::AllViolated);
-    }
-    if let Some(n) = value.get("portfolio").and_then(Json::as_f64) {
-        if n.fract() != 0.0 || n < 2.0 {
-            return Err(format!(
-                "line {lineno}: portfolio must be an integer of at least 2"
-            ));
-        }
-        request.portfolio = Some(n as usize);
-    } else {
-        request.portfolio = portfolio_default;
-    }
-    Ok(request)
-}
-
-fn payload_json(payload: &JobPayload) -> String {
-    let mut out = String::from("{");
-    out.push_str(&format!("\"kind\": {}", json::quote(payload.kind.name())));
-    out.push_str(&format!(", \"feasible\": {}", payload.feasible));
-    if !payload.costs.is_empty() {
-        let costs: Vec<String> = payload.costs.iter().map(u64::to_string).collect();
-        out.push_str(&format!(", \"costs\": [{}]", costs.join(", ")));
-    }
-    if let Some(plan) = &payload.plan {
-        out.push_str(&format!(", \"borders\": {}", plan.layout.num_borders()));
-        out.push_str(&format!(", \"trains\": {}", plan.plans.len()));
-    }
-    if let Some(diagnosis) = &payload.diagnosis {
-        let summary = match diagnosis {
-            etcs_core::Diagnosis::Feasible => "feasible".to_string(),
-            etcs_core::Diagnosis::Structural => "structural".to_string(),
-            etcs_core::Diagnosis::Conflict { names, .. } => {
-                format!("conflict: {}", names.join(", "))
+/// The `--listen` socket mode: one fleet shard until `shutdown` (or death).
+fn run_shard(args: &Args, addr: &str, obs: Obs) -> ExitCode {
+    let encoder = etcs_core::EncoderConfig {
+        preprocess: args.preprocess,
+        ..etcs_core::EncoderConfig::default()
+    };
+    let service = Service::with_obs(
+        ServeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            cache_capacity: args.cache,
+            encoder,
+            record_history: true,
+            ..ServeConfig::default()
+        },
+        obs.clone(),
+    );
+    let hook: Option<JobHook> = args.crash_after.map(|n| {
+        Arc::new(move |seen: u64| {
+            if seen > n {
+                // Deterministic fault injection: die abruptly, mid-protocol,
+                // exactly as a crashed shard would.
+                eprintln!("{{\"record\": \"crash_injected\", \"after\": {n}}}");
+                std::process::exit(3);
             }
-        };
-        out.push_str(&format!(", \"diagnosis\": {}", json::quote(&summary)));
-    }
-    out.push_str(&format!(", \"solver_calls\": {}", payload.solver_calls));
-    out.push_str(&format!(", \"conflicts\": {}", payload.search.conflicts));
-    out.push_str(&format!(", \"digest\": \"{:032x}\"", payload.digest()));
-    out.push_str(&format!(
-        ", \"verdict_digest\": \"{:032x}\"",
-        payload.verdict_digest()
-    ));
-    out.push('}');
-    out
+        }) as JobHook
+    });
+    let config = ShardServerConfig {
+        name: args.name.clone().unwrap_or_default(),
+        lazy_default: args.lazy,
+        portfolio_default: args.portfolio,
+        hook,
+    };
+    let server = match ShardServer::spawn(addr, service, config, obs) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{{\"record\": \"listening\", \"addr\": \"{}\", \"shard\": {}}}",
+        server.addr(),
+        json::quote(server.name())
+    );
+    let name = server.name().to_owned();
+    let stats = server.wait();
+    let body = stats_body_json(&stats.queue, &stats.jobs, &stats.cache);
+    eprintln!(
+        "{{\"record\": \"stats\", \"shard\": {}, {body}}}",
+        json::quote(&name)
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -286,6 +265,10 @@ fn main() -> ExitCode {
         },
         None => Obs::disabled(),
     };
+
+    if let Some(addr) = args.listen.clone() {
+        return run_shard(&args, &addr, obs);
+    }
 
     let input: Box<dyn BufRead> = match &args.input {
         Some(path) => match std::fs::File::open(path) {
@@ -313,7 +296,7 @@ fn main() -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line, lineno, args.lazy, args.portfolio) {
+        match parse_request_line(&line, &format!("line {lineno}"), args.lazy, args.portfolio) {
             Ok(request) => order.push(Ok(request)),
             Err(message) => order.push(Err((format!("line-{lineno}"), message))),
         }
@@ -370,31 +353,8 @@ fn main() -> ExitCode {
                     Ok(ticket) => ticket.wait(),
                     Err(rejected) => rejected,
                 };
-                let mut line = format!(
-                    "{{\"id\": {}, \"status\": {}, \"cache\": {}, \"wall_ms\": {}",
-                    json::quote(&response.id),
-                    json::quote(response.outcome.status()),
-                    json::quote(if response.cache_hit { "hit" } else { "miss" }),
-                    response.wall.as_millis()
-                );
-                match &response.outcome {
-                    JobOutcome::Done(payload) => {
-                        line.push_str(&format!(", \"payload\": {}", payload_json(payload)));
-                    }
-                    JobOutcome::Rejected(reason) => {
-                        failed = true;
-                        line.push_str(&format!(
-                            ", \"reason\": {}",
-                            json::quote(&reason.to_string())
-                        ));
-                    }
-                    JobOutcome::Invalid(message) => {
-                        failed = true;
-                        line.push_str(&format!(", \"reason\": {}", json::quote(message)));
-                    }
-                    JobOutcome::Cancelled | JobOutcome::DeadlineExceeded => {}
-                }
-                line.push('}');
+                let (line, line_failed) = response_line(&response);
+                failed = failed || line_failed;
                 line
             }
         };
@@ -408,12 +368,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let queue = service.queue_stats();
-    let cache = service.cache_stats().unwrap_or_default();
-    eprintln!(
-        "served: {} submitted, {} admitted, {} rejected; cache {} hits / {} misses",
-        queue.submitted, queue.admitted, queue.rejected, cache.hits, cache.misses
-    );
+    print_stats_record(None, &service);
     service.shutdown();
 
     if failed {

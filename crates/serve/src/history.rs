@@ -1,0 +1,125 @@
+//! Per-shard cache histories: the raw material of the fleet's dbcop-style
+//! consistency check.
+//!
+//! When [`crate::ServeConfig::record_history`] is on, the service appends
+//! one [`HistoryEvent`] for every cache **put** (a payload published under
+//! its content-addressed fingerprint — by a local solve or by a fleet
+//! replication) and every cache **hit** (a payload served from the cache
+//! instead of being re-solved). Each event carries the versioned
+//! fingerprint and a digest of the *complete* payload, so an external
+//! checker can verify, across a whole fleet of shards, that
+//!
+//! 1. no fingerprint was ever bound to two distinct result digests
+//!    (canonicality — the replicated cache never forks), and
+//! 2. no shard ever served a hit before that shard recorded the matching
+//!    put (freshness — a hit is always explained by a visible put).
+//!
+//! The checker itself lives in `etcs-fleet` (`consistency` module); this
+//! module only defines the recorded vocabulary, because the recording
+//! happens inside the service's cache layer.
+
+/// What a cache history event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistoryOp {
+    /// A payload was stored under its fingerprint (local solve or
+    /// replication).
+    Put,
+    /// A payload was served from the cache.
+    Hit,
+}
+
+impl HistoryOp {
+    /// Stable wire name (`put` / `hit`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HistoryOp::Put => "put",
+            HistoryOp::Hit => "hit",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<HistoryOp> {
+        match s {
+            "put" => Some(HistoryOp::Put),
+            "hit" => Some(HistoryOp::Hit),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded cache event on one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoryEvent {
+    /// Position in this shard's history (strictly increasing, gap-free).
+    pub seq: u64,
+    /// Put or hit.
+    pub op: HistoryOp,
+    /// The content-addressed fingerprint ([`etcs_core::cache_key`]).
+    pub key: u128,
+    /// Digest of the complete payload ([`crate::JobPayload::digest`]).
+    pub digest: u128,
+}
+
+/// A whole shard's recorded history, tagged with the shard's name and the
+/// cache-key version it was recorded under. Histories recorded under
+/// different versions must never be checked against each other — the same
+/// logical request hashes to different fingerprints across versions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardHistory {
+    /// The shard's self-reported name.
+    pub shard: String,
+    /// The [`etcs_core::CACHE_KEY_VERSION`] the events were recorded under.
+    pub version: String,
+    /// The events, in `seq` order.
+    pub events: Vec<HistoryEvent>,
+}
+
+/// The append-only log a service keeps when history recording is on.
+#[derive(Debug, Default)]
+pub(crate) struct HistoryLog {
+    events: Vec<HistoryEvent>,
+}
+
+impl HistoryLog {
+    pub(crate) fn record(&mut self, op: HistoryOp, key: u128, digest: u128) {
+        let seq = self.events.len() as u64;
+        self.events.push(HistoryEvent {
+            seq,
+            op,
+            key,
+            digest,
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<HistoryEvent> {
+        self.events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip_their_wire_names() {
+        for op in [HistoryOp::Put, HistoryOp::Hit] {
+            assert_eq!(HistoryOp::parse(op.name()), Some(op));
+        }
+        assert_eq!(HistoryOp::parse("get"), None);
+    }
+
+    #[test]
+    fn log_assigns_gap_free_sequence_numbers() {
+        let mut log = HistoryLog::default();
+        log.record(HistoryOp::Put, 7, 1);
+        log.record(HistoryOp::Hit, 7, 1);
+        log.record(HistoryOp::Put, 9, 2);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(events[1].op, HistoryOp::Hit);
+        assert_eq!(events[2].key, 9);
+    }
+}

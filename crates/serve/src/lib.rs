@@ -39,16 +39,19 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod history;
 mod job;
 mod queue;
 mod service;
+pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
+pub use history::{HistoryEvent, HistoryOp, ShardHistory};
 pub use job::{
     execute, JobKind, JobOutcome, JobPayload, JobRequest, JobResponse, Priority, RejectReason,
 };
 pub use queue::{JobQueue, QueueStats};
-pub use service::{JobTicket, ServeConfig, Service};
+pub use service::{JobTicket, ServeConfig, Service, TerminalStats};
 
 // Re-exported so wire-level callers can name the lazy strategy without
 // depending on `etcs-lazy` directly.

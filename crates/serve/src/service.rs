@@ -19,6 +19,7 @@
 //! `serve.cancelled`, `serve.deadline_exceeded`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,7 +29,8 @@ use etcs_obs::{Obs, Span};
 use etcs_sat::{Interrupt, InterruptReason};
 
 use crate::cache::{CacheStats, ResultCache};
-use crate::job::{execute, JobOutcome, JobRequest, JobResponse};
+use crate::history::{HistoryEvent, HistoryLog, HistoryOp};
+use crate::job::{execute, JobOutcome, JobPayload, JobRequest, JobResponse};
 use crate::queue::{JobQueue, QueueStats};
 
 /// Tunables for a [`Service`].
@@ -44,6 +46,10 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Encoder configuration shared by every job (part of the cache key).
     pub encoder: EncoderConfig,
+    /// Record a per-fingerprint history of cache put/hit events (see
+    /// [`crate::history`]) for the fleet's consistency checker. Off by
+    /// default; `served --listen` turns it on.
+    pub record_history: bool,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +60,52 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             default_deadline: None,
             encoder: EncoderConfig::default(),
+            record_history: false,
+        }
+    }
+}
+
+/// Terminal-state counters: how every popped job ended. (Rejections never
+/// reach a worker and are counted by [`QueueStats::rejected`] instead.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TerminalStats {
+    /// Jobs that ran to completion (cold or from the cache).
+    pub done: u64,
+    /// Jobs cancelled by their ticket or a shared token.
+    pub cancelled: u64,
+    /// Jobs whose wall-clock deadline expired.
+    pub deadline_exceeded: u64,
+    /// Jobs with malformed scenarios.
+    pub invalid: u64,
+}
+
+#[derive(Default)]
+struct TerminalCounters {
+    done: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    invalid: AtomicU64,
+}
+
+impl TerminalCounters {
+    fn bump(&self, outcome: &JobOutcome) {
+        match outcome {
+            JobOutcome::Done(_) => &self.done,
+            JobOutcome::Cancelled => &self.cancelled,
+            JobOutcome::DeadlineExceeded => &self.deadline_exceeded,
+            JobOutcome::Invalid(_) => &self.invalid,
+            // Rejections resolve at admission, before any worker pops them.
+            JobOutcome::Rejected(_) => return,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> TerminalStats {
+        TerminalStats {
+            done: self.done.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +155,51 @@ struct QueuedJob {
 struct CacheLayer {
     results: Mutex<ResultCache>,
     pending: Mutex<HashMap<u128, Arc<Inflight>>>,
+    /// The fleet consistency checker's raw material (present only when
+    /// [`ServeConfig::record_history`] is on). Events are recorded *while
+    /// holding the `results` lock*, so the recorded order is a
+    /// linearisation of the cache's actual put/hit order: a hit can never
+    /// be sequenced before the put that explains it.
+    history: Option<Mutex<HistoryLog>>,
+}
+
+impl CacheLayer {
+    /// Cache probe, recording a history hit when one is served.
+    fn get(&self, key: u128) -> Option<JobPayload> {
+        let mut results = self.results.lock().expect("cache lock");
+        let payload = results.get(key);
+        if let (Some(p), Some(history)) = (&payload, &self.history) {
+            history
+                .lock()
+                .expect("history lock")
+                .record(HistoryOp::Hit, key, p.digest());
+        }
+        payload
+    }
+
+    /// Cache publish, recording a history put.
+    fn put(&self, key: u128, payload: &JobPayload) {
+        let mut results = self.results.lock().expect("cache lock");
+        results.insert(key, payload.clone());
+        if let Some(history) = &self.history {
+            history
+                .lock()
+                .expect("history lock")
+                .record(HistoryOp::Put, key, payload.digest());
+        }
+    }
+
+    /// Records a hit that was served from a leader's in-memory copy after
+    /// eviction raced the entry out of the cache. Program order still
+    /// guarantees the leader's put was recorded first.
+    fn record_hit(&self, key: u128, payload: &JobPayload) {
+        if let Some(history) = &self.history {
+            history
+                .lock()
+                .expect("history lock")
+                .record(HistoryOp::Hit, key, payload.digest());
+        }
+    }
 }
 
 /// One in-flight solve and the jobs parked on it. The registry entry lives
@@ -164,6 +261,7 @@ pub struct Service {
     queue: Arc<JobQueue<QueuedJob>>,
     cache: Option<Arc<CacheLayer>>,
     workers: Vec<JoinHandle<()>>,
+    terminals: Arc<TerminalCounters>,
     obs: Obs,
     config: ServeConfig,
 }
@@ -190,21 +288,27 @@ impl Service {
             Arc::new(CacheLayer {
                 results: Mutex::new(ResultCache::new(config.cache_capacity)),
                 pending: Mutex::new(HashMap::new()),
+                history: config.record_history.then(Mutex::default),
             })
         });
+        let terminals = Arc::new(TerminalCounters::default());
         let workers = (0..config.workers.max(1))
             .map(|worker_id| {
                 let queue = Arc::clone(&queue);
                 let cache = cache.clone();
+                let terminals = Arc::clone(&terminals);
                 let obs = obs.clone();
                 let config = config.clone();
-                std::thread::spawn(move || worker_loop(worker_id, &queue, cache, &config, &obs))
+                std::thread::spawn(move || {
+                    worker_loop(worker_id, &queue, cache, &terminals, &config, &obs)
+                })
             })
             .collect();
         Service {
             queue,
             cache,
             workers,
+            terminals,
             obs,
             config,
         }
@@ -294,6 +398,35 @@ impl Service {
             .map(|c| c.results.lock().expect("cache lock").stats())
     }
 
+    /// Terminal-state counters over every popped job so far.
+    pub fn terminal_stats(&self) -> TerminalStats {
+        self.terminals.snapshot()
+    }
+
+    /// Stores a payload under a caller-supplied fingerprint — the fleet's
+    /// cache-replication path (a `put` frame). The put is recorded in the
+    /// history like any local publish. Returns `false` when caching is
+    /// disabled.
+    pub fn cache_insert(&self, key: u128, payload: JobPayload) -> bool {
+        match &self.cache {
+            Some(layer) => {
+                layer.put(key, &payload);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of the recorded cache history, in `seq` order (empty when
+    /// [`ServeConfig::record_history`] is off or caching is disabled).
+    pub fn history(&self) -> Vec<HistoryEvent> {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.history.as_ref())
+            .map(|h| h.lock().expect("history lock").snapshot())
+            .unwrap_or_default()
+    }
+
     /// Closes admission, drains the queue, and joins every worker.
     /// Called automatically on drop; explicit calls are idempotent.
     pub fn shutdown(&mut self) {
@@ -316,6 +449,7 @@ fn worker_loop(
     worker_id: usize,
     queue: &JobQueue<QueuedJob>,
     cache: Option<Arc<CacheLayer>>,
+    terminals: &TerminalCounters,
     config: &ServeConfig,
     obs: &Obs,
 ) {
@@ -339,6 +473,7 @@ fn worker_loop(
             // Cancelled while still queued: never touch solver or cache.
             finish_job(
                 obs,
+                terminals,
                 span,
                 JobOutcome::Cancelled,
                 false,
@@ -356,7 +491,9 @@ fn worker_loop(
         match &cache {
             None => {
                 let outcome = execute(&request, &config.encoder, &interrupt, obs);
-                finish_job(obs, span, outcome, false, started, &slot, request.id);
+                finish_job(
+                    obs, terminals, span, outcome, false, started, &slot, request.id,
+                );
             }
             Some(layer) => {
                 let job = Waiter {
@@ -366,7 +503,7 @@ fn worker_loop(
                     span,
                     started,
                 };
-                single_flight(layer, &config.encoder, obs, job);
+                single_flight(layer, terminals, &config.encoder, obs, job);
             }
         }
     }
@@ -375,8 +512,10 @@ fn worker_loop(
 /// Closes the books on one job, wherever it was resolved: the `serve.jobs`
 /// counter, the terminal-state counters, the `serve.job` span and the
 /// caller's mailbox. Every popped job goes through this exactly once.
+#[allow(clippy::too_many_arguments)]
 fn finish_job(
     obs: &Obs,
+    terminals: &TerminalCounters,
     span: Span,
     outcome: JobOutcome,
     cache_hit: bool,
@@ -385,6 +524,7 @@ fn finish_job(
     id: String,
 ) {
     obs.counter_add("serve.jobs", 1);
+    terminals.bump(&outcome);
     match outcome {
         JobOutcome::Cancelled => obs.counter_add("serve.cancelled", 1),
         JobOutcome::DeadlineExceeded => obs.counter_add("serve.deadline_exceeded", 1),
@@ -416,7 +556,13 @@ fn finish_job(
 /// and "not in the cache" no completed solve can slip through, and the
 /// hit/miss counters are exact: one miss per executed solve, one hit per
 /// job answered from a stored result.
-fn single_flight(layer: &CacheLayer, encoder: &EncoderConfig, obs: &Obs, job: Waiter) {
+fn single_flight(
+    layer: &CacheLayer,
+    terminals: &TerminalCounters,
+    encoder: &EncoderConfig,
+    obs: &Obs,
+    job: Waiter,
+) {
     let key = job.request.cache_key(encoder);
     {
         let mut pending = layer.pending.lock().expect("pending lock");
@@ -425,11 +571,12 @@ fn single_flight(layer: &CacheLayer, encoder: &EncoderConfig, obs: &Obs, job: Wa
             flight.waiters.lock().expect("waiter lock").push(job);
             return;
         }
-        if let Some(payload) = layer.results.lock().expect("cache lock").get(key) {
+        if let Some(payload) = layer.get(key) {
             drop(pending);
             obs.counter_add("serve.cache.hits", 1);
             finish_job(
                 obs,
+                terminals,
                 job.span,
                 JobOutcome::Done(Box::new(payload)),
                 true,
@@ -446,7 +593,7 @@ fn single_flight(layer: &CacheLayer, encoder: &EncoderConfig, obs: &Obs, job: Wa
             }),
         );
     }
-    lead(layer, key, encoder, obs, job);
+    lead(layer, terminals, key, encoder, obs, job);
 }
 
 /// Runs the in-flight solve for `key` as its leader, publishes the result,
@@ -454,7 +601,14 @@ fn single_flight(layer: &CacheLayer, encoder: &EncoderConfig, obs: &Obs, job: Wa
 /// backfilling them as cache hits, resolving fired tokens to their own
 /// interrupt outcome, and promoting a live waiter to a fresh leader when
 /// the solve ended without a payload.
-fn lead(layer: &CacheLayer, key: u128, encoder: &EncoderConfig, obs: &Obs, job: Waiter) {
+fn lead(
+    layer: &CacheLayer,
+    terminals: &TerminalCounters,
+    key: u128,
+    encoder: &EncoderConfig,
+    obs: &Obs,
+    job: Waiter,
+) {
     let mut leader = job;
     loop {
         obs.counter_add("serve.cache.misses", 1);
@@ -462,17 +616,14 @@ fn lead(layer: &CacheLayer, key: u128, encoder: &EncoderConfig, obs: &Obs, job: 
         let payload = match &outcome {
             JobOutcome::Done(p) => {
                 let payload = (**p).clone();
-                layer
-                    .results
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, payload.clone());
+                layer.put(key, &payload);
                 Some(payload)
             }
             _ => None,
         };
         finish_job(
             obs,
+            terminals,
             leader.span,
             outcome,
             false,
@@ -513,7 +664,10 @@ fn lead(layer: &CacheLayer, key: u128, encoder: &EncoderConfig, obs: &Obs, job: 
                         // Answer through the cache so its hit counters and
                         // recency stay exact; fall back to the leader's
                         // copy if eviction already raced the entry out.
-                        let stored = layer.results.lock().expect("cache lock").get(key);
+                        let stored = layer.get(key);
+                        if stored.is_none() {
+                            layer.record_hit(key, p);
+                        }
                         (
                             JobOutcome::Done(Box::new(stored.unwrap_or_else(|| p.clone()))),
                             true,
@@ -524,7 +678,16 @@ fn lead(layer: &CacheLayer, key: u128, encoder: &EncoderConfig, obs: &Obs, job: 
                     None => (JobOutcome::Cancelled, false),
                 },
             };
-            finish_job(obs, w.span, outcome, hit, w.started, &w.slot, w.request.id);
+            finish_job(
+                obs,
+                terminals,
+                w.span,
+                outcome,
+                hit,
+                w.started,
+                &w.slot,
+                w.request.id,
+            );
         }
         match promoted {
             Some(next) => leader = next,

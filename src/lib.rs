@@ -24,7 +24,10 @@
 //! a DRAT proof replayed by an in-repo checker. For long-lived deployments,
 //! [`serve`] wraps the tasks in a concurrent job service with admission
 //! control, per-job deadlines, cooperative cancellation and a
-//! content-addressed result cache (the `served` binary speaks JSONL).
+//! content-addressed result cache (the `served` binary speaks JSONL);
+//! [`fleet`] scales that service across processes — rendezvous-hashed
+//! routing onto `served --listen` shards with cache replication, crash
+//! failover and a checked consistency story.
 //! The [`lazy`] module reruns all of the above as counterexample-guided
 //! (CEGAR) loops that defer the pairwise train-interaction constraints
 //! and refine only the violated instances.
@@ -108,6 +111,15 @@ pub mod obs {
 /// cache. The `served` binary exposes it over JSONL.
 pub mod serve {
     pub use etcs_serve::*;
+}
+
+/// Shard-aware distributed serve fleet: a versioned JSONL-over-TCP wire
+/// protocol, rendezvous-hashed routing of jobs onto `served --listen`
+/// shards with cache replication and crash failover (the `fleetd`
+/// binary), and a dbcop-style consistency checker over the shards'
+/// recorded cache histories (see `DESIGN.md` §16).
+pub mod fleet {
+    pub use etcs_fleet::*;
 }
 
 /// Seeded, deterministic scenario corpus: parameterized families (grid
