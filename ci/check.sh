@@ -332,4 +332,64 @@ grep -q '"replicated_keys": [1-9]' target/BENCH_fleet_smoke.json || {
     echo "bench_fleet: no run replicated a cache entry"; exit 1;
 }
 
+echo "==> bench_replan smoke (release, warm-vs-cold replanning, differential gate)"
+cargo run --release -q -p etcs-bench --bin bench_replan -- \
+    --smoke --out target/BENCH_replan_smoke.json
+cargo run --release -q -p etcs-bench --bin json_check -- \
+    target/BENCH_replan_smoke.json
+# The bench itself asserts every tick's verdict and optima are
+# bit-identical to a cold re-solve of the patched scenario; here we
+# re-assert the headline on the artifact: warm replanning must beat the
+# cold re-solves on total conflicts.
+grep -q '"warm_wins": true' target/BENCH_replan_smoke.json || {
+    echo "bench_replan: warm replanning did not beat cold re-solves"; exit 1;
+}
+
+echo "==> served replan smoke (session records, warm ticks, digest parity)"
+REPLAN_IN=target/serve_replan.in.jsonl
+REPLAN_OUT=target/serve_replan.out.jsonl
+REPLAN_TRACE=target/serve_replan.trace.jsonl
+REPLAN_LOG=target/serve_replan.log
+: > "$REPLAN_IN"
+printf '{"record": "open", "session": "s1", "scenario": "fixture:running_example"}\n' >> "$REPLAN_IN"
+printf '{"id": "cold", "kind": "optimize_incremental", "scenario": "fixture:running_example"}\n' >> "$REPLAN_IN"
+printf '{"record": "tick", "session": "s1"}\n' >> "$REPLAN_IN"
+printf '{"record": "delta", "session": "s1", "delta": "deadline Train 1 : arr 0:04:00"}\n' >> "$REPLAN_IN"
+printf '{"record": "tick", "session": "s1"}\n' >> "$REPLAN_IN"
+printf '{"record": "close", "session": "s1"}\n' >> "$REPLAN_IN"
+cargo run --release -q -p etcs-serve --bin served -- \
+    --input "$REPLAN_IN" --output "$REPLAN_OUT" --trace "$REPLAN_TRACE" \
+    --workers 2 2> "$REPLAN_LOG"
+test "$(wc -l < "$REPLAN_OUT")" -eq 6 || {
+    echo "served replan: expected 6 response lines"; exit 1;
+}
+test "$(grep -c '"record": "ticked"' "$REPLAN_OUT")" -eq 2 || {
+    echo "served replan: expected 2 ticked records"; exit 1;
+}
+grep '"record": "ticked"' "$REPLAN_OUT" | grep -q '"warm": true' || {
+    echo "served replan: the deadline delta did not warm-start"; exit 1;
+}
+# Digest parity: a streamed tick and the cold one-shot job over the same
+# scenario hash the same verdict + optima.
+tick_digest=$(grep '"record": "ticked"' "$REPLAN_OUT" | grep '"tick": 1' \
+    | sed 's/.*"verdict_digest": "\([0-9a-f]*\)".*/\1/')
+job_digest=$(grep '"id": "cold"' "$REPLAN_OUT" \
+    | sed 's/.*"verdict_digest": "\([0-9a-f]*\)".*/\1/')
+test -n "$tick_digest" && test "$tick_digest" = "$job_digest" || {
+    echo "served replan: streamed tick digest diverged from the cold job"
+    exit 1
+}
+# The terminal stats record covers the (closed) session, and the span
+# vocabulary is stable (DESIGN.md section 17).
+grep '"record": "stats"' "$REPLAN_LOG" \
+    | grep -q '"replan": {"ticks": 2, "warm_hits": 1, "cold_fallbacks": 1, "deadline_misses": 0' || {
+    echo "served replan: stats record lacks the session counters"; exit 1;
+}
+for name in replan.open replan.delta replan.tick; do
+    grep -q "\"name\":\"$name\"" "$REPLAN_TRACE" || {
+        echo "replan trace lacks expected span name '$name'"
+        exit 1
+    }
+done
+
 echo "All checks passed."

@@ -131,7 +131,16 @@ impl Canon {
 pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -> u128 {
     let mut c = Canon::new();
     c.str(CACHE_KEY_VERSION);
+    write_config(&mut c, config);
+    write_timing(&mut c, scenario);
+    write_topology(&mut c, scenario);
+    write_schedule(&mut c, scenario, false);
+    write_task(&mut c, task);
+    c.finish()
+}
 
+/// Hashes the encoder configuration (tag `0x01`).
+fn write_config(c: &mut Canon, config: &EncoderConfig) {
     c.tag(0x01); // encoder configuration
     c.bool(config.prune_to_goal);
     c.bool(config.allow_immediate_reoccupation);
@@ -146,12 +155,18 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
             c.usize(n);
         }
     }
+}
 
+/// Hashes the spatial/temporal resolutions and horizon (tag `0x02`).
+fn write_timing(c: &mut Canon, scenario: &Scenario) {
     c.tag(0x02); // resolutions and horizon
     c.u64(scenario.r_s.as_u64());
     c.u64(scenario.r_t.as_u64());
     c.u64(scenario.horizon.as_u64());
+}
 
+/// Hashes the network topology: tracks, TTDs, stations (tags `0x03`–`0x05`).
+fn write_topology(c: &mut Canon, scenario: &Scenario) {
     let net = &scenario.network;
     c.tag(0x03); // topology: declaration order is id order, hash as-is
     c.usize(net.num_nodes());
@@ -185,7 +200,13 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
             c.usize(m);
         }
     }
+}
 
+/// Hashes the schedule in run order (tag `0x06`). With `mask_deadlines`
+/// the arrival and per-stop deadlines are hashed as if absent — the exact
+/// transformation [`Scenario::without_arrivals`] applies — so the masked
+/// hash is invariant under deadline-only edits.
+fn write_schedule(c: &mut Canon, scenario: &Scenario, mask_deadlines: bool) {
     c.tag(0x06); // schedule, in run order (run order is train-id order)
     c.usize(scenario.schedule.len());
     for run in scenario.schedule.runs() {
@@ -195,7 +216,7 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
         c.usize(run.origin.index());
         c.usize(run.destination.index());
         c.u64(run.departure.as_u64());
-        match run.arrival {
+        match run.arrival.filter(|_| !mask_deadlines) {
             Some(a) => {
                 c.byte(1);
                 c.u64(a.as_u64());
@@ -205,6 +226,33 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
         c.usize(run.stops.len());
         for (station, deadline) in &run.stops {
             c.usize(station.index());
+            match deadline.as_ref().filter(|_| !mask_deadlines) {
+                Some(d) => {
+                    c.byte(1);
+                    c.u64(d.as_u64());
+                }
+                None => c.byte(0),
+            }
+        }
+    }
+}
+
+/// Hashes only the deadline-carrying schedule fields (tag `0x08`): per run,
+/// the arrival option and the per-stop deadline options. Together with the
+/// masked schedule hash this covers every schedule byte [`cache_key`] sees.
+fn write_deadlines(c: &mut Canon, scenario: &Scenario) {
+    c.tag(0x08); // deadlines only (arrivals + stop deadlines)
+    c.usize(scenario.schedule.len());
+    for run in scenario.schedule.runs() {
+        match run.arrival {
+            Some(a) => {
+                c.byte(1);
+                c.u64(a.as_u64());
+            }
+            None => c.byte(0),
+        }
+        c.usize(run.stops.len());
+        for (_, deadline) in &run.stops {
             match deadline {
                 Some(d) => {
                     c.byte(1);
@@ -214,7 +262,9 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
             }
         }
     }
+}
 
+fn write_task(c: &mut Canon, task: &TaskKind) {
     c.tag(0x07); // task kind (+ layout where the task takes one)
     let layout = match task {
         TaskKind::Verify(layout) => {
@@ -246,8 +296,85 @@ pub fn cache_key(scenario: &Scenario, task: &TaskKind, config: &EncoderConfig) -
             c.usize(border.index());
         }
     }
+}
 
-    c.finish()
+/// Component-wise fingerprints of a scenario under one encoder
+/// configuration, for warm-start keying in the online replanner.
+///
+/// [`cache_key`] answers "is this the same *task*"; `SubFingerprints`
+/// answers the finer question "which *parts* changed". Each field hashes
+/// one independently-editable slice of the input, and [`core`] combines
+/// everything that determines the *open* (deadline-free) encoding — the
+/// formula a persistent incremental solver holds between re-solves. A
+/// delta that only tightens or relaxes deadlines leaves `core` unchanged,
+/// so the warm solver (whose deadlines travel as assumptions, never as
+/// clauses) remains sound; any other delta moves `core` and forces a
+/// re-encode.
+///
+/// [`core`]: SubFingerprints::core
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubFingerprints {
+    /// Encoder configuration (flags + solve mode).
+    pub config: u128,
+    /// Spatial/temporal resolutions and horizon.
+    pub timing: u128,
+    /// Network topology: tracks, TTDs, stations.
+    pub topology: u128,
+    /// Schedule with deadlines masked: trains, routes, departures, stops.
+    pub schedule: u128,
+    /// Deadlines only: arrival and per-stop deadline options.
+    pub deadlines: u128,
+    /// Everything the open (deadline-free) encoding depends on: config +
+    /// timing + topology + masked schedule. Equal to the `core` of
+    /// [`Scenario::without_arrivals`] applied to the same scenario.
+    pub core: u128,
+}
+
+/// Computes the component-wise [`SubFingerprints`] of `scenario` under
+/// `config`.
+///
+/// The components share [`cache_key`]'s canonicalisation and version tag
+/// (a cache-key version bump invalidates warm-start keys too, which is
+/// exactly right: the encoding changed).
+///
+/// # Examples
+///
+/// ```
+/// use etcs_core::{sub_fingerprints, EncoderConfig};
+/// use etcs_network::fixtures;
+///
+/// let scenario = fixtures::running_example();
+/// let config = EncoderConfig::default();
+/// let fps = sub_fingerprints(&scenario, &config);
+/// // Dropping every deadline keeps the core (the open encoding is
+/// // unchanged) while the deadline component moves.
+/// let open = sub_fingerprints(&scenario.without_arrivals(), &config);
+/// assert_eq!(fps.core, open.core);
+/// ```
+pub fn sub_fingerprints(scenario: &Scenario, config: &EncoderConfig) -> SubFingerprints {
+    let component = |write: &dyn Fn(&mut Canon)| {
+        let mut c = Canon::new();
+        c.str(CACHE_KEY_VERSION);
+        write(&mut c);
+        c.finish()
+    };
+    let core = {
+        let mut c = Canon::new();
+        c.str(CACHE_KEY_VERSION);
+        write_config(&mut c, config);
+        write_timing(&mut c, scenario);
+        write_topology(&mut c, scenario);
+        write_schedule(&mut c, scenario, true);
+        c.finish()
+    };
+    SubFingerprints {
+        config: component(&|c| write_config(c, config)),
+        timing: component(&|c| write_timing(c, scenario)),
+        topology: component(&|c| write_topology(c, scenario)),
+        schedule: component(&|c| write_schedule(c, scenario, true)),
+        deadlines: component(&|c| write_deadlines(c, scenario)),
+        core,
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +466,70 @@ mod tests {
             cache_key(&s, &TaskKind::Generate, &config()),
             cache_key(&tightened, &TaskKind::Generate, &config()),
         );
+    }
+
+    #[test]
+    fn deadline_edits_keep_the_core_sub_fingerprint() {
+        let s = fixtures::running_example();
+        let fps = sub_fingerprints(&s, &config());
+        let open = sub_fingerprints(&s.without_arrivals(), &config());
+        assert_eq!(fps.core, open.core, "core ignores deadlines");
+        assert_eq!(fps.schedule, open.schedule, "masked schedule too");
+        assert_ne!(
+            fps.deadlines, open.deadlines,
+            "the running example carries arrivals; dropping them must move \
+             the deadline component"
+        );
+        assert_eq!(fps.config, open.config);
+        assert_eq!(fps.timing, open.timing);
+        assert_eq!(fps.topology, open.topology);
+    }
+
+    #[test]
+    fn departure_edits_move_the_core_sub_fingerprint() {
+        let s = fixtures::running_example();
+        let mut delayed = s.clone();
+        let mut runs: Vec<_> = delayed.schedule.runs().to_vec();
+        runs[0].departure = etcs_network::Seconds(runs[0].departure.as_u64() + 60);
+        delayed.schedule = etcs_network::Schedule::new(runs);
+        let a = sub_fingerprints(&s, &config());
+        let b = sub_fingerprints(&delayed, &config());
+        assert_ne!(a.core, b.core, "departures shape the open encoding");
+        assert_ne!(a.schedule, b.schedule);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.timing, b.timing);
+    }
+
+    #[test]
+    fn sub_fingerprint_components_are_pairwise_distinct() {
+        let s = fixtures::running_example();
+        let fps = sub_fingerprints(&s, &config());
+        let keys = [
+            fps.config,
+            fps.timing,
+            fps.topology,
+            fps.schedule,
+            fps.deadlines,
+            fps.core,
+        ];
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "components {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn config_moves_core_but_not_topology() {
+        let s = fixtures::running_example();
+        let mut raced = config();
+        raced.solve_mode = crate::encoder::SolveMode::Portfolio(2);
+        let a = sub_fingerprints(&s, &config());
+        let b = sub_fingerprints(&s, &raced);
+        assert_ne!(a.config, b.config);
+        assert_ne!(a.core, b.core, "solve mode reaches the warm-start key");
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.deadlines, b.deadlines);
     }
 
     #[test]

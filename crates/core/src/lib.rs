@@ -55,7 +55,7 @@ pub use encoder::{
     TaskKind, VarMap,
 };
 pub use explorer::LayoutExplorer;
-pub use fingerprint::{cache_key, CACHE_KEY_VERSION};
+pub use fingerprint::{cache_key, sub_fingerprints, SubFingerprints, CACHE_KEY_VERSION};
 pub use instance::{ExitPolicy, Instance, TrainSpec};
 pub use objectives::optimize_arrivals;
 pub use parallel::{

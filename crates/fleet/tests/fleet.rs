@@ -262,3 +262,79 @@ fn a_shard_killed_mid_batch_loses_no_jobs_and_stays_consistent() {
     s1.wait();
     s2.wait();
 }
+
+#[test]
+fn replan_frames_keep_a_warm_session_across_connections() {
+    use etcs_fleet::wire::ShardClient;
+
+    let shard = spawn_shard("rp");
+    let addr = shard.addr().to_string();
+
+    let mut client = ShardClient::connect(&addr).expect("connect");
+    let opened = client
+        .replan(
+            "{\"record\": \"open\", \"session\": \"dispatch\", \
+             \"scenario\": \"fixture:running_example\"}",
+        )
+        .expect("open");
+    assert!(opened.contains("\"record\": \"opened\""), "{opened}");
+    let first = client
+        .replan("{\"record\": \"tick\", \"session\": \"dispatch\"}")
+        .expect("tick");
+    assert!(first.contains("\"warm\": false"), "{first}");
+    assert!(first.contains("\"feasible\": true"), "{first}");
+
+    // The streamed tick's verdict digest equals the cold
+    // optimize_incremental *job*'s for the same scenario — the parity
+    // `ci/check.sh` relies on.
+    let job = client
+        .job(
+            "{\"id\": \"cold\", \"kind\": \"optimize_incremental\", \
+             \"scenario\": \"fixture:running_example\"}",
+        )
+        .expect("job");
+    let digest_in = |line: &str| {
+        let marker = "\"verdict_digest\": \"";
+        let at = line.find(marker).expect("has a verdict digest") + marker.len();
+        line[at..at + 32].to_owned()
+    };
+    assert_eq!(
+        digest_in(&first),
+        digest_in(&job.response),
+        "a streamed tick and the cold job agree on the verdict digest"
+    );
+
+    client
+        .replan(
+            "{\"record\": \"delta\", \"session\": \"dispatch\", \
+             \"delta\": \"deadline Train 1 : arr 0:04:00\"}",
+        )
+        .expect("delta");
+
+    // Drop the connection entirely: the session (and its warm solver
+    // state) lives on the shard, so a fresh connection resumes it.
+    drop(client);
+    let mut client = ShardClient::connect(&addr).expect("reconnect");
+    let second = client
+        .replan("{\"record\": \"tick\", \"session\": \"dispatch\"}")
+        .expect("tick after reconnect");
+    assert!(
+        second.contains("\"warm\": true"),
+        "deadline delta keeps the core warm across connections: {second}"
+    );
+
+    let stats = client.stats().expect("stats");
+    let replan = stats.get("replan").expect("stats carry a replan section");
+    let counter = |key: &str| replan.get(key).and_then(json::Json::as_f64);
+    assert_eq!(counter("ticks"), Some(2.0));
+    assert_eq!(counter("warm_hits"), Some(1.0));
+    assert_eq!(counter("deadline_misses"), Some(0.0));
+
+    let closed = client
+        .replan("{\"record\": \"close\", \"session\": \"dispatch\"}")
+        .expect("close");
+    assert!(closed.contains("\"record\": \"closed\""), "{closed}");
+
+    client.shutdown().expect("shutdown");
+    shard.wait();
+}

@@ -1,0 +1,390 @@
+//! The `.delta` trace format: scenario patches as plain text.
+//!
+//! A delta trace is the `.rail` idea applied to *change*: a line-based
+//! document listing scenario deltas and `tick` markers, shareable and
+//! replayable against a base scenario. The grammar reuses the scenario
+//! format's conventions — `#` comments, names that may contain spaces
+//! separated by `:` / `->` / keywords, `h:mm:ss` times — and the parser
+//! reports errors with the same line + column pointers as the scenario
+//! loader.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments start with '#'
+//! delay Train 1 : 0:01:00            # departs 60s later (deadlines shift too)
+//! deadline Train 1 : arr 0:06:00     # set the arrival deadline
+//! deadline Train 1 : free            # clear it
+//! close A-P                          # track leaves the network
+//! reopen A-P                         # and comes back
+//! remove Train 1                     # train (and run) leaves the schedule
+//! add T9 : 100 80 A -> C dep 0:00:30 arr 0:05:00
+//! tick                               # re-plan now
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use etcs_network::{KmPerHour, Meters, Seconds};
+
+use crate::delta::{DeltaRun, ScenarioDelta};
+
+/// Error produced when parsing a `.delta` trace fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// 1-based column of the offending fragment within the raw line
+    /// (0 when the error has no narrower span than the line).
+    pub column: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.column) {
+            (0, _) => write!(f, "delta parse error: {}", self.message),
+            (line, 0) => write!(f, "delta parse error at line {line}: {}", self.message),
+            (line, column) => write!(
+                f,
+                "delta parse error at line {line}, column {column}: {}",
+                self.message
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// One line of a delta trace: a scenario delta, or a replan tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Apply this delta to the live scenario.
+    Delta(ScenarioDelta),
+    /// Re-plan now.
+    Tick,
+}
+
+/// 1-based column of `fragment` within `raw`, or 0 when `fragment` is not
+/// a subslice of `raw` (same pointer arithmetic as the scenario loader).
+fn column_of(raw: &str, fragment: &str) -> usize {
+    let base = raw.as_ptr() as usize;
+    let p = fragment.as_ptr() as usize;
+    if p >= base && p + fragment.len() <= base + raw.len() {
+        p - base + 1
+    } else {
+        0
+    }
+}
+
+/// Parses a `.delta` trace document.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] with a line + column pointer at the
+/// offending fragment on malformed syntax. Reference errors (unknown
+/// trains or tracks) are *not* parse errors — they surface when the
+/// delta is applied to a live scenario.
+pub fn parse_trace(input: &str) -> Result<Vec<TraceOp>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseTraceError {
+            line: lineno,
+            column: column_of(raw, line),
+            message,
+        };
+        let err_at = |fragment: &str, message: String| ParseTraceError {
+            line: lineno,
+            column: column_of(raw, fragment),
+            message,
+        };
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "tick" => {
+                if !rest.is_empty() {
+                    return Err(err_at(
+                        rest,
+                        format!("tick takes no arguments, got `{rest}`"),
+                    ));
+                }
+                ops.push(TraceOp::Tick);
+            }
+            "delay" => {
+                // <train> : <duration>
+                let (train, by) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("delay needs `train : duration`".into()))?;
+                let train = train.trim();
+                if train.is_empty() {
+                    return Err(err("delay needs a train name".into()));
+                }
+                let by_text = by.trim();
+                let by = Seconds::parse_hms(by_text)
+                    .map_err(|e| err_at(by_text, format!("invalid delay duration: {e}")))?;
+                ops.push(TraceOp::Delta(ScenarioDelta::Delay {
+                    train: train.to_owned(),
+                    by,
+                }));
+            }
+            "deadline" => {
+                // <train> : arr <time>  |  <train> : free
+                let (train, spec) = rest.split_once(':').ok_or_else(|| {
+                    err("deadline needs `train : arr <time>` or `train : free`".into())
+                })?;
+                let train = train.trim();
+                if train.is_empty() {
+                    return Err(err("deadline needs a train name".into()));
+                }
+                let spec = spec.trim();
+                let arrival = if spec == "free" {
+                    None
+                } else if let Some(time) = spec.strip_prefix("arr ") {
+                    let time = time.trim();
+                    Some(
+                        Seconds::parse_hms(time)
+                            .map_err(|e| err_at(time, format!("invalid deadline: {e}")))?,
+                    )
+                } else {
+                    return Err(err_at(
+                        spec,
+                        format!("deadline needs `arr <time>` or `free`, got `{spec}`"),
+                    ));
+                };
+                ops.push(TraceOp::Delta(ScenarioDelta::Deadline {
+                    train: train.to_owned(),
+                    arrival,
+                }));
+            }
+            "close" | "reopen" => {
+                if rest.is_empty() {
+                    return Err(err(format!("{keyword} needs a track name")));
+                }
+                let track = rest.to_owned();
+                ops.push(TraceOp::Delta(if keyword == "close" {
+                    ScenarioDelta::Close { track }
+                } else {
+                    ScenarioDelta::Reopen { track }
+                }));
+            }
+            "remove" => {
+                if rest.is_empty() {
+                    return Err(err("remove needs a train name".into()));
+                }
+                ops.push(TraceOp::Delta(ScenarioDelta::Remove {
+                    train: rest.to_owned(),
+                }));
+            }
+            "add" => {
+                // <train> : <length> <speed> <origin> -> <dest> dep <time> [arr <time>]
+                let (train, spec) = rest.split_once(':').ok_or_else(|| {
+                    err("add needs `train : length speed origin -> dest dep <time>`".into())
+                })?;
+                let train = train.trim();
+                if train.is_empty() {
+                    return Err(err("add needs a train name".into()));
+                }
+                let (head, times) = spec
+                    .split_once(" dep ")
+                    .ok_or_else(|| err("add needs ` dep <time>`".into()))?;
+                let (lead, destination) = head
+                    .split_once("->")
+                    .ok_or_else(|| err("add route needs `origin -> dest`".into()))?;
+                let mut lead_parts = lead.trim().splitn(3, char::is_whitespace);
+                let (length_text, speed_text, origin) =
+                    match (lead_parts.next(), lead_parts.next(), lead_parts.next()) {
+                        (Some(l), Some(s), Some(o)) => (l, s, o.trim()),
+                        _ => return Err(err("add needs `length speed origin` before `->`".into())),
+                    };
+                let length: u64 = length_text.parse().map_err(|_| {
+                    err_at(length_text, format!("invalid train length `{length_text}`"))
+                })?;
+                let speed: u32 = speed_text.parse().map_err(|_| {
+                    err_at(speed_text, format!("invalid train speed `{speed_text}`"))
+                })?;
+                let (dep_text, arr_text) = match times.trim().split_once(" arr ") {
+                    Some((d, a)) => (d.trim(), Some(a.trim())),
+                    None => (times.trim(), None),
+                };
+                let departure = Seconds::parse_hms(dep_text)
+                    .map_err(|e| err_at(dep_text, format!("invalid departure: {e}")))?;
+                let arrival = match arr_text {
+                    Some(a) => Some(
+                        Seconds::parse_hms(a)
+                            .map_err(|e| err_at(a, format!("invalid arrival: {e}")))?,
+                    ),
+                    None => None,
+                };
+                ops.push(TraceOp::Delta(ScenarioDelta::Add(DeltaRun {
+                    train: train.to_owned(),
+                    length: Meters(length),
+                    max_speed: KmPerHour(speed),
+                    origin: origin.to_owned(),
+                    destination: destination.trim().to_owned(),
+                    departure,
+                    arrival,
+                })));
+            }
+            other => return Err(err_at(other, format!("unknown keyword `{other}`"))),
+        }
+    }
+    Ok(ops)
+}
+
+/// Serialises a trace to the `.delta` text format ([`parse_trace`]'s
+/// inverse: every written trace parses back to the same ops).
+pub fn write_trace(ops: &[TraceOp]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            TraceOp::Tick => {
+                let _ = writeln!(out, "tick");
+            }
+            TraceOp::Delta(ScenarioDelta::Delay { train, by }) => {
+                let _ = writeln!(out, "delay {train} : {by}");
+            }
+            TraceOp::Delta(ScenarioDelta::Deadline { train, arrival }) => match arrival {
+                Some(t) => {
+                    let _ = writeln!(out, "deadline {train} : arr {t}");
+                }
+                None => {
+                    let _ = writeln!(out, "deadline {train} : free");
+                }
+            },
+            TraceOp::Delta(ScenarioDelta::Close { track }) => {
+                let _ = writeln!(out, "close {track}");
+            }
+            TraceOp::Delta(ScenarioDelta::Reopen { track }) => {
+                let _ = writeln!(out, "reopen {track}");
+            }
+            TraceOp::Delta(ScenarioDelta::Remove { train }) => {
+                let _ = writeln!(out, "remove {train}");
+            }
+            TraceOp::Delta(ScenarioDelta::Add(run)) => {
+                let _ = write!(
+                    out,
+                    "add {} : {} {} {} -> {} dep {}",
+                    run.train,
+                    run.length.as_u64(),
+                    run.max_speed.as_u32(),
+                    run.origin,
+                    run.destination,
+                    run.departure
+                );
+                if let Some(arr) = run.arrival {
+                    let _ = write!(out, " arr {arr}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_vocabulary_roundtrips() {
+        let text = "\
+# exercise every op
+delay Train 1 : 0:01:00
+deadline Train 1 : arr 0:06:00
+deadline Train 1 : free
+close A-P
+reopen A-P
+remove Train 1
+add T9 : 100 80 A -> C dep 0:00:30 arr 0:05:00
+add T10 : 150 120 A -> C dep 0:02:00
+tick
+";
+        let ops = parse_trace(text).expect("parses");
+        assert_eq!(ops.len(), 9);
+        let written = write_trace(&ops);
+        let reparsed = parse_trace(&written).expect("round-trips");
+        assert_eq!(ops, reparsed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let ops = parse_trace("# nothing\n\n   # still nothing\ntick # trailing\n").expect("ok");
+        assert_eq!(ops, vec![TraceOp::Tick]);
+    }
+
+    #[test]
+    fn unknown_keyword_reports_line_and_column() {
+        let e = parse_trace("tick\n  bogus thing\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (2, 3), "{e}");
+        assert!(e.message.contains("bogus"));
+        assert!(format!("{e}").contains("line 2, column 3"));
+    }
+
+    #[test]
+    fn bad_duration_points_at_the_fragment() {
+        let e = parse_trace("delay T : soon\n").expect_err("fails");
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, 11, "{e}");
+        assert!(e.message.contains("invalid delay duration"));
+    }
+
+    #[test]
+    fn bad_deadline_spec_points_at_the_fragment() {
+        let e = parse_trace("deadline T : whenever\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (1, 14), "{e}");
+        let e = parse_trace("deadline T : arr nope\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (1, 18), "{e}");
+    }
+
+    #[test]
+    fn bad_add_numbers_point_at_the_fragment() {
+        let e = parse_trace("add T : heavy 80 A -> C dep 0:00:30\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (1, 9), "{e}");
+        assert!(e.message.contains("invalid train length"));
+        let e = parse_trace("add T : 100 fast A -> C dep 0:00:30\n").expect_err("fails");
+        assert_eq!((e.line, e.column), (1, 13), "{e}");
+        assert!(e.message.contains("invalid train speed"));
+    }
+
+    #[test]
+    fn tick_with_arguments_is_rejected() {
+        let e = parse_trace("tick now\n").expect_err("fails");
+        assert!(e.message.contains("no arguments"));
+        assert_eq!((e.line, e.column), (1, 6), "{e}");
+    }
+
+    #[test]
+    fn missing_pieces_blame_the_directive() {
+        for bad in [
+            "delay T1",
+            "deadline T1",
+            "close",
+            "reopen",
+            "remove",
+            "add T : 100 80 A - C dep 0:00:30",
+            "add T : 100 80 A -> C",
+        ] {
+            let e = parse_trace(bad).expect_err(bad);
+            assert_eq!(e.line, 1, "{bad}");
+            assert!(e.column >= 1, "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let ops = parse_trace("delay Night Express 7 : 0:00:30\n").expect("parses");
+        match &ops[0] {
+            TraceOp::Delta(ScenarioDelta::Delay { train, by }) => {
+                assert_eq!(train, "Night Express 7");
+                assert_eq!(*by, Seconds(30));
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+}

@@ -5,6 +5,14 @@
 //! response per line (to `--output FILE` or stdout), preserving input
 //! order. Optionally emits an observability trace with `--trace FILE`.
 //!
+//! Lines carrying a `"record"` field are *replanning session records*
+//! instead of jobs (`open`/`delta`/`tick`/`close`, see
+//! [`etcs_serve::replan`]): they stream scenario deltas into a
+//! warm-started [`etcs_replan::ReplanSession`] and are executed
+//! synchronously, in input order, interleaved with the concurrent job
+//! batch. The wire protocol's `replan` frame reaches the same sessions
+//! in `--listen` mode.
+//!
 //! With `--listen ADDR` the process becomes a fleet *shard* instead: the
 //! same worker-pool service behind a TCP socket speaking the versioned
 //! fleet wire protocol (see [`etcs_serve::wire`]), with cache-history
@@ -58,7 +66,9 @@
 //! {"record": "stats", "queue": {"submitted": 51, "admitted": 51,
 //!  "rejected": 0, "high_water": 51}, "jobs": {"done": 51, "cancelled": 0,
 //!  "deadline_exceeded": 0, "invalid": 0}, "cache": {"hits": 40,
-//!  "misses": 11, "insertions": 11, "evictions": 0}}
+//!  "misses": 11, "insertions": 11, "evictions": 0}, "replan": {"ticks": 4,
+//!  "warm_hits": 2, "cold_fallbacks": 2, "deadline_misses": 0,
+//!  "deltas": 3, "rejected_deltas": 0}}
 //! ```
 
 use std::io::{BufRead, Write};
@@ -67,10 +77,11 @@ use std::sync::Arc;
 
 use etcs_obs::json;
 use etcs_obs::Obs;
+use etcs_replan::{ReplanConfig, ReplanStats};
 use etcs_serve::wire::{
     parse_request_line, response_line, stats_body_json, JobHook, ShardServer, ShardServerConfig,
 };
-use etcs_serve::{JobRequest, ServeConfig, Service};
+use etcs_serve::{JobRequest, ReplanManager, ServeConfig, Service};
 
 struct Args {
     input: Option<String>,
@@ -102,6 +113,9 @@ portfolio unless the request line carries its own \"portfolio\" field\n\
 reading a batch (a fleet shard); --name labels the shard; --crash-after N\n\
 aborts the whole process after N jobs (deterministic fault injection for\n\
 fleet failover tests).\n\
+Input lines carrying a \"record\" field are replanning session records\n\
+(open/delta/tick/close) executed synchronously in input order; see the\n\
+README, \"Online replanning\".\n\
 See the repository README, \"Running as a service\", for the line formats.";
 
 fn parse_args() -> Result<Args, String> {
@@ -176,11 +190,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn print_stats_record(shard: Option<&str>, service: &Service) {
+fn print_stats_record(shard: Option<&str>, service: &Service, replan: &ReplanStats) {
     let body = stats_body_json(
         &service.queue_stats(),
         &service.terminal_stats(),
         &service.cache_stats().unwrap_or_default(),
+        replan,
     );
     match shard {
         Some(name) => eprintln!(
@@ -238,7 +253,7 @@ fn run_shard(args: &Args, addr: &str, obs: Obs) -> ExitCode {
     );
     let name = server.name().to_owned();
     let stats = server.wait();
-    let body = stats_body_json(&stats.queue, &stats.jobs, &stats.cache);
+    let body = stats_body_json(&stats.queue, &stats.jobs, &stats.cache, &stats.replan);
     eprintln!(
         "{{\"record\": \"stats\", \"shard\": {}, {body}}}",
         json::quote(&name)
@@ -282,8 +297,16 @@ fn main() -> ExitCode {
     };
 
     // Parse every line up front; malformed lines become terminal "invalid"
-    // responses without costing a queue slot.
-    let mut order: Vec<Result<JobRequest, (String, String)>> = Vec::new();
+    // responses without costing a queue slot. Lines with a "record" field
+    // are replanning session records: kept verbatim here and executed
+    // synchronously at output time, so they run in input order relative
+    // to each other while plain jobs still fan out across the pool.
+    enum Entry {
+        Job(Box<JobRequest>),
+        Invalid(String, String),
+        Replan { line: String, label: String },
+    }
+    let mut order: Vec<Entry> = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let lineno = i + 1;
         let line = match line {
@@ -296,9 +319,16 @@ fn main() -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
+        if json::parse(&line).is_ok_and(|v| v.get("record").is_some()) {
+            order.push(Entry::Replan {
+                line,
+                label: format!("line {lineno}"),
+            });
+            continue;
+        }
         match parse_request_line(&line, &format!("line {lineno}"), args.lazy, args.portfolio) {
-            Ok(request) => order.push(Ok(request)),
-            Err(message) => order.push(Err((format!("line-{lineno}"), message))),
+            Ok(request) => order.push(Entry::Job(Box::new(request))),
+            Err(message) => order.push(Entry::Invalid(format!("line-{lineno}"), message)),
         }
     }
 
@@ -314,15 +344,30 @@ fn main() -> ExitCode {
             encoder,
             ..ServeConfig::default()
         },
+        obs.clone(),
+    );
+    let mut replan = ReplanManager::new(
+        ReplanConfig {
+            encoder,
+            lazy: args.lazy,
+            ..ReplanConfig::default()
+        },
         obs,
     );
 
-    // Submit everything, then collect in input order.
-    let handles: Vec<_> = order
+    // Submit every job up front, then collect in input order; session
+    // records execute inline during collection.
+    enum Pending {
+        Job(Result<etcs_serve::JobTicket, etcs_serve::JobResponse>),
+        Invalid(String, String),
+        Replan { line: String, label: String },
+    }
+    let handles: Vec<Pending> = order
         .into_iter()
         .map(|entry| match entry {
-            Ok(request) => Ok(service.submit(request)),
-            Err(invalid) => Err(invalid),
+            Entry::Job(request) => Pending::Job(service.submit(*request)),
+            Entry::Invalid(id, message) => Pending::Invalid(id, message),
+            Entry::Replan { line, label } => Pending::Replan { line, label },
         })
         .collect();
 
@@ -340,7 +385,7 @@ fn main() -> ExitCode {
     let mut failed = false;
     for handle in handles {
         let line = match handle {
-            Err((id, message)) => {
+            Pending::Invalid(id, message) => {
                 failed = true;
                 format!(
                     "{{\"id\": {}, \"status\": \"invalid\", \"reason\": {}}}",
@@ -348,12 +393,17 @@ fn main() -> ExitCode {
                     json::quote(&message)
                 )
             }
-            Ok(submitted) => {
+            Pending::Job(submitted) => {
                 let response = match submitted {
                     Ok(ticket) => ticket.wait(),
                     Err(rejected) => rejected,
                 };
                 let (line, line_failed) = response_line(&response);
+                failed = failed || line_failed;
+                line
+            }
+            Pending::Replan { line, label } => {
+                let (line, line_failed) = replan.handle(&line, &label);
                 failed = failed || line_failed;
                 line
             }
@@ -368,7 +418,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    print_stats_record(None, &service);
+    print_stats_record(None, &service, &replan.stats());
     service.shutdown();
 
     if failed {

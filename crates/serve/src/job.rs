@@ -348,16 +348,25 @@ impl JobPayload {
     /// request (witness plans and solver statistics legitimately differ),
     /// so it is what `ci/check.sh` compares across the `--lazy` boundary.
     pub fn verdict_digest(&self) -> u128 {
-        let mut h = Fnv2::new();
-        h.str("etcs-verdict-v1");
-        h.str(self.kind.name());
-        h.u64(u64::from(self.feasible));
-        h.u64(self.costs.len() as u64);
-        for &c in &self.costs {
-            h.u64(c);
-        }
-        h.finish()
+        verdict_digest_of(self.kind, self.feasible, &self.costs)
     }
+}
+
+/// The verdict digest over a bare (kind, feasible, costs) triple — the
+/// same construction as [`JobPayload::verdict_digest`], callable without
+/// a full payload. The replan surface uses it to stamp each streamed tick
+/// with a digest directly comparable to the `optimize_incremental` job
+/// for the same patched scenario.
+pub(crate) fn verdict_digest_of(kind: JobKind, feasible: bool, costs: &[u64]) -> u128 {
+    let mut h = Fnv2::new();
+    h.str("etcs-verdict-v1");
+    h.str(kind.name());
+    h.u64(u64::from(feasible));
+    h.u64(costs.len() as u64);
+    for &c in costs {
+        h.u64(c);
+    }
+    h.finish()
 }
 
 /// Two-lane FNV-1a-64 with an avalanche finish — the same construction as

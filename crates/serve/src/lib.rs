@@ -42,6 +42,7 @@ mod cache;
 mod history;
 mod job;
 mod queue;
+pub mod replan;
 mod service;
 pub mod wire;
 
@@ -51,6 +52,7 @@ pub use job::{
     execute, JobKind, JobOutcome, JobPayload, JobRequest, JobResponse, Priority, RejectReason,
 };
 pub use queue::{JobQueue, QueueStats};
+pub use replan::ReplanManager;
 pub use service::{JobTicket, ServeConfig, Service, TerminalStats};
 
 // Re-exported so wire-level callers can name the lazy strategy without

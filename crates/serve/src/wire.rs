@@ -17,13 +17,18 @@
 //! |----------------------------------|-----------------------------------|
 //! | `{"type":"job","spec":"<line>"}` | `{"type":"done", …}`              |
 //! | `{"type":"put","key","payload"}` | `{"type":"put_ok","digest"}`      |
+//! | `{"type":"replan","line":"<rec>"}`| `{"type":"replan_done", …}`      |
 //! | `{"type":"histories"}`           | `{"type":"histories", …}`         |
 //! | `{"type":"stats"}`               | `{"type":"stats", …}`             |
 //! | `{"type":"shutdown"}`            | `{"type":"bye"}` (server drains)  |
 //!
 //! `spec` carries one `served`-format request line verbatim (a JSON string
 //! containing the JSON object), so shard and frontend parse requests with
-//! the same code path. A `done` response carries the shard's standard
+//! the same code path. A `replan` frame likewise carries one `served`
+//! batch session record (`open`/`delta`/`tick`/`close`, see
+//! [`crate::replan`]) and answers the record's response line verbatim —
+//! the shard keeps the replanning session (and its warm solver state)
+//! alive across frames on any connection. A `done` response carries the shard's standard
 //! response line (written verbatim by the frontend, which is what makes
 //! fleet output bit-identical to single-process output), the job's
 //! fingerprint, and — for completed jobs — the full payload in wire form
@@ -48,10 +53,13 @@ use etcs_obs::json::{self, Json};
 use etcs_obs::Obs;
 use etcs_sat::Stats;
 
+use etcs_replan::{ReplanConfig, ReplanStats};
+
 use crate::cache::CacheStats;
 use crate::history::{HistoryEvent, HistoryOp, ShardHistory};
 use crate::job::{JobKind, JobOutcome, JobPayload, JobRequest, JobResponse, Priority};
 use crate::queue::QueueStats;
+use crate::replan::{replan_stats_json, ReplanManager};
 use crate::service::{Service, TerminalStats};
 
 /// The protocol version spoken by this build. Bump on any wire-visible
@@ -400,13 +408,19 @@ pub fn response_line(response: &JobResponse) -> (String, bool) {
     (line, failed)
 }
 
-/// The shared `"queue": …, "jobs": …, "cache": …` body of a stats record
-/// (used by the `served` shutdown summary and the wire `stats` response).
-pub fn stats_body_json(queue: &QueueStats, jobs: &TerminalStats, cache: &CacheStats) -> String {
+/// The shared `"queue": …, "jobs": …, "cache": …, "replan": …` body of a
+/// stats record (used by the `served` shutdown summary and the wire
+/// `stats` response).
+pub fn stats_body_json(
+    queue: &QueueStats,
+    jobs: &TerminalStats,
+    cache: &CacheStats,
+    replan: &ReplanStats,
+) -> String {
     format!(
         "\"queue\": {{\"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"high_water\": {}}}, \
          \"jobs\": {{\"done\": {}, \"cancelled\": {}, \"deadline_exceeded\": {}, \"invalid\": {}}}, \
-         \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}}}",
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \"evictions\": {}}}, {}",
         queue.submitted,
         queue.admitted,
         queue.rejected,
@@ -419,6 +433,7 @@ pub fn stats_body_json(queue: &QueueStats, jobs: &TerminalStats, cache: &CacheSt
         cache.misses,
         cache.insertions,
         cache.evictions,
+        replan_stats_json(replan),
     )
 }
 
@@ -732,6 +747,9 @@ struct ServerShared {
     lazy_default: bool,
     portfolio_default: Option<usize>,
     hook: Option<JobHook>,
+    // Replanning sessions live on the *shard*, not the connection: warm
+    // solver state survives reconnects as long as the process does.
+    replan: Mutex<ReplanManager>,
 }
 
 /// Final counters of a drained shard server.
@@ -743,6 +761,8 @@ pub struct ServedStats {
     pub jobs: TerminalStats,
     /// Result-cache counters.
     pub cache: CacheStats,
+    /// Replanning-session counters (closed and still-open sessions).
+    pub replan: ReplanStats,
 }
 
 /// A `served` process's socket mode: one worker-pool [`Service`] behind a
@@ -780,6 +800,14 @@ impl ShardServer {
     ) -> std::io::Result<ShardServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let replan = ReplanManager::new(
+            ReplanConfig {
+                encoder: service.config().encoder,
+                lazy: config.lazy_default,
+                ..ReplanConfig::default()
+            },
+            obs.clone(),
+        );
         let shared = Arc::new(ServerShared {
             name: if config.name.is_empty() {
                 local.to_string()
@@ -795,6 +823,7 @@ impl ShardServer {
             lazy_default: config.lazy_default,
             portfolio_default: config.portfolio_default,
             hook: config.hook,
+            replan: Mutex::new(replan),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -861,6 +890,7 @@ impl ShardServer {
             queue: self.shared.service.queue_stats(),
             jobs: self.shared.service.terminal_stats(),
             cache: self.shared.service.cache_stats().unwrap_or_default(),
+            replan: self.shared.replan.lock().expect("replan sessions").stats(),
         }
     }
 }
@@ -906,6 +936,7 @@ fn handle_conn(shared: &ServerShared, stream: TcpStream) {
         let done = match frame_type(&frame) {
             Ok("job") => handle_job(shared, &mut writer, &frame),
             Ok("put") => handle_put(shared, &mut writer, &frame),
+            Ok("replan") => handle_replan(shared, &mut writer, &frame),
             Ok("histories") => {
                 let events = shared.service.history();
                 write_frame(&mut writer, &history_to_wire(&shared.name, &events))
@@ -915,6 +946,7 @@ fn handle_conn(shared: &ServerShared, stream: TcpStream) {
                     &shared.service.queue_stats(),
                     &shared.service.terminal_stats(),
                     &shared.service.cache_stats().unwrap_or_default(),
+                    &shared.replan.lock().expect("replan sessions").stats(),
                 );
                 write_frame(
                     &mut writer,
@@ -1071,6 +1103,29 @@ fn handle_put(
     write_frame(
         writer,
         &format!("{{\"type\": \"put_ok\", \"digest\": \"{digest:032x}\"}}"),
+    )
+}
+
+fn handle_replan(
+    shared: &ServerShared,
+    writer: &mut TcpStream,
+    frame: &Json,
+) -> Result<(), WireError> {
+    let line = match str_field(frame, "line") {
+        Ok(line) => line,
+        Err(e) => return send_error(writer, &e.to_string()),
+    };
+    let (response, failed) = shared
+        .replan
+        .lock()
+        .expect("replan sessions")
+        .handle(line, "replan");
+    write_frame(
+        writer,
+        &format!(
+            "{{\"type\": \"replan_done\", \"failed\": {failed}, \"response\": {}}}",
+            json::quote(&response)
+        ),
     )
 }
 
@@ -1237,6 +1292,28 @@ impl ShardClient {
         )?;
         let frame = self.expect_reply("put_ok")?;
         hex_u128(str_field(&frame, "digest")?)
+    }
+
+    /// Forwards one replanning session record (`open`/`delta`/`tick`/
+    /// `close`, the `served` batch format) and returns the shard's
+    /// response line verbatim. The session lives on the shard, so a
+    /// sequence of `replan` calls over one or more connections is one
+    /// continuous warm-started session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] — in particular [`WireError::Closed`] when the
+    /// shard (and with it every open session) dies.
+    pub fn replan(&mut self, record: &str) -> Result<String, WireError> {
+        write_frame(
+            &mut self.writer,
+            &format!(
+                "{{\"type\": \"replan\", \"line\": {}}}",
+                json::quote(record)
+            ),
+        )?;
+        let frame = self.expect_reply("replan_done")?;
+        Ok(str_field(&frame, "response")?.to_owned())
     }
 
     /// Fetches the shard's recorded cache history.

@@ -131,6 +131,15 @@ pub mod corpus {
     pub use etcs_corpus::*;
 }
 
+/// Online replanning: streaming scenario deltas (`.delta` traces) with
+/// warm-started incremental re-solves — persistent solver state keyed by
+/// sub-fingerprints of the unchanged scenario core, per-tick wall-clock
+/// budgets with graceful degradation to the last valid plan (see
+/// `DESIGN.md` §17).
+pub mod replan {
+    pub use etcs_replan::*;
+}
+
 /// Counterexample-guided lazy constraint solving: CEGAR task loops that
 /// defer the pairwise train-interaction constraints and refine from
 /// violated instances — same verdicts and optima as the eager tasks, far

@@ -240,6 +240,121 @@ fn jsonl_trace_artifact_replays_the_documented_schema() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The replanning stats-vs-trace invariant: a [`ReplanSession`]'s
+/// lifetime counters, its `replan.*` metrics and its span stream must
+/// all tell the same story — for the shipped exemplar trace, not a toy.
+/// This is the session-level half of the contract whose service-level
+/// half (the `served` stats record) is pinned in `crates/fleet/tests`.
+#[test]
+fn replan_session_trace_agrees_with_its_stats() {
+    use etcs::replan::{parse_trace, ReplanConfig, ReplanSession, ScenarioDelta, TraceOp};
+
+    let (obs, sink) = Obs::memory();
+    let mut session =
+        ReplanSession::new_obs(fixtures::running_example(), ReplanConfig::default(), &obs)
+            .expect("base scenario is valid");
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/replay/running_example.delta"
+    ))
+    .expect("exemplar ships with the repo");
+    let mut reported_conflicts = 0;
+    for op in &parse_trace(&text).expect("exemplar parses") {
+        match op {
+            TraceOp::Delta(d) => session.apply(d).expect("exemplar deltas apply"),
+            TraceOp::Tick => reported_conflicts += session.tick().conflicts,
+        }
+    }
+    // One rejected delta, so that counter is exercised too.
+    session
+        .apply(&ScenarioDelta::Remove {
+            train: "ghost".into(),
+        })
+        .expect_err("unknown train is rejected");
+
+    // The ledger invariant: every tick is warm or cold, none missed
+    // (the session runs without a tick budget).
+    let stats = session.stats();
+    assert_eq!(stats.ticks, stats.warm_hits + stats.cold_fallbacks);
+    assert_eq!(stats.deadline_misses, 0);
+    assert!(stats.warm_hits > 0 && stats.cold_fallbacks > 0);
+
+    // Span stream vs stats: one open, one tick close per tick, warm and
+    // stale fields consistent with the counters.
+    let events = sink.events();
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanClose && e.name == "replan.open")
+            .count(),
+        1
+    );
+    let tick_closes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "replan.tick")
+        .collect();
+    assert_eq!(tick_closes.len() as u64, stats.ticks);
+    let warm = tick_closes
+        .iter()
+        .filter(|e| e.field("warm") == Some(&Value::Bool(true)))
+        .count();
+    assert_eq!(warm as u64, stats.warm_hits, "warm fields vs warm_hits");
+    assert!(
+        tick_closes
+            .iter()
+            .all(|e| e.field("stale") == Some(&Value::Bool(false))),
+        "no budget, no staleness"
+    );
+
+    // Per-tick conflicts fields sum to the TickReports' sum and to the
+    // shared `conflicts` counter the solver spans feed.
+    let span_conflicts: u64 = tick_closes
+        .iter()
+        .filter_map(|e| e.field_u64("conflicts"))
+        .sum();
+    assert_eq!(span_conflicts, reported_conflicts);
+    assert_eq!(obs.metrics().counter("conflicts"), reported_conflicts);
+
+    // Every probe span is a child of some replan.tick span: the warm
+    // solver's search is attributed to the tick that ran it.
+    let tick_ids: std::collections::BTreeSet<_> = tick_closes.iter().map(|e| e.span).collect();
+    let probes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "probe")
+        .collect();
+    assert!(!probes.is_empty());
+    assert!(probes.iter().all(|e| tick_ids.contains(&e.parent)));
+
+    // Delta spans: one per apply() call, accepted mirroring the split.
+    let delta_closes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanClose && e.name == "replan.delta")
+        .collect();
+    assert_eq!(
+        delta_closes.len() as u64,
+        stats.deltas + stats.rejected_deltas
+    );
+    let accepted = delta_closes
+        .iter()
+        .filter(|e| e.field("accepted") == Some(&Value::Bool(true)))
+        .count();
+    assert_eq!(accepted as u64, stats.deltas);
+    assert_eq!(stats.rejected_deltas, 1);
+
+    // Metrics counters mirror ReplanStats field for field.
+    let metrics = obs.metrics();
+    for (name, want) in [
+        ("replan.ticks", stats.ticks),
+        ("replan.warm_hits", stats.warm_hits),
+        ("replan.cold_fallbacks", stats.cold_fallbacks),
+        ("replan.deadline_misses", stats.deadline_misses),
+        ("replan.deltas", stats.deltas),
+        ("replan.rejected_deltas", stats.rejected_deltas),
+    ] {
+        assert_eq!(metrics.counter(name), want, "counter {name}");
+    }
+}
+
 #[test]
 fn disabled_handle_changes_nothing_and_records_nothing() {
     let scenario = fixtures::running_example();

@@ -1,0 +1,164 @@
+//! The shipped `.delta` replay exemplars under `scenarios/replay/`:
+//! every trace must parse, round-trip through `write_trace`, and apply
+//! cleanly to the base scenario its header names; corrupting a real
+//! trace must fail with a line + column pointer at the corruption (the
+//! same error-reporting contract `rail_format.rs` pins for `.rail`
+//! documents).
+
+use etcs::corpus::{Family, InstanceSpec, SizeClass};
+use etcs::prelude::*;
+use etcs::replan::{parse_trace, write_trace, ReplanConfig, ReplanSession, TraceOp};
+
+fn replay_files() -> Vec<(std::path::PathBuf, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/replay");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("scenarios/replay/ ships with the repo")
+        .filter_map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            (path.extension().is_some_and(|e| e == "delta")).then_some(path)
+        })
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("trace is readable");
+            (path, text)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 2,
+        "expected the shipped replay exemplars, found {files:?}"
+    );
+    files
+}
+
+fn running_example_trace() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/replay/running_example.delta"
+    );
+    std::fs::read_to_string(path).expect("exemplar ships with the repo")
+}
+
+/// The base scenario a trace file was authored against, by file stem.
+fn base_scenario(path: &std::path::Path) -> Scenario {
+    match path.file_stem().and_then(|s| s.to_str()) {
+        Some("running_example") => fixtures::running_example(),
+        Some("corpus_grid_ladder") => {
+            InstanceSpec::new(Family::GridLadder, SizeClass::Small, 0).build()
+        }
+        other => panic!("no base scenario registered for trace {other:?}"),
+    }
+}
+
+#[test]
+fn every_shipped_trace_parses_and_roundtrips() {
+    for (path, text) in replay_files() {
+        let ops = parse_trace(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let ticks = ops.iter().filter(|op| matches!(op, TraceOp::Tick)).count();
+        let deltas = ops.len() - ticks;
+        assert!(
+            ticks >= 3 && deltas >= 3,
+            "{}: trivial trace ({ticks} ticks, {deltas} deltas)",
+            path.display()
+        );
+        let written = write_trace(&ops);
+        let back =
+            parse_trace(&written).unwrap_or_else(|e| panic!("{}: round-trip: {e}", path.display()));
+        assert_eq!(back, ops, "{}: round-trip changed the ops", path.display());
+        // `write_trace` is canonical: writing what it wrote is a fixpoint.
+        assert_eq!(written, write_trace(&back), "{}", path.display());
+    }
+}
+
+#[test]
+fn every_shipped_trace_applies_cleanly_to_its_base_scenario() {
+    for (path, text) in replay_files() {
+        let ops = parse_trace(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Applying deltas is cheap (no solving); every delta in a shipped
+        // exemplar must name real trains/tracks and apply transactionally.
+        let mut session = ReplanSession::new(base_scenario(&path), ReplanConfig::default())
+            .expect("base scenario is valid");
+        for op in &ops {
+            if let TraceOp::Delta(d) = op {
+                session
+                    .apply(d)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            }
+        }
+        assert_eq!(session.stats().rejected_deltas, 0, "{}", path.display());
+    }
+}
+
+#[test]
+fn running_example_trace_exercises_the_full_vocabulary() {
+    let ops = parse_trace(&running_example_trace()).expect("exemplar parses");
+    let kinds: std::collections::BTreeSet<&str> = ops
+        .iter()
+        .filter_map(|op| match op {
+            TraceOp::Delta(d) => Some(d.kind()),
+            TraceOp::Tick => None,
+        })
+        .collect();
+    assert_eq!(
+        kinds.into_iter().collect::<Vec<_>>(),
+        ["add", "close", "deadline", "delay", "remove", "reopen"],
+        "the exemplar is the vocabulary showcase — keep every delta kind"
+    );
+}
+
+/// 1-based (line, column) of `needle` in `text`, for pinning parse
+/// errors against the corruption we injected.
+fn position_of(text: &str, needle: &str) -> (usize, usize) {
+    for (i, line) in text.lines().enumerate() {
+        if let Some(col) = line.find(needle) {
+            return (i + 1, col + 1);
+        }
+    }
+    panic!("{needle:?} not found");
+}
+
+#[test]
+fn corrupting_a_duration_points_at_the_fragment() {
+    let text = running_example_trace().replace("delay Train 3 : 0:00:30", "delay Train 3 : soon");
+    let e = parse_trace(&text).expect_err("corrupted duration fails");
+    let (line, column) = position_of(&text, "soon");
+    assert_eq!((e.line, e.column), (line, column), "{e}");
+    assert!(e.message.contains("invalid delay duration"), "{e}");
+    assert!(
+        format!("{e}").contains(&format!("line {line}, column {column}")),
+        "{e}"
+    );
+}
+
+#[test]
+fn corrupting_a_deadline_points_at_the_fragment() {
+    let text = running_example_trace().replace("arr 0:04:00", "arr whenever");
+    let e = parse_trace(&text).expect_err("corrupted deadline fails");
+    assert_eq!((e.line, e.column), position_of(&text, "whenever"), "{e}");
+    assert!(e.message.contains("invalid deadline"), "{e}");
+}
+
+#[test]
+fn corrupting_an_add_length_points_at_the_fragment() {
+    let text = running_example_trace().replace(": 250 180 B", ": heavy 180 B");
+    let e = parse_trace(&text).expect_err("corrupted length fails");
+    assert_eq!((e.line, e.column), position_of(&text, "heavy"), "{e}");
+    assert!(e.message.contains("invalid train length"), "{e}");
+}
+
+#[test]
+fn appending_garbage_reports_the_new_line() {
+    let base = running_example_trace();
+    let lines = base.lines().count();
+
+    // An unknown directive blames its own keyword...
+    let text = format!("{base}cancel Train 9 : 0:01:00\n");
+    let e = parse_trace(&text).expect_err("unknown keyword fails");
+    assert_eq!((e.line, e.column), (lines + 1, 1), "{e}");
+    assert!(e.message.contains("cancel"), "{e}");
+
+    // ... and a tick with arguments blames the arguments.
+    let text = format!("{base}tick twice\n");
+    let e = parse_trace(&text).expect_err("tick with arguments fails");
+    assert_eq!((e.line, e.column), (lines + 1, 6), "{e}");
+    assert!(e.message.contains("no arguments"), "{e}");
+}
